@@ -1,0 +1,70 @@
+"""Ablation A1: joint vs component-factored representation.
+
+The paper's system enumerates *joint* matchings per sibling group (its
+Table I sizes match that); factoring independent components into separate
+probability nodes represents the same distribution exponentially smaller.
+This ablation quantifies the gap on the Table I rows — the direction the
+authors' follow-up work ("Taming data explosion…", ref [3]) pursued.
+"""
+
+import pytest
+
+from repro.core.estimate import estimate_integration
+from repro.experiments import TABLE1_ROWS, movie_config, table1_sources
+
+from .conftest import format_table, write_result
+
+_rows: list[list[str]] = []
+
+
+@pytest.mark.parametrize(
+    "label,rule_names", TABLE1_ROWS, ids=[label for label, _ in TABLE1_ROWS]
+)
+def test_factoring_ablation(benchmark, label, rule_names):
+    source_a, source_b = table1_sources()
+
+    def run():
+        joint = estimate_integration(
+            source_a, source_b,
+            movie_config(*rule_names, factor_components=False,
+                         max_possibilities=50_000),
+        )
+        factored = estimate_integration(
+            source_a, source_b,
+            movie_config(*rule_names, factor_components=True,
+                         max_possibilities=50_000),
+        )
+        return joint, factored
+
+    joint, factored = benchmark(run)
+    assert factored.world_count == joint.world_count, (
+        "both representations encode the same distribution"
+    )
+    components = max((g.components for g in factored.groups), default=0)
+    if components > 1:
+        # Independent components exist → factoring must win.
+        assert factored.total_nodes < joint.total_nodes
+    _rows.append(
+        [
+            label,
+            str(components),
+            f"{joint.total_nodes:,}",
+            f"{factored.total_nodes:,}",
+            f"{joint.total_nodes / factored.total_nodes:,.2f}x",
+        ]
+    )
+    if len(_rows) == len(TABLE1_ROWS):
+        write_result(
+            "ablation_factoring",
+            "Ablation A1 — joint (paper) vs component-factored"
+            " representation (Table I workload).\n"
+            "With a single all-connected component (no rules) factoring"
+            " cannot help and its per-child wrappers even cost a little;"
+            " once rules split the match graph, it wins by orders of"
+            " magnitude.\n"
+            + format_table(
+                ["rule set", "components", "joint nodes", "factored nodes",
+                 "joint/factored"],
+                _rows,
+            ),
+        )

@@ -1,0 +1,106 @@
+"""§VI probabilistic querying: the paper's two example queries.
+
+Paper answers (on its 33 856-world confusing integration):
+
+    //movie[.//genre="Horror"]/title
+        → Jaws 97%, Jaws 2 97% ("the only two movies classified Horror")
+
+    //movie[some $d in .//director satisfies contains($d,"John")]/title
+        → 100% Die Hard: With a Vengeance
+           96% Mission: Impossible II
+           21% Mission: Impossible   ("the 'II' may be a typing mistake")
+
+Our document (see DESIGN.md §3 and EXPERIMENTS.md) reproduces the answer
+*structure*: the same values in the same order, WaV certain, the bare
+'Mission: Impossible' as the low-probability incorrect answer.  The exact
+96/21 split is unreachable under clean possible-world semantics with one
+record per source (the pair of probabilities is complementary); we record
+the measured values.
+"""
+
+import pytest
+
+from repro.experiments import QUERY_HORROR, QUERY_JOHN, section6_document
+from repro.probability import format_percent
+from repro.pxml.stats import tree_stats
+from repro.query.engine import ProbQueryEngine, query_enumeration
+
+from .conftest import format_table, write_result
+
+PAPER_ANSWERS = {
+    QUERY_HORROR: [("Jaws", "97%"), ("Jaws 2", "97%")],
+    QUERY_JOHN: [
+        ("Die Hard: With a Vengeance", "100%"),
+        ("Mission: Impossible II", "96%"),
+        ("Mission: Impossible", "21%"),
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return section6_document().document
+
+
+def test_sec6_document_stats(benchmark):
+    result = benchmark.pedantic(section6_document, rounds=3, iterations=1)
+    stats = tree_stats(result.document)
+    write_result(
+        "sec6_document",
+        "§VI integrated document (confusing selection, genre+title rules)\n"
+        + format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["possible worlds", "33,856", f"{stats.world_count:,}"],
+                ["nodes", "—", f"{stats.total:,}"],
+                ["choice points", "—", str(stats.choice_points)],
+            ],
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,query",
+    [("horror", QUERY_HORROR), ("john", QUERY_JOHN)],
+)
+def test_sec6_query(benchmark, document, name, query):
+    engine = ProbQueryEngine(document)
+    answer = benchmark(engine.query, query)
+
+    paper = PAPER_ANSWERS[query]
+    paper_values = [value for value, _ in paper]
+    # Structural claims: the paper's values appear, in the paper's order.
+    measured_order = [v for v in answer.values() if v in paper_values]
+    if name == "john":
+        assert measured_order == paper_values
+        assert answer.probability_of("Die Hard: With a Vengeance") == 1
+        assert float(answer.probability_of("Mission: Impossible")) <= 0.35
+    else:
+        assert sorted(measured_order) == sorted(paper_values)
+        assert set(answer.values()) == set(paper_values), (
+            "paper: the ranked answer contains only Jaws and Jaws 2"
+        )
+        for item in answer:
+            assert 0.90 <= float(item.probability) < 1.0
+
+    rows = []
+    for value, paper_rank in paper:
+        rows.append([paper_rank, format_percent(answer.probability_of(value)), value])
+    for item in answer:
+        if item.value not in paper_values:
+            rows.append(["—", format_percent(item.probability), item.value])
+    write_result(
+        f"sec6_query_{name}",
+        f"§VI query: {query}\n"
+        + format_table(["paper", "measured", "title"], rows),
+    )
+
+
+def test_sec6_event_engine_vs_enumeration(benchmark, document):
+    """Both engines must agree; the benchmark times the event-based one
+    against a document whose world count makes enumeration painful."""
+    event_based = benchmark(ProbQueryEngine(document).query, QUERY_JOHN)
+    enumerated = query_enumeration(document, QUERY_JOHN)
+    assert {i.value: i.probability for i in event_based} == {
+        i.value: i.probability for i in enumerated
+    }

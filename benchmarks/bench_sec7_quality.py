@@ -1,0 +1,111 @@
+"""§VII answer quality: adapted precision/recall (paper ref [13]).
+
+The demo paper announces quality measurement but prints no numbers; this
+bench quantifies "good is good enough": answer quality of the §VI queries
+against the ground truth (known from the generators' rwo identities),
+across rule sets and across feedback rounds — showing that (a) even heavy
+uncertainty leaves high-quality ranked answers, and (b) feedback pushes
+quality to 1.
+"""
+
+import pytest
+
+from repro.core.engine import Integrator
+from repro.experiments import (
+    QUERY_HORROR,
+    QUERY_JOHN,
+    movie_config,
+    section6_document,
+    section6_sources,
+)
+from repro.feedback.conditioning import FeedbackSession
+from repro.query.engine import ProbQueryEngine
+from repro.query.quality import answer_quality
+
+from .conftest import format_table, write_result
+
+#: Ground truth for the §VI workload (from the rwo identities).
+TRUTH = {
+    QUERY_HORROR: {"Jaws", "Jaws 2"},
+    QUERY_JOHN: {"Die Hard: With a Vengeance", "Mission: Impossible II"},
+}
+
+
+def quality_row(document, query):
+    answer = ProbQueryEngine(document).query(query)
+    quality = answer_quality(answer, TRUTH[query])
+    return quality
+
+
+def test_sec7_quality_across_rule_sets(benchmark):
+    """Weaker rule sets leave more uncertainty → lower precision, while
+    recall stays high (good-is-good-enough)."""
+    source_a, source_b = section6_sources()
+
+    def run():
+        rows = []
+        for label, names in (("title only", ("title",)),
+                             ("genre+title", ("genre", "title"))):
+            config = movie_config(*names, prior="2/5")
+            document = Integrator(config).integrate(source_a, source_b).document
+            for query, name in ((QUERY_HORROR, "horror"), (QUERY_JOHN, "john")):
+                quality = quality_row(document, query)
+                rows.append([label, name,
+                             f"{float(quality.precision):.3f}",
+                             f"{float(quality.recall):.3f}",
+                             f"{float(quality.f1):.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    # good-is-good-enough: every configuration keeps F1 well above 0.5.
+    assert all(float(row[4]) > 0.5 for row in rows)
+    write_result(
+        "sec7_quality_rules",
+        "§VII answer quality by rule set (probability-weighted"
+        " precision/recall, ref [13])\n"
+        + format_table(["rule set", "query", "precision", "recall", "f1"], rows),
+    )
+
+
+def test_sec7_quality_under_feedback(benchmark):
+    """The §I information cycle: each feedback interaction removes
+    impossible worlds and quality climbs to 1."""
+    document = section6_document().document
+
+    def run():
+        session = FeedbackSession(document.copy())
+        trajectory = []
+        steps = [
+            ("confirm", QUERY_JOHN, "Mission: Impossible II"),
+            ("reject", QUERY_JOHN, "Mission: Impossible"),
+            ("confirm", QUERY_HORROR, "Jaws"),
+            ("confirm", QUERY_HORROR, "Jaws 2"),
+        ]
+        quality = quality_row(session.document, QUERY_JOHN)
+        trajectory.append(("(initial)", quality))
+        for kind, query, value in steps:
+            if kind == "confirm":
+                session.confirm(query, value)
+            else:
+                session.reject(query, value)
+            trajectory.append(
+                (f"{kind} {value!r}", quality_row(session.document, QUERY_JOHN))
+            )
+        return trajectory
+
+    trajectory = benchmark.pedantic(run, rounds=2, iterations=1)
+    final = trajectory[-1][1]
+    assert final.precision == 1 and final.recall == 1
+    # F1 never decreases along this feedback sequence.
+    f1_values = [float(q.f1) for _, q in trajectory]
+    assert all(a <= b + 1e-12 for a, b in zip(f1_values, f1_values[1:]))
+    rows = [
+        [label, f"{float(q.precision):.3f}", f"{float(q.recall):.3f}",
+         f"{float(q.f1):.3f}"]
+        for label, q in trajectory
+    ]
+    write_result(
+        "sec7_quality_feedback",
+        "§VII answer quality across feedback rounds (query: John directors)\n"
+        + format_table(["after", "precision", "recall", "f1"], rows),
+    )

@@ -1,0 +1,84 @@
+"""Table I: effect of rules on uncertainty (#nodes of the integration).
+
+Paper (×1000 nodes): none 13 958 → genre 6 015 → title 243 →
+genre+title 154 → genre+title+year 29.
+
+The workload is the sequels-six experiment (2 Jaws + 2 Die Hard + 2 M:I
+per source, one shared real-world object per franchise) in the joint
+(unfactored) representation the original system used.  Node counts come
+from the exact analytic estimator — identical to materialisation, which
+the harness double-checks on every row small enough to build.
+"""
+
+import pytest
+
+from repro.core.engine import Integrator
+from repro.core.estimate import estimate_integration
+from repro.experiments import (
+    TABLE1_PAPER_NODES_X1000,
+    TABLE1_ROWS,
+    table1_config,
+    table1_sources,
+)
+from repro.pxml.stats import tree_stats
+
+from .conftest import format_table, write_result
+
+#: Rows cheap enough to materialise inside the timing loop.
+MATERIALIZABLE = {"Movie title rule", "Genre and movie title rule",
+                  "Genre, movie title and year rule"}
+
+_collected: list[list[str]] = []
+
+
+@pytest.mark.parametrize(
+    "label,rule_names,paper_x1000",
+    [
+        (label, names, paper)
+        for (label, names), paper in zip(TABLE1_ROWS, TABLE1_PAPER_NODES_X1000)
+    ],
+    ids=[label for label, _ in TABLE1_ROWS],
+)
+def test_table1_row(benchmark, label, rule_names, paper_x1000):
+    source_a, source_b = table1_sources()
+    config = table1_config(rule_names)
+
+    estimate = benchmark(estimate_integration, source_a, source_b, config)
+
+    if label in MATERIALIZABLE:
+        result = Integrator(config).integrate(source_a, source_b)
+        stats = tree_stats(result.document)
+        assert stats.total == estimate.total_nodes
+        assert stats.world_count == estimate.world_count
+
+    _collected.append(
+        [
+            label,
+            f"{paper_x1000 * 1000:,}",
+            f"{estimate.total_nodes:,}",
+            f"{estimate.possibility_count:,}",
+            f"{estimate.world_count:,}",
+        ]
+    )
+    # Shape assertions: monotone reduction in the paper's row order.
+    if len(_collected) > 1:
+        previous = int(_collected[-2][2].replace(",", ""))
+        current = int(_collected[-1][2].replace(",", ""))
+        assert current < previous, "each added rule must shrink the result"
+
+    if len(_collected) == len(TABLE1_ROWS):
+        table = format_table(
+            ["rule set", "paper nodes", "measured nodes", "matchings", "worlds"],
+            _collected,
+        )
+        reduction_paper = TABLE1_PAPER_NODES_X1000[0] / TABLE1_PAPER_NODES_X1000[-1]
+        first = int(_collected[0][2].replace(",", ""))
+        last = int(_collected[-1][2].replace(",", ""))
+        write_result(
+            "table1_rules",
+            "Table I — effect of rules on uncertainty (sequels six-vs-six,"
+            " joint representation)\n"
+            + table
+            + f"\n\ntotal reduction: paper {reduction_paper:.0f}x,"
+              f" measured {first / last:.0f}x",
+        )

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+records the paper-reported value next to the measured one; the rendered
+tables land in ``benchmarks/results/*.txt`` (and on stdout when pytest
+runs with ``-s``) so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered result table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n--- {name} ---\n{text}")
+    return path
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table with right-padded columns."""
+    widths = [
+        max(len(str(headers[col])), *(len(str(row[col])) for row in rows))
+        if rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    def render(cells):
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

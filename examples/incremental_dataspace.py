@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Sources arriving over time: the dataspace workflow (§I).
+
+The paper's information cycle never ends: integrate, query, get feedback,
+integrate the *next* source into the still-uncertain result.  This
+example folds three phone-book snapshots into one probabilistic document,
+watches uncertainty grow with each conflicting source and shrink with
+feedback, and tracks the entropy of the distribution along the way.
+
+Run:  python examples/incremental_dataspace.py
+"""
+
+from repro.core.engine import IntegrationConfig
+from repro.core.incremental import IncrementalIntegrator
+from repro.core.oracle import Oracle
+from repro.core.rules import DeepEqualRule, KeyFieldRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD
+from repro.feedback import FeedbackSession
+from repro.pxml.measures import uncertainty_profile
+from repro.query.engine import ProbQueryEngine
+from repro.xmlkit.parser import parse_document
+
+
+def book(*entries: tuple[str, str]):
+    persons = "".join(
+        f"<person><nm>{name}</nm><tel>{tel}</tel></person>" for name, tel in entries
+    )
+    return parse_document(f"<addressbook>{persons}</addressbook>")
+
+
+SOURCES = [
+    ("old backup", book(("John", "1111"), ("Ann", "5550"))),
+    ("phone export", book(("John", "2222"), ("Ann", "5550"))),
+    ("paper notebook", book(("John", "1111"), ("Bea", "7777"))),
+]
+
+
+def main() -> None:
+    # Domain knowledge for this dataspace: names are reliable keys —
+    # same name ⇒ same person, different name ⇒ different people.
+    # Remove the KeyFieldRule to watch cross-person ambiguity appear.
+    config = IntegrationConfig(
+        oracle=Oracle([
+            DeepEqualRule(),
+            KeyFieldRule("person", "nm"),
+            LeafValueRule(),
+        ]),
+        dtd=ADDRESSBOOK_DTD,
+    )
+    integrator = IncrementalIntegrator(config=config, world_budget=256)
+
+    for label, source in SOURCES:
+        report = integrator.add_source(source)
+        profile = uncertainty_profile(integrator.document)
+        print(f"+ {label:15s} → {report.summary()}")
+        print(f"  uncertainty: {profile.summary()}")
+
+    document = integrator.document
+    engine = ProbQueryEngine(document)
+    print("\nJohn's number after all three sources:")
+    print(engine.query('//person[nm="John"]/tel').as_table())
+
+    # Ann's record was identical in both sources that mention her:
+    print("\nAnn's number (never conflicted):")
+    print(engine.query('//person[nm="Ann"]/tel').as_table())
+
+    # The user settles John's number; the dataspace sharpens.
+    session = FeedbackSession(document)
+    session.confirm('//person[nm="John"]/tel', "1111")
+    session.reject('//person[nm="John"]/tel', "2222")
+    print("\nafter feedback (1111 confirmed, 2222 rejected):")
+    print(session.ranked('//person[nm="John"]/tel').as_table())
+    print("uncertainty:", uncertainty_profile(session.document).summary())
+
+
+if __name__ == "__main__":
+    main()

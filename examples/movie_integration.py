@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §V experiments: how a few simple rules tame data explosion.
+
+Reproduces the paper's Table I sweep — integrating the sequels-six
+workload (2 Jaws + 2 Die Hard + 2 Mission: Impossible per source) under
+growing rule sets — and the §V typical-conditions run (6 vs 60 movies,
+exactly two undecided pairs, four worlds).
+
+Run:  python examples/movie_integration.py
+"""
+
+from repro.core.engine import Integrator
+from repro.core.estimate import estimate_integration
+from repro.experiments import (
+    TABLE1_PAPER_NODES_X1000,
+    TABLE1_ROWS,
+    run_typical,
+    table1_config,
+    table1_sources,
+)
+from repro.pxml.worlds import distinct_worlds
+from repro.xmlkit.serializer import serialize_pretty
+
+
+def table1() -> None:
+    print("=== Table I: effect of rules on uncertainty ===")
+    print(f"{'rule set':38s} {'paper':>12s} {'measured':>12s} {'matchings':>10s}")
+    source_a, source_b = table1_sources()
+    for (label, names), paper in zip(TABLE1_ROWS, TABLE1_PAPER_NODES_X1000):
+        estimate = estimate_integration(source_a, source_b, table1_config(names))
+        print(
+            f"{label:38s} {paper * 1000:>12,} {estimate.total_nodes:>12,}"
+            f" {estimate.possibility_count:>10,}"
+        )
+    print(
+        "\nWith no domain rules every movie might match every other movie"
+        " (13,327 joint matchings for 6 vs 6); three one-line rules cut the"
+        " representation by three orders of magnitude."
+    )
+
+
+def typical() -> None:
+    print("\n=== §V typical conditions: 6 vs 60 movies ===")
+    result = run_typical()
+    print("report:", result.report.summary())
+    print("\nThe four possible worlds differ only in whether the two shared")
+    print("movies merged; everything else was decided automatically:")
+    for index, (_, probability) in enumerate(distinct_worlds(result.document), 1):
+        print(f"  world {index}: probability {probability}")
+    # Show a fragment of the probabilistic document: the Braveheart choice.
+    from repro.pxml.serialize import pxml_to_xml
+    from repro.xmlkit.xpath import XPath
+    encoded = pxml_to_xml(result.document)
+    choices = [
+        node
+        for node in XPath("//p:prob").select(encoded)
+        if len(node.child_elements("p:poss")) > 1
+    ]
+    print(f"\none of the {len(choices)} remaining choice points:")
+    print(serialize_pretty(choices[0])[:1500])
+
+
+if __name__ == "__main__":
+    table1()
+    typical()

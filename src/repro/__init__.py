@@ -1,0 +1,133 @@
+"""IMPrECISE reproduction: good-is-good-enough probabilistic XML data
+integration (de Keijzer & van Keulen, ICDE 2008).
+
+The library integrates XML sources *near-automatically*: instead of
+resolving every matching doubt up front, it represents all remaining
+possible worlds compactly in one probabilistic XML tree, answers queries
+with probability-ranked results, and refines the integration through user
+feedback.
+
+Quickstart (the paper's Figure 2)::
+
+    from repro import integrate, ProbQueryEngine
+    from repro.core.rules import DeepEqualRule, LeafValueRule
+    from repro.data import addressbook_documents, ADDRESSBOOK_DTD
+
+    book_a, book_b = addressbook_documents()
+    result = integrate(book_a, book_b,
+                       rules=[DeepEqualRule(), LeafValueRule()],
+                       dtd=ADDRESSBOOK_DTD)
+    answer = ProbQueryEngine(result.document).query("//person/tel")
+    print(answer.as_table())
+
+Packages: :mod:`repro.xmlkit` (XML substrate), :mod:`repro.pxml`
+(probabilistic XML model), :mod:`repro.core` (integration engine — the
+paper's contribution), :mod:`repro.query` (ranked querying),
+:mod:`repro.feedback` (posterior conditioning), :mod:`repro.dbms`
+(document store / module façade), :mod:`repro.data` (experiment data),
+:mod:`repro.experiments` (calibrated paper workloads).
+"""
+
+from .errors import (
+    ExplosionError,
+    FeedbackError,
+    ImpreciseError,
+    IntegrationConflict,
+    IntegrationError,
+    ModelError,
+    ProbabilityError,
+    QueryError,
+    StoreError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+from .xmlkit import (
+    DTD,
+    XDocument,
+    XElement,
+    XPath,
+    XText,
+    deep_equal,
+    parse_document,
+    parse_dtd,
+    serialize,
+    serialize_pretty,
+)
+from .pxml import (
+    PXDocument,
+    certain_document,
+    distinct_worlds,
+    iter_worlds,
+    node_count,
+    parse_pxml,
+    pxml_to_text,
+    tree_stats,
+    world_count,
+)
+from .core import (
+    IntegrationConfig,
+    IntegrationReport,
+    IntegrationResult,
+    Integrator,
+    Oracle,
+    estimate_integration,
+    integrate,
+)
+from .query import ProbQueryEngine, RankedAnswer, answer_quality, query_enumeration
+from .feedback import FeedbackSession
+from .dbms import DocumentStore, ImpreciseModule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ImpreciseError",
+    "XMLParseError",
+    "XPathSyntaxError",
+    "ModelError",
+    "ProbabilityError",
+    "IntegrationError",
+    "IntegrationConflict",
+    "ExplosionError",
+    "QueryError",
+    "FeedbackError",
+    "StoreError",
+    # xmlkit
+    "XDocument",
+    "XElement",
+    "XText",
+    "XPath",
+    "DTD",
+    "parse_document",
+    "parse_dtd",
+    "serialize",
+    "serialize_pretty",
+    "deep_equal",
+    # pxml
+    "PXDocument",
+    "certain_document",
+    "iter_worlds",
+    "distinct_worlds",
+    "world_count",
+    "node_count",
+    "tree_stats",
+    "parse_pxml",
+    "pxml_to_text",
+    # core
+    "integrate",
+    "Integrator",
+    "IntegrationConfig",
+    "IntegrationResult",
+    "IntegrationReport",
+    "Oracle",
+    "estimate_integration",
+    # query / feedback / dbms
+    "ProbQueryEngine",
+    "RankedAnswer",
+    "query_enumeration",
+    "answer_quality",
+    "FeedbackSession",
+    "DocumentStore",
+    "ImpreciseModule",
+    "__version__",
+]

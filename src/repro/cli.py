@@ -1,0 +1,201 @@
+"""Command-line interface: the demo workflow (§VII) without the GUI.
+
+Subcommands::
+
+    imprecise integrate a.xml b.xml -o out.pxml --rules genre,title,year
+    imprecise query out.pxml '//movie[.//genre="Horror"]/title'
+    imprecise stats out.pxml
+    imprecise worlds out.pxml --limit 20
+    imprecise feedback out.pxml '//movie/title' 'Jaws' --correct -o out.pxml
+    imprecise estimate a.xml b.xml --rules title --joint
+
+Exit status: 0 on success, 1 on any library error (message on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.engine import IntegrationConfig, Integrator
+from .core.estimate import estimate_integration
+from .core.oracle import ConstantPrior, Oracle
+from .core.rules import PersonNameReconciler
+from .errors import ImpreciseError
+from .experiments import standard_rules
+from .feedback.conditioning import FeedbackSession
+from .probability import format_percent
+from .pxml.model import PXDocument
+from .pxml.serialize import parse_pxml, pxml_to_text
+from .pxml.stats import tree_stats
+from .pxml.worlds import iter_worlds
+from .query.engine import ProbQueryEngine
+from .xmlkit.dtd import parse_dtd
+from .xmlkit.parser import parse_document
+from .xmlkit.serializer import serialize
+
+
+def _load_plain(path: str):
+    return parse_document(Path(path).read_text(encoding="utf-8"))
+
+
+def _load_pxml(path: str) -> PXDocument:
+    return parse_pxml(Path(path).read_text(encoding="utf-8"))
+
+
+def _build_config(args: argparse.Namespace) -> IntegrationConfig:
+    rule_names = [name for name in (args.rules or "").split(",") if name]
+    oracle = Oracle(standard_rules(*rule_names), prior=ConstantPrior(args.prior))
+    dtd = None
+    if args.dtd:
+        dtd = parse_dtd(Path(args.dtd).read_text(encoding="utf-8"))
+    return IntegrationConfig(
+        oracle=oracle,
+        dtd=dtd,
+        factor_components=not args.joint,
+        max_possibilities=args.max_possibilities,
+        reconcilers=(PersonNameReconciler(("director", "actor")),),
+    )
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    result = Integrator(config).integrate(_load_plain(args.source_a), _load_plain(args.source_b))
+    Path(args.output).write_text(
+        pxml_to_text(result.document, pretty=args.pretty), encoding="utf-8"
+    )
+    print(result.report.summary())
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    estimate = estimate_integration(
+        _load_plain(args.source_a), _load_plain(args.source_b), config
+    )
+    print(f"nodes:         {estimate.total_nodes:,}")
+    print(f"worlds:        {estimate.world_count:,}")
+    print(f"possibilities: {estimate.possibility_count:,}")
+    for group in estimate.groups:
+        print(
+            f"  group <{group.tag}> under <{group.parent_tag}>:"
+            f" {group.components} component(s),"
+            f" {group.joint_matchings:,} joint matchings"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    document = _load_pxml(args.document)
+    answer = ProbQueryEngine(document).query(args.xpath)
+    print(answer.as_table())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = tree_stats(_load_pxml(args.document))
+    print(f"total nodes:       {stats.total:,}")
+    print(f"  probability:     {stats.probability_nodes:,}")
+    print(f"  possibility:     {stats.possibility_nodes:,}")
+    print(f"  element:         {stats.element_nodes:,}")
+    print(f"  text:            {stats.text_nodes:,}")
+    print(f"choice points:     {stats.choice_points:,}")
+    print(f"max branching:     {stats.max_branching:,}")
+    print(f"possible worlds:   {stats.world_count:,}")
+    return 0
+
+
+def _cmd_worlds(args: argparse.Namespace) -> int:
+    document = _load_pxml(args.document)
+    for index, world in enumerate(iter_worlds(document, limit=args.limit)):
+        print(f"[{format_percent(world.probability, digits=2)}] {serialize(world.document)}")
+        if index + 1 >= args.limit:
+            break
+    return 0
+
+
+def _cmd_feedback(args: argparse.Namespace) -> int:
+    session = FeedbackSession(_load_pxml(args.document))
+    if args.correct:
+        step = session.confirm(args.xpath, args.value)
+    else:
+        step = session.reject(args.xpath, args.value)
+    output = args.output or args.document
+    Path(output).write_text(pxml_to_text(session.document), encoding="utf-8")
+    print(
+        f"{step.kind} {step.value!r} (prior {format_percent(step.prior)}):"
+        f" worlds {step.worlds_before:,} → {step.worlds_after:,},"
+        f" nodes {step.nodes_before:,} → {step.nodes_after:,}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="imprecise",
+        description="IMPrECISE: good-is-good-enough probabilistic XML data integration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_integration_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("source_a", help="first source XML file")
+        p.add_argument("source_b", help="second source XML file")
+        p.add_argument("--rules", default="", help="comma list: genre,title,year")
+        p.add_argument("--dtd", default=None, help="DTD file with cardinalities")
+        p.add_argument("--prior", default="1/2", help="uncertain-match prior")
+        p.add_argument("--joint", action="store_true",
+                       help="joint (unfactored) representation, as in the paper")
+        p.add_argument("--max-possibilities", type=int, default=20_000)
+
+    p_int = sub.add_parser("integrate", help="integrate two XML sources")
+    add_integration_options(p_int)
+    p_int.add_argument("-o", "--output", required=True, help="output .pxml file")
+    p_int.add_argument("--pretty", action="store_true")
+    p_int.set_defaults(handler=_cmd_integrate)
+
+    p_est = sub.add_parser("estimate", help="size-estimate an integration without running it")
+    add_integration_options(p_est)
+    p_est.set_defaults(handler=_cmd_estimate)
+
+    p_query = sub.add_parser("query", help="ranked probabilistic XPath query")
+    p_query.add_argument("document", help=".pxml file")
+    p_query.add_argument("xpath")
+    p_query.set_defaults(handler=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="uncertainty statistics of a .pxml file")
+    p_stats.add_argument("document")
+    p_stats.set_defaults(handler=_cmd_stats)
+
+    p_worlds = sub.add_parser("worlds", help="enumerate possible worlds")
+    p_worlds.add_argument("document")
+    p_worlds.add_argument("--limit", type=int, default=20)
+    p_worlds.set_defaults(handler=_cmd_worlds)
+
+    p_fb = sub.add_parser("feedback", help="condition on answer feedback")
+    p_fb.add_argument("document")
+    p_fb.add_argument("xpath")
+    p_fb.add_argument("value")
+    truth = p_fb.add_mutually_exclusive_group(required=True)
+    truth.add_argument("--correct", action="store_true", dest="correct")
+    truth.add_argument("--incorrect", action="store_false", dest="correct")
+    p_fb.add_argument("-o", "--output", default=None,
+                      help="output file (default: overwrite input)")
+    p_fb.set_defaults(handler=_cmd_feedback)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ImpreciseError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

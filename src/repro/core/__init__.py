@@ -1,0 +1,107 @@
+"""The paper's contribution: probabilistic data integration (§III–§V).
+
+* :mod:`repro.core.similarity` — string measures the rules build on;
+* :mod:`repro.core.rules` / :mod:`repro.core.domain` — knowledge rules
+  (generic and movie-domain) fed to "The Oracle";
+* :mod:`repro.core.oracle` — combines rules into match judgements;
+* :mod:`repro.core.matching` — partial injective matchings between child
+  sequences: enumeration, counting, probabilities;
+* :mod:`repro.core.engine` — the recursive integration algorithm producing
+  a probabilistic XML document;
+* :mod:`repro.core.estimate` — exact size accounting of the would-be
+  result without materialising it (how Figure 5's 10⁹-node points are
+  computed).
+"""
+
+from .similarity import (
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    normalize_person_name,
+    person_name_similarity,
+    title_similarity,
+    token_jaccard,
+)
+from .rules import (
+    CaseInsensitiveReconciler,
+    Decision,
+    DeepEqualRule,
+    KeyFieldRule,
+    LeafValueRule,
+    MatchContext,
+    PersonNameReconciler,
+    PersonNameRule,
+    PredicateRule,
+    Rule,
+    TextReconciler,
+)
+from .domain import GenreRule, TitleRule, YearRule, movie_rules
+from .oracle import ConstantPrior, MatchJudgement, Oracle, SimilarityPrior
+from .matching import (
+    Component,
+    MatchingProblem,
+    Pair,
+    count_matchings,
+    count_matchings_containing,
+    enumerate_matchings,
+    matching_distribution,
+)
+from .engine import (
+    IntegrationConfig,
+    IntegrationReport,
+    IntegrationResult,
+    Integrator,
+    integrate,
+)
+from .estimate import SizeEstimate, estimate_integration
+from .incremental import (
+    IncrementalIntegrator,
+    IncrementalReport,
+    integrate_many,
+)
+
+__all__ = [
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro_winkler",
+    "token_jaccard",
+    "title_similarity",
+    "normalize_person_name",
+    "person_name_similarity",
+    "Decision",
+    "MatchContext",
+    "Rule",
+    "DeepEqualRule",
+    "LeafValueRule",
+    "KeyFieldRule",
+    "PersonNameRule",
+    "PredicateRule",
+    "TextReconciler",
+    "PersonNameReconciler",
+    "CaseInsensitiveReconciler",
+    "GenreRule",
+    "TitleRule",
+    "YearRule",
+    "movie_rules",
+    "Oracle",
+    "MatchJudgement",
+    "ConstantPrior",
+    "SimilarityPrior",
+    "Pair",
+    "Component",
+    "MatchingProblem",
+    "enumerate_matchings",
+    "count_matchings",
+    "count_matchings_containing",
+    "matching_distribution",
+    "IntegrationConfig",
+    "IntegrationReport",
+    "IntegrationResult",
+    "Integrator",
+    "integrate",
+    "SizeEstimate",
+    "estimate_integration",
+    "IncrementalIntegrator",
+    "IncrementalReport",
+    "integrate_many",
+]

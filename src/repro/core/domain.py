@@ -1,0 +1,124 @@
+"""The paper's movie-domain rules (§V).
+
+Quoted from the paper:
+
+* *Genre rule*: "no typos occur in genres" — genre values can be trusted
+  exactly, so two movies whose genre sets are disjoint cannot be the same
+  movie.  Overlap proves nothing (many movies share 'Action'), so the rule
+  abstains then.
+* *Title rule*: "two movies cannot match if their titles are not
+  sufficiently similar".
+* *Year rule*: "movies of different years cannot match".
+
+All three only ever rule *out* matches — that is exactly why they are
+cheap to state and safe: a wrong MATCH would merge different movies, while
+a missing one merely leaves uncertainty for querying/feedback to resolve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmlkit.nodes import XElement
+from .rules import Decision, MatchContext, Rule
+from .similarity import title_similarity
+
+
+def _child_texts(element: XElement, tag: str) -> list[str]:
+    return [child.text().strip() for child in element.child_elements(tag)]
+
+
+class GenreRule(Rule):
+    """No typos occur in genres: disjoint genre sets ⇒ NO_MATCH."""
+
+    name = "genre"
+    applies_to = frozenset({"movie"})
+
+    def __init__(self, genre_tag: str = "genre"):
+        self.genre_tag = genre_tag
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        genres_a = {g.lower() for g in _child_texts(a, self.genre_tag)}
+        genres_b = {g.lower() for g in _child_texts(b, self.genre_tag)}
+        if not genres_a or not genres_b:
+            return None
+        if genres_a.isdisjoint(genres_b):
+            return Decision.NO_MATCH
+        return None
+
+
+class TitleRule(Rule):
+    """Two movies cannot match if their titles are not sufficiently
+    similar (similarity below ``threshold``)."""
+
+    name = "title"
+    applies_to = frozenset({"movie"})
+
+    def __init__(self, threshold: float = 0.65, title_tag: str = "title"):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.title_tag = title_tag
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        title_a, title_b = a.find(self.title_tag), b.find(self.title_tag)
+        if title_a is None or title_b is None:
+            return None
+        if title_similarity(title_a.text(), title_b.text()) < self.threshold:
+            return Decision.NO_MATCH
+        return None
+
+
+class YearRule(Rule):
+    """Movies of different years cannot match."""
+
+    name = "year"
+    applies_to = frozenset({"movie"})
+
+    def __init__(self, year_tag: str = "year"):
+        self.year_tag = year_tag
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        year_a, year_b = a.find(self.year_tag), b.find(self.year_tag)
+        if year_a is None or year_b is None:
+            return None
+        value_a, value_b = year_a.text().strip(), year_b.text().strip()
+        if not value_a or not value_b:
+            return None
+        return Decision.NO_MATCH if value_a != value_b else None
+
+
+_RULE_FACTORIES = {
+    "genre": GenreRule,
+    "title": TitleRule,
+    "year": YearRule,
+}
+
+
+def movie_rules(*names: str, title_threshold: float = 0.65) -> list[Rule]:
+    """Build the domain rule set for Table I's configurations.
+
+    ``movie_rules()`` → no domain rules; ``movie_rules("genre", "title",
+    "year")`` → the paper's full set.  Unknown names raise ``ValueError``.
+
+    >>> [rule.name for rule in movie_rules("genre", "title")]
+    ['genre', 'title']
+    """
+    rules: list[Rule] = []
+    for name in names:
+        factory = _RULE_FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown movie rule {name!r}; choose from {sorted(_RULE_FACTORIES)}"
+            )
+        if name == "title":
+            rules.append(TitleRule(threshold=title_threshold))
+        else:
+            rules.append(factory())
+    return rules

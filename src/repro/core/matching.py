@@ -1,0 +1,320 @@
+"""Partial injective matchings between two sibling sequences.
+
+Integration of two sequences of same-tag children (§III) must consider
+every way of pairing elements across the sources: each element matches at
+most one partner (this injectivity *is* the paper's generic rule "no two
+siblings in one source refer to the same rwo"), and any subset of allowed
+pairs that respects it is a possible world.
+
+This module provides three views of that combinatorial space:
+
+* :func:`enumerate_matchings` — explicit enumeration (what the engine
+  materialises into possibility nodes), with an explosion guard;
+* :func:`count_matchings` / :func:`count_matchings_containing` /
+  :func:`count_matchings_weighted` — exact counting by bitmask dynamic
+  programming over the smaller side, used by the analytic size estimator
+  when enumeration is infeasible (Figure 5's large configurations);
+* :func:`matching_distribution` — normalised probabilities: a matching
+  ``M`` over allowed pairs ``A`` has weight ``Π_{p∈M} prob(p) ·
+  Π_{p∈A∖M} (1−prob(p))``, renormalised over all injective matchings
+  (pairwise independence does not respect injectivity, hence the
+  normalisation).
+
+Connected components of the "allowed pair" bipartite graph are independent
+choices; :meth:`MatchingProblem.components` splits them so the engine can
+factor the representation (one probability node per component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..errors import ExplosionError, IntegrationConflict
+from ..probability import ONE, ZERO
+
+#: Mask-side width beyond which the counting DP refuses to run.
+MAX_MASK_SIDE = 24
+
+
+@dataclass(frozen=True, order=True)
+class Pair:
+    """An allowed match between left element ``left`` and right element
+    ``right`` (indices into the two sequences), with its probability."""
+
+    left: int
+    right: int
+    prob: Fraction = ONE
+
+    def __post_init__(self):
+        if not ZERO < self.prob <= ONE:
+            raise ValueError(f"pair probability must be in (0, 1], got {self.prob}")
+
+
+Matching = tuple[Pair, ...]
+
+
+@dataclass(frozen=True)
+class Component:
+    """A connected component of the allowed-pair graph: choices inside a
+    component are dependent (they compete for elements); choices across
+    components are independent."""
+
+    left: tuple[int, ...]
+    right: tuple[int, ...]
+    pairs: tuple[Pair, ...]
+
+
+class MatchingProblem:
+    """The full bipartite matching space for one sibling group."""
+
+    def __init__(self, left_count: int, right_count: int, pairs: Sequence[Pair]):
+        self.left_count = left_count
+        self.right_count = right_count
+        self.pairs: tuple[Pair, ...] = tuple(sorted(pairs))
+        seen: set[tuple[int, int]] = set()
+        for pair in self.pairs:
+            if not (0 <= pair.left < left_count and 0 <= pair.right < right_count):
+                raise ValueError(f"pair {pair} outside sequence bounds")
+            key = (pair.left, pair.right)
+            if key in seen:
+                raise ValueError(f"duplicate pair ({pair.left}, {pair.right})")
+            seen.add(key)
+
+    def involved_left(self) -> set[int]:
+        return {pair.left for pair in self.pairs}
+
+    def involved_right(self) -> set[int]:
+        return {pair.right for pair in self.pairs}
+
+    def free_left(self) -> list[int]:
+        """Left elements with no allowed partner (always copied verbatim)."""
+        involved = self.involved_left()
+        return [i for i in range(self.left_count) if i not in involved]
+
+    def free_right(self) -> list[int]:
+        involved = self.involved_right()
+        return [j for j in range(self.right_count) if j not in involved]
+
+    def components(self) -> list[Component]:
+        """Connected components of the allowed-pair graph, in order of
+        their smallest left index."""
+        parent: dict[tuple[str, int], tuple[str, int]] = {}
+
+        def find(node: tuple[str, int]) -> tuple[str, int]:
+            root = node
+            while parent.setdefault(root, root) != root:
+                root = parent[root]
+            while parent[node] != root:
+                parent[node], node = root, parent[node]
+            return root
+
+        def union(a: tuple[str, int], b: tuple[str, int]) -> None:
+            parent[find(a)] = find(b)
+
+        for pair in self.pairs:
+            union(("L", pair.left), ("R", pair.right))
+
+        groups: dict[tuple[str, int], list[Pair]] = {}
+        for pair in self.pairs:
+            groups.setdefault(find(("L", pair.left)), []).append(pair)
+
+        components = []
+        for pairs in groups.values():
+            left = tuple(sorted({p.left for p in pairs}))
+            right = tuple(sorted({p.right for p in pairs}))
+            components.append(Component(left, right, tuple(sorted(pairs))))
+        components.sort(key=lambda c: c.left[0])
+        return components
+
+    def as_single_component(self) -> Component:
+        """The whole problem as one (possibly disconnected) component —
+        the paper-faithful *joint* representation."""
+        return Component(
+            tuple(sorted(self.involved_left())),
+            tuple(sorted(self.involved_right())),
+            self.pairs,
+        )
+
+
+def enumerate_matchings(
+    component: Component, *, limit: Optional[int] = None
+) -> list[Matching]:
+    """All injective matchings over the component's pairs, deterministic
+    order (depth-first over pairs sorted by index), empty matching first.
+
+    Raises :class:`ExplosionError` when more than ``limit`` matchings
+    exist (the count is known cheaply beforehand via
+    :func:`count_matchings`, so the guard triggers before any work).
+    """
+    if limit is not None:
+        total = count_matchings(component)
+        if total > limit:
+            raise ExplosionError(
+                f"{total} matchings exceed the possibility budget of {limit}",
+                estimated=total,
+            )
+    results: list[Matching] = []
+    pairs = component.pairs
+
+    def extend(index: int, used_left: set[int], used_right: set[int],
+               chosen: list[Pair]) -> None:
+        if index == len(pairs):
+            results.append(tuple(chosen))
+            return
+        pair = pairs[index]
+        # Branch 1: skip this pair.
+        extend(index + 1, used_left, used_right, chosen)
+        # Branch 2: take it, if both endpoints are free.
+        if pair.left not in used_left and pair.right not in used_right:
+            used_left.add(pair.left)
+            used_right.add(pair.right)
+            chosen.append(pair)
+            extend(index + 1, used_left, used_right, chosen)
+            chosen.pop()
+            used_left.discard(pair.left)
+            used_right.discard(pair.right)
+
+    extend(0, set(), set(), [])
+    results.sort(key=lambda matching: (len(matching), matching))
+    return results
+
+
+def matching_weight(matching: Matching, component: Component) -> Fraction:
+    """Unnormalised weight: Π_{p∈M} prob · Π_{p∈A∖M} (1−prob)."""
+    chosen = set(matching)
+    weight = ONE
+    for pair in component.pairs:
+        weight *= pair.prob if pair in chosen else (ONE - pair.prob)
+    return weight
+
+
+def matching_distribution(
+    component: Component, *, limit: Optional[int] = None
+) -> list[tuple[Matching, Fraction]]:
+    """Matchings with exact normalised probabilities (sum = 1)."""
+    matchings = enumerate_matchings(component, limit=limit)
+    weights = [matching_weight(matching, component) for matching in matchings]
+    total = sum(weights, ZERO)
+    if total == 0:
+        raise IntegrationConflict(
+            "all matchings have weight zero — contradictory pair probabilities"
+        )
+    return [
+        (matching, weight / total)
+        for matching, weight in zip(matchings, weights)
+        if weight > 0
+    ]
+
+
+# -- counting by dynamic programming ----------------------------------------
+
+def _mask_side(component: Component) -> tuple[dict[int, int], bool]:
+    """Choose the smaller side as the bitmask side.
+
+    Returns (index→bit position, left_is_mask_side).
+    """
+    if len(component.left) <= len(component.right):
+        side, left_is_mask = component.left, True
+    else:
+        side, left_is_mask = component.right, False
+    if len(side) > MAX_MASK_SIDE:
+        raise ExplosionError(
+            f"matching count DP needs 2^{len(side)} states; both sides of the"
+            f" component exceed {MAX_MASK_SIDE} elements"
+        )
+    return {index: bit for bit, index in enumerate(side)}, left_is_mask
+
+
+def _adjacency(
+    component: Component,
+    bits: Mapping[int, int],
+    left_is_mask: bool,
+    weights: Optional[Mapping[tuple[int, int], int]] = None,
+) -> dict[int, list[tuple[int, int]]]:
+    """For each sequential-side vertex: list of (mask-bit, weight)."""
+    adjacency: dict[int, list[tuple[int, int]]] = {}
+    for pair in component.pairs:
+        if left_is_mask:
+            sequential, masked = pair.right, pair.left
+        else:
+            sequential, masked = pair.left, pair.right
+        weight = 1 if weights is None else weights[(pair.left, pair.right)]
+        adjacency.setdefault(sequential, []).append((bits[masked], weight))
+    return adjacency
+
+
+def count_matchings_weighted(
+    component: Component,
+    weights: Optional[Mapping[tuple[int, int], int]] = None,
+) -> int:
+    """Σ over injective matchings of Π over matched pairs of weight(pair).
+
+    With unit weights this is the number of matchings.  Runs in
+    O(|sequential side| · 2^|mask side|); the mask side is the smaller one.
+    """
+    if not component.pairs:
+        return 1
+    bits, left_is_mask = _mask_side(component)
+    adjacency = _adjacency(component, bits, left_is_mask, weights)
+    # dp[mask] = total weight of matchings using exactly the masked
+    # vertices in `mask`, over the sequential vertices processed so far.
+    dp: dict[int, int] = {0: 1}
+    for sequential in sorted(adjacency):
+        updated = dict(dp)  # leaving `sequential` unmatched
+        for mask, ways in dp.items():
+            for bit, weight in adjacency[sequential]:
+                if not mask & (1 << bit):
+                    key = mask | (1 << bit)
+                    updated[key] = updated.get(key, 0) + ways * weight
+        dp = updated
+    return sum(dp.values())
+
+
+def count_matchings(component: Component) -> int:
+    """Exact number of injective matchings (including the empty one).
+
+    >>> pairs = tuple(Pair(i, j, Fraction(1, 2)) for i in range(2) for j in range(2))
+    >>> count_matchings(Component((0, 1), (0, 1), pairs))
+    7
+    """
+    return count_matchings_weighted(component, None)
+
+
+def _without(component: Component, left: int, right: int) -> Component:
+    """The component with one left and one right element removed."""
+    pairs = tuple(
+        pair
+        for pair in component.pairs
+        if pair.left != left and pair.right != right
+    )
+    return Component(
+        tuple(i for i in component.left if i != left),
+        tuple(j for j in component.right if j != right),
+        pairs,
+    )
+
+
+def count_matchings_containing(component: Component, pair: Pair) -> int:
+    """Number of matchings that include ``pair`` — the matchings of the
+    component with both endpoints removed."""
+    return count_matchings(_without(component, pair.left, pair.right))
+
+
+def matched_count_by_element(
+    component: Component,
+) -> tuple[dict[int, int], dict[int, int]]:
+    """For every element: in how many matchings is it matched?
+
+    Returns (left index → count, right index → count).  Used by the size
+    estimator: an element appears as an *unmatched copy* in
+    ``total − matched`` possibilities.
+    """
+    left_counts = {i: 0 for i in component.left}
+    right_counts = {j: 0 for j in component.right}
+    for pair in component.pairs:
+        with_pair = count_matchings_containing(component, pair)
+        left_counts[pair.left] += with_pair
+        right_counts[pair.right] += with_pair
+    return left_counts, right_counts

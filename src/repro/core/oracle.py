@@ -1,0 +1,168 @@
+""""The Oracle" (§IV-§V): turns knowledge rules into match probabilities.
+
+The Oracle "determines the probability that two XML elements refer to the
+same real-world object based on knowledge rules".  Its contract:
+
+* run the relevant rules in registration order;
+* the first absolute decision (MATCH / NO_MATCH) wins → probability 1 / 0;
+* with ``on_conflict="error"`` all rules are consulted and contradictory
+  absolute decisions raise :class:`IntegrationConflict` (useful when
+  debugging rule sets);
+* when every rule abstains the pair is *uncertain*: the returned
+  probability comes from the configured prior (a constant, or a
+  similarity-scaled estimate).
+
+The number of uncertain judgements is the paper's headline effectiveness
+metric ("only on two occasions The Oracle could not make an absolute
+decision") — exposed via :class:`MatchJudgement` so the integration report
+can count them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Sequence
+
+from ..errors import IntegrationConflict
+from ..probability import HALF, ONE, ZERO, ProbLike, as_probability
+from ..xmlkit.nodes import XElement
+from .rules import Decision, MatchContext, Rule
+from .similarity import title_similarity
+
+
+@dataclass(frozen=True)
+class MatchJudgement:
+    """The Oracle's verdict on one pair of elements."""
+
+    probability: Fraction
+    fired_rules: tuple[str, ...]
+
+    @property
+    def is_certain_match(self) -> bool:
+        return self.probability == ONE
+
+    @property
+    def is_certain_no_match(self) -> bool:
+        return self.probability == ZERO
+
+    @property
+    def is_uncertain(self) -> bool:
+        return ZERO < self.probability < ONE
+
+
+class ConstantPrior:
+    """Uncertain pairs get a fixed prior probability (default ½ — maximum
+    ignorance, the demo's default)."""
+
+    def __init__(self, probability: ProbLike = HALF):
+        self.probability = as_probability(probability)
+        if self.probability in (ZERO, ONE):
+            raise ValueError("an uncertain prior must be strictly between 0 and 1")
+
+    def __call__(self, a: XElement, b: XElement, context: MatchContext) -> Fraction:
+        return self.probability
+
+
+class SimilarityPrior:
+    """Uncertain pairs get a prior scaled by the similarity of a child
+    field (default: title), clamped into [floor, ceiling].
+
+    This is how 'Mission: Impossible' vs 'Mission: Impossible II' ends up
+    *possible but unlikely* — the "II may be a typing mistake" effect that
+    produces the 21 % answer in §VI.
+    """
+
+    def __init__(
+        self,
+        field: str = "title",
+        *,
+        floor: float = 0.05,
+        ceiling: float = 0.95,
+        measure: Callable[[str, str], float] = title_similarity,
+    ):
+        if not 0.0 <= floor < ceiling <= 1.0:
+            raise ValueError("need 0 <= floor < ceiling <= 1")
+        self.field = field
+        self.floor = floor
+        self.ceiling = ceiling
+        self.measure = measure
+
+    def __call__(self, a: XElement, b: XElement, context: MatchContext) -> Fraction:
+        child_a, child_b = a.find(self.field), b.find(self.field)
+        if child_a is None or child_b is None:
+            return HALF
+        similarity = self.measure(child_a.text(), child_b.text())
+        clamped = min(max(similarity, self.floor), self.ceiling)
+        return as_probability(round(clamped, 6))
+
+
+PriorFn = Callable[[XElement, XElement, MatchContext], Fraction]
+
+
+class Oracle:
+    """Rule combiner: element pair → match probability.
+
+    >>> from repro.xmlkit.nodes import element
+    >>> from repro.core.rules import DeepEqualRule, LeafValueRule
+    >>> oracle = Oracle([DeepEqualRule(), LeafValueRule()])
+    >>> a, b = element("genre", "Action"), element("genre", "Action")
+    >>> oracle.judge(a, b, MatchContext(tag="genre")).probability
+    Fraction(1, 1)
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        *,
+        prior: Optional[PriorFn] = None,
+        on_conflict: str = "first",
+    ):
+        if on_conflict not in ("first", "error"):
+            raise ValueError("on_conflict must be 'first' or 'error'")
+        self.rules = list(rules)
+        self.prior: PriorFn = prior or ConstantPrior()
+        self.on_conflict = on_conflict
+
+    def with_rules(self, rules: Sequence[Rule]) -> "Oracle":
+        """A copy of this oracle with a different rule list."""
+        return Oracle(rules, prior=self.prior, on_conflict=self.on_conflict)
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> MatchJudgement:
+        """Judge whether ``a`` and ``b`` refer to the same real-world
+        object.  Elements of different tags never match."""
+        if a.tag != b.tag:
+            return MatchJudgement(ZERO, ("tag-mismatch",))
+        decisions: list[tuple[str, Decision]] = []
+        for rule in self.rules:
+            if not rule.relevant(a.tag):
+                continue
+            decision = rule.judge(a, b, context)
+            if decision is None:
+                continue
+            decisions.append((rule.name, decision))
+            if self.on_conflict == "first":
+                break
+        if decisions:
+            if self.on_conflict == "error":
+                kinds = {decision for _, decision in decisions}
+                if len(kinds) > 1:
+                    conflict = ", ".join(
+                        f"{name}→{decision.value}" for name, decision in decisions
+                    )
+                    raise IntegrationConflict(
+                        f"rules disagree on <{a.tag}> pair: {conflict}"
+                    )
+            name, decision = decisions[0]
+            probability = ONE if decision is Decision.MATCH else ZERO
+            return MatchJudgement(probability, (name,))
+        prior = self.prior(a, b, context)
+        # A prior must not fabricate certainty the rules did not provide:
+        # clamp degenerate priors strictly inside (0, 1).
+        if prior == ZERO:
+            prior = Fraction(1, 100)
+        elif prior == ONE:
+            prior = Fraction(99, 100)
+        return MatchJudgement(prior, ())

@@ -1,0 +1,247 @@
+"""Knowledge-rule framework and the paper's generic rules (§V).
+
+Rules "make statements about when, with certainty, two elements match or
+not": a rule inspects a pair of same-tag elements and returns
+:data:`Decision.MATCH`, :data:`Decision.NO_MATCH`, or ``None`` (abstain).
+The Oracle runs rules in order and the first absolute decision wins; when
+every rule abstains, the pair stays *uncertain* and integration keeps both
+possibilities.
+
+The paper's generic rules and where they live:
+
+* "Two deep-equal elements refer to the same rwo" — :class:`DeepEqualRule`;
+* "No two siblings in one source refer to the same rwo" — not a rule
+  object: it is the *injectivity* of matchings enforced by
+  :mod:`repro.core.matching` (an element of one source pairs with at most
+  one element of the other, and siblings of the same source never merge).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..xmlkit.dtd import DTD
+from ..xmlkit.nodes import XElement, XText, deep_equal
+from .similarity import person_name_similarity
+
+
+class Decision(enum.Enum):
+    """An absolute judgement on a pair of elements."""
+
+    MATCH = "match"
+    NO_MATCH = "no-match"
+
+
+@dataclass
+class MatchContext:
+    """What a rule may look at besides the two elements themselves."""
+
+    parent_tag: Optional[str] = None
+    tag: Optional[str] = None
+    dtd: Optional[DTD] = None
+    depth: int = 0
+    source_a: str = "a"
+    source_b: str = "b"
+
+
+class Rule:
+    """Base class for knowledge rules.
+
+    Subclasses implement :meth:`judge`; ``applies_to`` restricts a rule to
+    specific element tags (None = any tag).  Rules must be *deterministic*
+    and side-effect free: the oracle may call them in any order and the
+    analytic size estimator re-runs them.
+    """
+
+    name: str = "rule"
+    applies_to: Optional[frozenset[str]] = None
+
+    def relevant(self, tag: str) -> bool:
+        return self.applies_to is None or tag in self.applies_to
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def _leaf_text(element: XElement) -> Optional[str]:
+    """The text of a leaf element (no element children), else None."""
+    if element.child_elements():
+        return None
+    return element.text().strip()
+
+
+class DeepEqualRule(Rule):
+    """Generic: two deep-equal elements refer to the same real-world
+    object.  Abstains otherwise (inequality proves nothing)."""
+
+    name = "deep-equal"
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        if deep_equal(a, b):
+            return Decision.MATCH
+        return None
+
+
+class LeafValueRule(Rule):
+    """Generic fallback for *leaf* elements (genres, phone numbers …):
+    equal text matches, different text does not.
+
+    Registered after domain rules, it stops every differing leaf pair from
+    becoming an uncertain choice point — without it, integration would
+    consider "Action" and "Horror" possibly the same genre.  Non-leaf
+    elements abstain.
+    """
+
+    name = "leaf-value"
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        text_a, text_b = _leaf_text(a), _leaf_text(b)
+        if text_a is None or text_b is None:
+            return None
+        return Decision.MATCH if text_a == text_b else Decision.NO_MATCH
+
+
+class KeyFieldRule(Rule):
+    """Treat a child element as a key: equal key text ⇒ MATCH, different
+    key text ⇒ NO_MATCH, missing on either side ⇒ abstain.
+
+    ``KeyFieldRule("movie", "title")`` is the strict cousin of the paper's
+    title rule (useful when sources are typo-free).
+    """
+
+    def __init__(self, tag: str, key_child: str, *, name: Optional[str] = None):
+        self.applies_to = frozenset({tag})
+        self.key_child = key_child
+        self.name = name or f"key[{tag}.{key_child}]"
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        key_a, key_b = a.find(self.key_child), b.find(self.key_child)
+        if key_a is None or key_b is None:
+            return None
+        return (
+            Decision.MATCH
+            if key_a.text().strip() == key_b.text().strip()
+            else Decision.NO_MATCH
+        )
+
+
+class PersonNameRule(Rule):
+    """Person-name leaves match when their *normalised* names agree
+    ('McTiernan, John' ≡ 'John McTiernan'); clearly different names do not
+    match; near-misses (similarity above ``uncertain_above``) abstain, i.e.
+    stay uncertain — a possible typo.
+    """
+
+    def __init__(
+        self,
+        tags: tuple[str, ...] = ("director",),
+        *,
+        uncertain_above: float = 0.90,
+    ):
+        self.applies_to = frozenset(tags)
+        self.uncertain_above = uncertain_above
+        self.name = f"person-name[{','.join(sorted(tags))}]"
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        text_a, text_b = _leaf_text(a), _leaf_text(b)
+        if text_a is None or text_b is None:
+            return None
+        similarity = person_name_similarity(text_a, text_b)
+        if similarity == 1.0:
+            return Decision.MATCH
+        if similarity >= self.uncertain_above:
+            return None
+        return Decision.NO_MATCH
+
+
+class TextReconciler:
+    """Resolves a leaf-value conflict between two *matched* elements when
+    the two texts are different renderings of the same value.
+
+    When two matched leaves disagree, the engine asks its reconcilers
+    first; a non-None result becomes the certain merged value, otherwise
+    the conflict turns into a probability node (two possibilities).  This
+    distinction keeps convention differences ("John McTiernan" vs
+    "McTiernan, John") from fabricating possible worlds, while genuine
+    conflicts (phone 1111 vs 2222) stay uncertain.
+    """
+
+    name: str = "reconciler"
+    applies_to: Optional[frozenset[str]] = None
+
+    def relevant(self, tag: str) -> bool:
+        return self.applies_to is None or tag in self.applies_to
+
+    def reconcile(self, tag: str, text_a: str, text_b: str) -> Optional[str]:
+        raise NotImplementedError
+
+
+class PersonNameReconciler(TextReconciler):
+    """Same person under different name conventions → keep source a's
+    rendering (source preference is arbitrary but deterministic)."""
+
+    def __init__(self, tags: tuple[str, ...] = ("director",)):
+        self.applies_to = frozenset(tags)
+        self.name = f"person-name-reconciler[{','.join(sorted(tags))}]"
+
+    def reconcile(self, tag: str, text_a: str, text_b: str) -> Optional[str]:
+        from .similarity import normalize_person_name
+
+        if normalize_person_name(text_a) == normalize_person_name(text_b):
+            return text_a
+        return None
+
+
+class CaseInsensitiveReconciler(TextReconciler):
+    """Case-only differences are renderings, not conflicts."""
+
+    name = "case-insensitive-reconciler"
+
+    def __init__(self, tags: Optional[tuple[str, ...]] = None):
+        self.applies_to = frozenset(tags) if tags else None
+
+    def reconcile(self, tag: str, text_a: str, text_b: str) -> Optional[str]:
+        if text_a.lower() == text_b.lower():
+            return text_a
+        return None
+
+
+class PredicateRule(Rule):
+    """Ad-hoc rule from a callable, for tests and user-supplied knowledge.
+
+    >>> same_len = PredicateRule(
+    ...     "same-length",
+    ...     lambda a, b, ctx: Decision.MATCH if a.text() == b.text() else None,
+    ... )
+    """
+
+    def __init__(
+        self,
+        name: str,
+        judge_fn: Callable[[XElement, XElement, MatchContext], Optional[Decision]],
+        *,
+        tags: Optional[tuple[str, ...]] = None,
+    ):
+        self.name = name
+        self._judge_fn = judge_fn
+        self.applies_to = frozenset(tags) if tags else None
+
+    def judge(
+        self, a: XElement, b: XElement, context: MatchContext
+    ) -> Optional[Decision]:
+        return self._judge_fn(a, b, context)

@@ -1,0 +1,46 @@
+"""Synthetic data sources standing in for the paper's IMDB and MPEG-7
+extracts (§V).
+
+The real extracts were never published; these generators reproduce the
+*matching problem* they pose instead of their bytes:
+
+* three franchises the paper names — Jaws, Die Hard, Mission: Impossible —
+  with sequels, TV shows and other confusable variants sharing title
+  tokens;
+* the two sources disagree on director-name conventions ("John McTiernan"
+  vs "McTiernan, John") so records are never deep-equal;
+* a *typical conditions* catalog of distinct 1995 movies where only the
+  intended two pairs stay ambiguous;
+* the Figure 2 address books.
+
+All generators are deterministic (seeded) so experiments are exactly
+reproducible.
+"""
+
+from .movies import (
+    MovieRecord,
+    confusing_imdb_records,
+    confusing_mpeg7_six,
+    sequels_six_imdb,
+    typical_imdb_records,
+    typical_mpeg7_six,
+)
+from .imdb import imdb_document, MOVIE_DTD
+from .mpeg7 import mpeg7_document
+from .addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from .perturb import typo
+
+__all__ = [
+    "MovieRecord",
+    "confusing_mpeg7_six",
+    "sequels_six_imdb",
+    "confusing_imdb_records",
+    "typical_mpeg7_six",
+    "typical_imdb_records",
+    "imdb_document",
+    "mpeg7_document",
+    "MOVIE_DTD",
+    "addressbook_documents",
+    "ADDRESSBOOK_DTD",
+    "typo",
+]

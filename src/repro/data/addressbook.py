@@ -1,0 +1,51 @@
+"""The Figure 2 address books.
+
+Two sources, both containing a person named "John" with different phone
+numbers; the DTD says a person has exactly one phone — so integration
+must produce exactly the paper's three possible worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xmlkit.dtd import DTD, parse_dtd
+from ..xmlkit.nodes import XDocument, XElement
+
+ADDRESSBOOK_DTD: DTD = parse_dtd(
+    """
+    <!ELEMENT addressbook (person*)>
+    <!ELEMENT person (nm, tel)>
+    <!ELEMENT nm (#PCDATA)>
+    <!ELEMENT tel (#PCDATA)>
+    """
+)
+
+
+def _book(entries: Sequence[tuple[str, str]]) -> XDocument:
+    root = XElement("addressbook")
+    for name, telephone in entries:
+        root.append(
+            XElement(
+                "person",
+                children=[
+                    XElement("nm", children=[name]),
+                    XElement("tel", children=[telephone]),
+                ],
+            )
+        )
+    return XDocument(root)
+
+
+def addressbook_documents(
+    entries_a: Sequence[tuple[str, str]] = (("John", "1111"),),
+    entries_b: Sequence[tuple[str, str]] = (("John", "2222"),),
+) -> tuple[XDocument, XDocument]:
+    """The two address books of Figure 2 (customisable for larger
+    experiments: pass lists of (name, phone) pairs).
+
+    >>> book_a, book_b = addressbook_documents()
+    >>> book_a.root.child_elements("person")[0].find("nm").text()
+    'John'
+    """
+    return _book(entries_a), _book(entries_b)

@@ -1,0 +1,89 @@
+"""IMDB-style rendering of movie records.
+
+Conventions of this source (the ones the paper says "never match exactly"
+against the other source):
+
+* director and cast names in ``"Family, Given"`` order;
+* carries ``runtime`` and ``kind`` fields the MPEG-7 source lacks.
+
+Schemas are assumed aligned (§III): both sources use the same element
+names for the fields they share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..xmlkit.dtd import DTD, parse_dtd
+from ..xmlkit.nodes import XDocument, XElement
+from .movies import MovieRecord
+from .perturb import typo
+
+#: The movie schema used by both sources (the aligned view).
+MOVIE_DTD: DTD = parse_dtd(
+    """
+    <!ELEMENT movies (movie*)>
+    <!ELEMENT movie (title, year?, genre*, director*, actor*, runtime?, kind?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT genre (#PCDATA)>
+    <!ELEMENT director (#PCDATA)>
+    <!ELEMENT actor (#PCDATA)>
+    <!ELEMENT runtime (#PCDATA)>
+    <!ELEMENT kind (#PCDATA)>
+    """
+)
+
+
+def family_first(name: str) -> str:
+    """'John McTiernan' → 'McTiernan, John' (single-token names pass
+    through)."""
+    parts = name.split()
+    if len(parts) < 2:
+        return name
+    return f"{parts[-1]}, {' '.join(parts[:-1])}"
+
+
+def _movie_element(
+    record: MovieRecord, *, typo_titles: frozenset[str], seed: int
+) -> XElement:
+    movie = XElement("movie")
+    title = record.title
+    if record.title in typo_titles:
+        title = typo(title, seed=seed)
+    movie.append(XElement("title", children=[title]))
+    movie.append(XElement("year", children=[str(record.year)]))
+    for genre in record.genres:
+        movie.append(XElement("genre", children=[genre]))
+    for director in record.directors:
+        movie.append(XElement("director", children=[family_first(director)]))
+    for actor in record.cast:
+        movie.append(XElement("actor", children=[family_first(actor)]))
+    if record.runtime is not None:
+        movie.append(XElement("runtime", children=[str(record.runtime)]))
+    movie.append(XElement("kind", children=[record.kind]))
+    return movie
+
+
+def imdb_document(
+    records: Sequence[MovieRecord],
+    *,
+    typo_titles: Iterable[str] = (),
+    seed: int = 42,
+) -> XDocument:
+    """Render records as the IMDB source document.
+
+    ``typo_titles`` injects a deterministic typo into the named titles —
+    used to exercise the title rule's tolerance ("the possibility that the
+    'II' may be a typing mistake", §VI).
+
+    >>> from repro.data.movies import sequels_six_imdb
+    >>> doc = imdb_document(sequels_six_imdb())
+    >>> doc.root.tag
+    'movies'
+    """
+    titles = frozenset(typo_titles)
+    root = XElement("movies")
+    for index, record in enumerate(records):
+        root.append(_movie_element(record, typo_titles=titles, seed=seed + index))
+    return XDocument(root)

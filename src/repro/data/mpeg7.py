@@ -1,0 +1,60 @@
+"""MPEG-7-style rendering of movie records.
+
+Conventions of this source:
+
+* director and cast names in natural ``"Given Family"`` order (the
+  disagreement with IMDB's ``"Family, Given"`` that makes records never
+  deep-equal, §V);
+* no ``runtime``/``kind`` fields (thinner records, like a real MPEG-7
+  description scheme extract would carry different descriptors).
+
+Element names for shared fields are identical to the IMDB rendering —
+schema alignment is assumed by the paper (§III).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..xmlkit.nodes import XDocument, XElement
+from .movies import MovieRecord
+from .perturb import typo
+
+
+def _movie_element(
+    record: MovieRecord, *, typo_titles: frozenset[str], seed: int
+) -> XElement:
+    movie = XElement("movie")
+    title = record.title
+    if record.title in typo_titles:
+        title = typo(title, seed=seed)
+    movie.append(XElement("title", children=[title]))
+    movie.append(XElement("year", children=[str(record.year)]))
+    for genre in record.genres:
+        movie.append(XElement("genre", children=[genre]))
+    for director in record.directors:
+        movie.append(XElement("director", children=[director]))
+    for actor in record.cast[:1]:
+        # The MPEG-7 extract lists at most the lead actor.
+        movie.append(XElement("actor", children=[actor]))
+    return movie
+
+
+def mpeg7_document(
+    records: Sequence[MovieRecord],
+    *,
+    typo_titles: Iterable[str] = (),
+    seed: int = 7,
+) -> XDocument:
+    """Render records as the MPEG-7 source document.
+
+    >>> from repro.data.movies import confusing_mpeg7_six
+    >>> doc = mpeg7_document(confusing_mpeg7_six())
+    >>> len(doc.root.child_elements("movie"))
+    6
+    """
+    titles = frozenset(typo_titles)
+    root = XElement("movies")
+    for index, record in enumerate(records):
+        root.append(_movie_element(record, typo_titles=titles, seed=seed + index))
+    return XDocument(root)

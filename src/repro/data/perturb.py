@@ -1,0 +1,44 @@
+"""Deterministic noise injection.
+
+Experiments that probe rule robustness ("no typos occur in genres"
+presumes typos occur elsewhere) need reproducible imperfections; all
+perturbations here are pure functions of (text, seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def typo(text: str, *, seed: int = 0) -> str:
+    """Introduce one deterministic typo: swap two adjacent alphabetic
+    characters (strings shorter than 4 letters get a dropped character
+    instead; strings shorter than 2 are returned unchanged).
+
+    >>> typo("Mission", seed=1) != "Mission"
+    True
+    >>> typo("a")
+    'a'
+    """
+    if len(text) < 2:
+        return text
+    rng = random.Random(seed)
+    positions = [
+        index
+        for index in range(len(text) - 1)
+        if text[index].isalpha() and text[index + 1].isalpha()
+    ]
+    if not positions:
+        return text
+    if len(text) < 4:
+        drop = rng.choice(range(len(text)))
+        return text[:drop] + text[drop + 1:]
+    index = rng.choice(positions)
+    swapped = text[index + 1] + text[index]
+    return text[:index] + swapped + text[index + 2:]
+
+
+def drop_field_marker(value: str) -> str:
+    """Strip punctuation — simulates sources that normalise titles
+    differently ('Mission: Impossible' vs 'Mission Impossible')."""
+    return " ".join("".join(c for c in value if c.isalnum() or c.isspace()).split())

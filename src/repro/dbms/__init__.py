@@ -1,0 +1,26 @@
+"""DBMS substrate: the reproduction's stand-in for MonetDB/XQuery (§IV).
+
+The original IMPrECISE is "built as XQuery modules on top of the XML DBMS
+MonetDB/XQuery" (Figure 4).  This package supplies the same three layers:
+
+* :mod:`repro.dbms.store` — named document collections with optional
+  on-disk persistence (plain XML and probabilistic XML);
+* :mod:`repro.dbms.module` — the "IMPrECISE module": integration,
+  querying, statistics and feedback over stored documents;
+* :mod:`repro.dbms.xq` — a small FLWOR query layer (for/let/where/order
+  by/return) evaluated over plain documents and, by possible-world
+  semantics, over probabilistic ones.
+"""
+
+from .store import DocumentStore
+from .module import ImpreciseModule
+from .xq import FLWORQuery, evaluate_flwor, evaluate_flwor_ranked, parse_flwor
+
+__all__ = [
+    "DocumentStore",
+    "ImpreciseModule",
+    "FLWORQuery",
+    "parse_flwor",
+    "evaluate_flwor",
+    "evaluate_flwor_ranked",
+]

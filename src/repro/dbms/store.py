@@ -1,0 +1,143 @@
+"""Named document collections with optional on-disk persistence.
+
+Documents are either plain (:class:`XDocument`) or probabilistic
+(:class:`PXDocument`); the store keeps both behind one namespace, persists
+them as ``<name>.xml`` / ``<name>.pxml`` files when a directory is given,
+and loads lazily with an in-memory cache.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import StoreError
+from ..pxml.model import PXDocument
+from ..pxml.serialize import parse_pxml, pxml_to_text
+from ..xmlkit.nodes import XDocument
+from ..xmlkit.parser import parse_document
+from ..xmlkit.serializer import serialize
+
+StoredDocument = Union[XDocument, PXDocument]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise StoreError(
+            f"invalid document name {name!r}"
+            " (letters, digits, '_', '.', '-'; max 128 chars)"
+        )
+    return name
+
+
+class DocumentStore:
+    """A collection of named documents.
+
+    >>> store = DocumentStore()            # in-memory
+    >>> from repro.xmlkit import parse_document
+    >>> store.put("movies", parse_document("<movies/>"))
+    >>> store.kind("movies")
+    'xml'
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._cache: dict[str, StoredDocument] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _path(self, name: str, kind: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        suffix = ".pxml" if kind == "pxml" else ".xml"
+        return self.directory / f"{name}{suffix}"
+
+    def _find_file(self, name: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        for suffix in (".pxml", ".xml"):
+            candidate = self.directory / f"{name}{suffix}"
+            if candidate.exists():
+                return candidate
+        return None
+
+    # -- operations ---------------------------------------------------------
+
+    def put(self, name: str, document: StoredDocument) -> None:
+        """Store (and persist, when directory-backed) a document."""
+        _check_name(name)
+        if not isinstance(document, (XDocument, PXDocument)):
+            raise StoreError(
+                f"cannot store {type(document).__name__};"
+                " expected XDocument or PXDocument"
+            )
+        self._cache[name] = document
+        if self.directory is None:
+            return
+        kind = "pxml" if isinstance(document, PXDocument) else "xml"
+        # Remove a stale file of the other kind before writing.
+        other = self._path(name, "xml" if kind == "pxml" else "pxml")
+        if other is not None and other.exists():
+            other.unlink()
+        path = self._path(name, kind)
+        assert path is not None
+        if isinstance(document, PXDocument):
+            path.write_text(pxml_to_text(document), encoding="utf-8")
+        else:
+            path.write_text(serialize(document), encoding="utf-8")
+
+    def get(self, name: str) -> StoredDocument:
+        """Fetch a document; raises :class:`StoreError` when missing."""
+        _check_name(name)
+        if name in self._cache:
+            return self._cache[name]
+        path = self._find_file(name)
+        if path is None:
+            raise StoreError(f"no document named {name!r}")
+        text = path.read_text(encoding="utf-8")
+        document: StoredDocument
+        if path.suffix == ".pxml":
+            document = parse_pxml(text)
+        else:
+            document = parse_document(text)
+        self._cache[name] = document
+        return document
+
+    def kind(self, name: str) -> str:
+        """'xml' or 'pxml'."""
+        document = self.get(name)
+        return "pxml" if isinstance(document, PXDocument) else "xml"
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            _check_name(name)
+        except StoreError:
+            return False
+        if name in self._cache:
+            return True
+        return self._find_file(name) is not None
+
+    def list(self) -> list[str]:
+        """All document names, sorted."""
+        names = set(self._cache)
+        if self.directory is not None:
+            for path in self.directory.iterdir():
+                if path.suffix in (".xml", ".pxml"):
+                    names.add(path.stem)
+        return sorted(names)
+
+    def delete(self, name: str) -> None:
+        _check_name(name)
+        found = name in self._cache
+        self._cache.pop(name, None)
+        path = self._find_file(name)
+        if path is not None:
+            path.unlink()
+            found = True
+        if not found:
+            raise StoreError(f"no document named {name!r}")

@@ -1,0 +1,216 @@
+"""FLWOR-lite: a small XQuery-style layer over the XPath engine.
+
+Supports ``for``/``let``/``where``/``order by``/``return`` with XPath
+expressions in all operand positions::
+
+    for $m in //movie
+    where $m/year = "1995"
+    order by $m/title
+    return $m/title
+
+Over plain documents the evaluation is direct; over probabilistic
+documents :func:`evaluate_flwor_ranked` applies the possible-worlds
+definition (evaluate per world, amalgamate ranked answers) — mirroring how
+the original system ran XQuery on MonetDB beneath the probabilistic
+module.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import XPathSyntaxError
+from ..pxml.model import PXDocument
+from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
+from ..query.ranking import RankedAnswer, RankedItem, merge_ranked
+from ..xmlkit.nodes import XDocument, XElement, XText
+from ..xmlkit.xpath import XPath
+from ..xmlkit.xpath.evaluator import as_boolean, as_number, as_string
+
+_KEYWORDS = ("for", "let", "where", "order by", "return")
+_KEYWORD_RE = re.compile(r"\b(for|let|where|order\s+by|return)\b")
+_FOR_RE = re.compile(r"^\$(\w[\w.-]*)\s+in\s+(.+)$", re.DOTALL)
+_LET_RE = re.compile(r"^\$(\w[\w.-]*)\s*:=\s*(.+)$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Clause:
+    kind: str                   # 'for' | 'let' | 'where' | 'order-by'
+    variable: Optional[str]     # for/let
+    expression: XPath
+    descending: bool = False    # order-by
+
+
+@dataclass(frozen=True)
+class FLWORQuery:
+    clauses: tuple[Clause, ...]
+    return_expression: XPath
+    source: str
+
+
+def _split_clauses(text: str) -> list[tuple[str, str]]:
+    """Split the query into (keyword, body) pieces, respecting quotes."""
+    pieces: list[tuple[str, int, int]] = []  # (keyword, keyword_end, start)
+    in_quote: Optional[str] = None
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if in_quote:
+            if char == in_quote:
+                in_quote = None
+            index += 1
+            continue
+        if char in ("'", '"'):
+            in_quote = char
+            index += 1
+            continue
+        match = _KEYWORD_RE.match(text, index)
+        boundary_ok = index == 0 or not (text[index - 1].isalnum() or text[index - 1] in "_$@")
+        if match and boundary_ok:
+            keyword = "order by" if match.group(1).startswith("order") else match.group(1)
+            pieces.append((keyword, index, match.end()))
+            index = match.end()
+            continue
+        index += 1
+    if not pieces:
+        raise XPathSyntaxError("not a FLWOR query (no clauses found)", text=text)
+    result: list[tuple[str, str]] = []
+    for position, (keyword, start, body_start) in enumerate(pieces):
+        body_end = pieces[position + 1][1] if position + 1 < len(pieces) else len(text)
+        result.append((keyword, text[body_start:body_end].strip()))
+    leading = text[: pieces[0][1]].strip()
+    if leading:
+        raise XPathSyntaxError(f"unexpected text before first clause: {leading!r}")
+    return result
+
+
+def parse_flwor(text: str) -> FLWORQuery:
+    """Parse a FLWOR query.
+
+    >>> query = parse_flwor('for $m in //movie return $m/title')
+    >>> [clause.kind for clause in query.clauses]
+    ['for']
+    """
+    clauses: list[Clause] = []
+    return_expression: Optional[XPath] = None
+    for keyword, body in _split_clauses(text):
+        if return_expression is not None:
+            raise XPathSyntaxError("'return' must be the final clause")
+        if keyword == "for":
+            match = _FOR_RE.match(body)
+            if match is None:
+                raise XPathSyntaxError(f"malformed for clause: {body!r}")
+            clauses.append(Clause("for", match.group(1), XPath(match.group(2))))
+        elif keyword == "let":
+            match = _LET_RE.match(body)
+            if match is None:
+                raise XPathSyntaxError(f"malformed let clause: {body!r}")
+            clauses.append(Clause("let", match.group(1), XPath(match.group(2))))
+        elif keyword == "where":
+            clauses.append(Clause("where", None, XPath(body)))
+        elif keyword == "order by":
+            descending = False
+            stripped = body
+            if stripped.endswith("descending"):
+                descending = True
+                stripped = stripped[: -len("descending")].strip()
+            elif stripped.endswith("ascending"):
+                stripped = stripped[: -len("ascending")].strip()
+            clauses.append(Clause("order-by", None, XPath(stripped), descending))
+        elif keyword == "return":
+            return_expression = XPath(body)
+    if return_expression is None:
+        raise XPathSyntaxError("FLWOR query needs a return clause")
+    if not any(clause.kind == "for" for clause in clauses):
+        raise XPathSyntaxError("FLWOR query needs at least one for clause")
+    return FLWORQuery(tuple(clauses), return_expression, text)
+
+
+def _sort_key(value: Any) -> tuple:
+    text = as_string(value)
+    number = as_number(text)
+    if number == number:  # not NaN → numeric sort slot
+        return (0, number, text)
+    return (1, 0.0, text)
+
+
+def evaluate_flwor(
+    document: XDocument, query: FLWORQuery | str
+) -> list[Any]:
+    """Run a FLWOR query on a plain document; returns the flattened
+    sequence of return-expression results (nodes and/or atomic values)."""
+    if isinstance(query, str):
+        query = parse_flwor(query)
+    environments: list[dict[str, Any]] = [{}]
+    for clause in query.clauses:
+        if clause.kind == "for":
+            expanded: list[dict[str, Any]] = []
+            for environment in environments:
+                value = clause.expression.evaluate(document, environment)
+                items = value if isinstance(value, list) else [value]
+                for item in items:
+                    bound = dict(environment)
+                    bound[clause.variable] = item
+                    expanded.append(bound)
+            environments = expanded
+        elif clause.kind == "let":
+            for environment in environments:
+                environment[clause.variable] = clause.expression.evaluate(
+                    document, environment
+                )
+        elif clause.kind == "where":
+            environments = [
+                environment
+                for environment in environments
+                if as_boolean(clause.expression.evaluate(document, environment))
+            ]
+        elif clause.kind == "order-by":
+            environments.sort(
+                key=lambda environment: _sort_key(
+                    clause.expression.evaluate(document, environment)
+                ),
+                reverse=clause.descending,
+            )
+    results: list[Any] = []
+    for environment in environments:
+        value = query.return_expression.evaluate(document, environment)
+        if isinstance(value, list):
+            results.extend(value)
+        else:
+            results.append(value)
+    return results
+
+
+def _result_string(value: Any) -> str:
+    if isinstance(value, XElement):
+        return value.text()
+    if isinstance(value, XText):
+        return value.value
+    return as_string(value)
+
+
+def evaluate_flwor_ranked(
+    document: PXDocument,
+    query: FLWORQuery | str,
+    *,
+    limit: Optional[int] = DEFAULT_WORLD_LIMIT,
+) -> RankedAnswer:
+    """Possible-worlds FLWOR over a probabilistic document: evaluate in
+    every world, merge distinct result strings, rank by probability."""
+    if isinstance(query, str):
+        query = parse_flwor(query)
+    items: list[RankedItem] = []
+    for world in iter_worlds(document, limit=limit):
+        values = {
+            text
+            for text in (
+                _result_string(value)
+                for value in evaluate_flwor(world.document, query)
+            )
+            if text
+        }
+        for text in values:
+            items.append(RankedItem(text, world.probability))
+    return merge_ranked(items)

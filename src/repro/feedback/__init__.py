@@ -1,0 +1,22 @@
+"""User feedback on query answers (§I, §VII and the paper's ref [4]).
+
+"Feedback on query answers can be traced back to possible worlds and be
+used to remove data related to impossible worlds from the database, hence
+incrementally improving the integration result."  The demo paper states
+the mechanism "has not been implemented" — this package implements it, as
+the reproduction's extension deliverable.
+"""
+
+from .conditioning import (
+    FeedbackSession,
+    FeedbackStep,
+    condition_on_assignment,
+    condition_on_event,
+)
+
+__all__ = [
+    "FeedbackSession",
+    "FeedbackStep",
+    "condition_on_event",
+    "condition_on_assignment",
+]

@@ -1,0 +1,97 @@
+"""Converters between plain XML and probabilistic XML.
+
+The central convention set here (and relied on throughout integration and
+node counting): a *certain* plain element maps to a probabilistic element
+where **each child gets its own certain probability node** — one choice
+point per child position.  Choices that integration later introduces group
+several children under a single shared probability node instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..errors import ModelError
+from ..probability import ONE, ProbLike, as_probability
+from ..xmlkit.nodes import XDocument, XElement, XText, XChild
+from .model import PXChild, PXDocument, PXElement, PXText, Possibility, ProbNode
+
+
+def certain_prob(children: Union[PXChild, Sequence[PXChild]]) -> ProbNode:
+    """Wrap regular node(s) into a certain probability node (1 possibility,
+    probability 1)."""
+    if isinstance(children, (PXElement, PXText)):
+        children = [children]
+    return ProbNode([Possibility(ONE, list(children))])
+
+
+def choice_prob(
+    alternatives: Sequence[tuple[ProbLike, Sequence[PXChild]]]
+) -> ProbNode:
+    """Build a choice point from ``(probability, children)`` alternatives.
+
+    >>> from repro.pxml import world_count, PXDocument
+    >>> tel = choice_prob([("1/2", [PXText("1111")]), ("1/2", [PXText("2222")])])
+    >>> len(tel.possibilities)
+    2
+    """
+    if not alternatives:
+        raise ModelError("a choice needs at least one alternative")
+    node = ProbNode()
+    for prob, children in alternatives:
+        node.append(Possibility(as_probability(prob), list(children)))
+    return node
+
+
+def certain_element(element: XElement) -> PXElement:
+    """Convert a plain element subtree into its certain probabilistic form."""
+    children = [
+        certain_prob(_convert_child(child))
+        for child in element.children
+        if not (isinstance(child, XText) and not child.value.strip())
+    ]
+    return PXElement(element.tag, dict(element.attributes), children)
+
+
+def _convert_child(child: XChild) -> PXChild:
+    if isinstance(child, XText):
+        return PXText(child.value)
+    return certain_element(child)
+
+
+def certain_document(document: XDocument) -> PXDocument:
+    """Wrap a plain document as a (certain) probabilistic document; its root
+    probability node has a single possibility holding the root element."""
+    return PXDocument(certain_prob(certain_element(document.root)))
+
+
+def to_certain(node: Union[PXDocument, ProbNode, PXElement, PXText]) -> object:
+    """Convert a *certain* probabilistic subtree back to plain XML.
+
+    Raises :class:`ModelError` when any real choice remains.  Documents map
+    to :class:`XDocument`, elements to :class:`XElement`, text to
+    :class:`XText`; a certain probability node maps to the list of plain
+    children of its single possibility.
+    """
+    if isinstance(node, PXDocument):
+        children = to_certain(node.root)
+        elements = [c for c in children if isinstance(c, XElement)]
+        if len(elements) != 1:
+            raise ModelError("certain document must have exactly one root element")
+        return XDocument(elements[0])
+    if isinstance(node, ProbNode):
+        if len(node.possibilities) != 1 or node.possibilities[0].prob != ONE:
+            raise ModelError(
+                f"probability node ▽{node.uid} is uncertain"
+                f" ({len(node.possibilities)} possibilities)"
+            )
+        return [to_certain(child) for child in node.possibilities[0].children]
+    if isinstance(node, PXElement):
+        element = XElement(node.tag, dict(node.attributes))
+        for prob_child in node.children:
+            for plain in to_certain(prob_child):
+                element.append(plain)
+        return element
+    if isinstance(node, PXText):
+        return XText(node.value)
+    raise ModelError(f"cannot convert {type(node).__name__}")

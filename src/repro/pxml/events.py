@@ -1,0 +1,383 @@
+"""Event algebra over probabilistic-XML choice variables.
+
+Every probability node ▽ is an independent random variable whose outcomes
+are its possibility indices; ``Lit(node, index)`` is the event "▽ chose
+possibility *index*".  Events are boolean combinations of literals and are
+what the query engine computes: "value v appears in the answer" is an OR
+over occurrence events, each a conjunction of the choices that make the
+occurrence exist and satisfy the query predicate.
+
+**Guardedness contract.** Possible-world semantics only assigns choices to
+*reachable* probability nodes.  Event probabilities computed here treat all
+variables as always-present and independent, which agrees with world
+semantics as long as events are *guarded*: a literal for a node may only
+matter in conjunction with the literals that make the node reachable.
+Events produced by path traversal (existence events) are guarded by
+construction; the test suite cross-checks event probabilities against
+world enumeration.
+
+Probability computation is exact (:class:`fractions.Fraction`) via
+recursive Shannon expansion over the variables, with memoization on a
+canonical form of the conditioned event.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Union
+
+from ..errors import ProbabilityError
+from ..probability import ONE, ZERO
+from .model import ProbNode
+
+
+class Event:
+    """Base class for events.  Use the module-level constructors
+    (:func:`lit`, :func:`all_of`, :func:`any_of`, :func:`none_of`) rather
+    than instantiating subclasses directly — they simplify on the fly."""
+
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def variables(self) -> set[int]:
+        """uids of the probability nodes this event mentions."""
+        raise NotImplementedError
+
+    def assign(self, uid: int, index: int) -> "Event":
+        """The event conditioned on variable ``uid`` choosing ``index``."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        """Truth value under a complete assignment (uid -> index)."""
+        raise NotImplementedError
+
+    # Convenient operators -------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Event":
+        return all_of([self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        return any_of([self, other])
+
+    def __invert__(self) -> "Event":
+        return negate(self)
+
+
+class _TrueEvent(Event):
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        return ("T",)
+
+    def variables(self) -> set[int]:
+        return set()
+
+    def assign(self, uid: int, index: int) -> Event:
+        return self
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class _FalseEvent(Event):
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        return ("F",)
+
+    def variables(self) -> set[int]:
+        return set()
+
+    def assign(self, uid: int, index: int) -> Event:
+        return self
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE_EVENT = _TrueEvent()
+FALSE_EVENT = _FalseEvent()
+
+
+class Lit(Event):
+    """The event "probability node ``node`` chose possibility ``index``"."""
+
+    __slots__ = ("node", "index")
+
+    def __init__(self, node: ProbNode, index: int):
+        if not 0 <= index < len(node.possibilities):
+            raise ProbabilityError(
+                f"possibility index {index} out of range for ▽{node.uid}"
+            )
+        self.node = node
+        self.index = index
+
+    def key(self) -> tuple:
+        return ("L", self.node.uid, self.index)
+
+    def variables(self) -> set[int]:
+        return {self.node.uid}
+
+    def assign(self, uid: int, index: int) -> Event:
+        if uid != self.node.uid:
+            return self
+        return TRUE_EVENT if index == self.index else FALSE_EVENT
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return assignment.get(self.node.uid) == self.index
+
+    def __repr__(self) -> str:
+        return f"(▽{self.node.uid}={self.index})"
+
+
+class Not(Event):
+    __slots__ = ("operand", "_key", "_vars")
+
+    def __init__(self, operand: Event):
+        self.operand = operand
+        self._key = None
+        self._vars = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = ("N", self.operand.key())
+        return self._key
+
+    def variables(self) -> set[int]:
+        if self._vars is None:
+            self._vars = self.operand.variables()
+        return self._vars
+
+    def assign(self, uid: int, index: int) -> Event:
+        return negate(self.operand.assign(uid, index))
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+class And(Event):
+    __slots__ = ("operands", "_key", "_vars")
+
+    def __init__(self, operands: tuple[Event, ...]):
+        self.operands = operands
+        self._key = None
+        self._vars = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = ("A",) + tuple(sorted(op.key() for op in self.operands))
+        return self._key
+
+    def variables(self) -> set[int]:
+        if self._vars is None:
+            result: set[int] = set()
+            for op in self.operands:
+                result |= op.variables()
+            self._vars = result
+        return self._vars
+
+    def assign(self, uid: int, index: int) -> Event:
+        return all_of([op.assign(uid, index) for op in self.operands])
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(Event):
+    __slots__ = ("operands", "_key", "_vars")
+
+    def __init__(self, operands: tuple[Event, ...]):
+        self.operands = operands
+        self._key = None
+        self._vars = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = ("O",) + tuple(sorted(op.key() for op in self.operands))
+        return self._key
+
+    def variables(self) -> set[int]:
+        if self._vars is None:
+            result: set[int] = set()
+            for op in self.operands:
+                result |= op.variables()
+            self._vars = result
+        return self._vars
+
+    def assign(self, uid: int, index: int) -> Event:
+        return any_of([op.assign(uid, index) for op in self.operands])
+
+    def evaluate(self, assignment: dict[int, int]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(op) for op in self.operands) + ")"
+
+
+# -- simplifying constructors ------------------------------------------------
+
+def lit(node: ProbNode, index: int) -> Event:
+    """Literal constructor.  A literal on a single-possibility node is
+    simply TRUE (the choice is forced)."""
+    if len(node.possibilities) == 1:
+        return TRUE_EVENT
+    return Lit(node, index)
+
+
+def negate(event: Event) -> Event:
+    if event is TRUE_EVENT:
+        return FALSE_EVENT
+    if event is FALSE_EVENT:
+        return TRUE_EVENT
+    if isinstance(event, Not):
+        return event.operand
+    return Not(event)
+
+
+def all_of(events: Iterable[Event]) -> Event:
+    """Conjunction with flattening, deduplication and contradiction
+    detection (a node cannot choose two different possibilities)."""
+    flat: list[Event] = []
+    seen: set[tuple] = set()
+    chosen: dict[int, int] = {}
+    for event in events:
+        if event is FALSE_EVENT:
+            return FALSE_EVENT
+        if event is TRUE_EVENT:
+            continue
+        parts = event.operands if isinstance(event, And) else (event,)
+        for part in parts:
+            if part is FALSE_EVENT:
+                return FALSE_EVENT
+            if part is TRUE_EVENT:
+                continue
+            if isinstance(part, Lit):
+                uid = part.node.uid
+                if uid in chosen and chosen[uid] != part.index:
+                    return FALSE_EVENT
+                chosen[uid] = part.index
+            key = part.key()
+            if key not in seen:
+                seen.add(key)
+                flat.append(part)
+    if not flat:
+        return TRUE_EVENT
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def any_of(events: Iterable[Event]) -> Event:
+    """Disjunction with flattening and deduplication."""
+    flat: list[Event] = []
+    seen: set[tuple] = set()
+    for event in events:
+        if event is TRUE_EVENT:
+            return TRUE_EVENT
+        if event is FALSE_EVENT:
+            continue
+        parts = event.operands if isinstance(event, Or) else (event,)
+        for part in parts:
+            if part is TRUE_EVENT:
+                return TRUE_EVENT
+            if part is FALSE_EVENT:
+                continue
+            key = part.key()
+            if key not in seen:
+                seen.add(key)
+                flat.append(part)
+    if not flat:
+        return FALSE_EVENT
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def none_of(events: Iterable[Event]) -> Event:
+    """¬(e₁ ∨ e₂ ∨ …)."""
+    return negate(any_of(events))
+
+
+# -- exact probability ----------------------------------------------------------
+
+def _collect_nodes(event: Event, registry: dict[int, ProbNode]) -> None:
+    if isinstance(event, Lit):
+        registry.setdefault(event.node.uid, event.node)
+    elif isinstance(event, Not):
+        _collect_nodes(event.operand, registry)
+    elif isinstance(event, (And, Or)):
+        for op in event.operands:
+            _collect_nodes(op, registry)
+
+
+def _count_occurrences(event: Event, counts: dict[int, int]) -> None:
+    if isinstance(event, Lit):
+        counts[event.node.uid] = counts.get(event.node.uid, 0) + 1
+    elif isinstance(event, Not):
+        _count_occurrences(event.operand, counts)
+    elif isinstance(event, (And, Or)):
+        for op in event.operands:
+            _count_occurrences(op, counts)
+
+
+def event_probability(
+    event: Event, *, _memo: Optional[dict[tuple, Fraction]] = None
+) -> Fraction:
+    """Exact probability of ``event`` under independent choices.
+
+    Recursive Shannon expansion: condition on the *most frequently
+    mentioned* variable (ties by uid), recurse on each possibility,
+    combine with that possibility's probability.  Frequency ordering
+    matters: query events are ORs of occurrence conjunctions that all
+    share their top-level choice variable, so splitting on it first
+    collapses every branch — min-uid ordering can instead split on
+    branch-local variables and go exponential.  Memoized on the canonical
+    event key so structurally shared subproblems collapse.
+    """
+    if event is TRUE_EVENT:
+        return ONE
+    if event is FALSE_EVENT:
+        return ZERO
+    memo = _memo if _memo is not None else {}
+    key = event.key()
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    registry: dict[int, ProbNode] = {}
+    _collect_nodes(event, registry)
+    if not registry:
+        # No literals left but not a constant — cannot happen with the
+        # simplifying constructors; fail loudly rather than guess.
+        raise ProbabilityError(f"non-constant event without variables: {event!r}")
+    counts: dict[int, int] = {}
+    _count_occurrences(event, counts)
+    uid = max(registry, key=lambda candidate: (counts.get(candidate, 0), -candidate))
+    node = registry[uid]
+    total = ZERO
+    for index, possibility in enumerate(node.possibilities):
+        if possibility.prob == 0:
+            continue
+        conditioned = event.assign(uid, index)
+        total += possibility.prob * event_probability(conditioned, _memo=memo)
+    memo[key] = total
+    return total
+
+
+def conjunction_of_path(lits: Iterable[Event]) -> Event:
+    """Convenience alias used by traversals: AND of path literals."""
+    return all_of(lits)

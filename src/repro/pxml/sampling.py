@@ -1,0 +1,71 @@
+"""Monte-Carlo sampling of possible worlds.
+
+When a document holds too many worlds to enumerate, queries and quality
+measures can be estimated from samples.  Sampling walks the tree once per
+world, drawing one possibility at every reachable probability node, so a
+sample costs O(size of the sampled world).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Iterator, Optional
+
+from ..probability import ONE
+from ..xmlkit.nodes import XChild, XDocument, XElement, XText
+from ..errors import ModelError
+from .model import PXDocument, PXElement, PXText, Possibility, ProbNode
+from .worlds import World
+
+
+def _draw(node: ProbNode, rng: random.Random) -> tuple[int, Possibility]:
+    roll = Fraction(rng.random()).limit_denominator(10**12)
+    cumulative = Fraction(0)
+    for index, possibility in enumerate(node.possibilities):
+        cumulative += possibility.prob
+        if roll < cumulative:
+            return index, possibility
+    return len(node.possibilities) - 1, node.possibilities[-1]
+
+
+def _sample_prob(node: ProbNode, rng: random.Random, prob_acc: list[Fraction]) -> list[XChild]:
+    _, possibility = _draw(node, rng)
+    prob_acc[0] *= possibility.prob
+    children: list[XChild] = []
+    for child in possibility.children:
+        if isinstance(child, PXText):
+            children.append(XText(child.value))
+        else:
+            children.append(_sample_element(child, rng, prob_acc))
+    return children
+
+
+def _sample_element(
+    element: PXElement, rng: random.Random, prob_acc: list[Fraction]
+) -> XElement:
+    result = XElement(element.tag, dict(element.attributes))
+    for prob_child in element.children:
+        for child in _sample_prob(prob_child, rng, prob_acc):
+            result.append(child)
+    return result
+
+
+def sample_world(document: PXDocument, rng: Optional[random.Random] = None) -> World:
+    """Draw one world with probability proportional to its likelihood."""
+    rng = rng or random.Random()
+    prob_acc = [ONE]
+    children = _sample_prob(document.root, rng, prob_acc)
+    elements = [child for child in children if isinstance(child, XElement)]
+    if len(elements) != 1:
+        raise ModelError("a root possibility must expand to exactly one element")
+    return World(XDocument(elements[0]), prob_acc[0])
+
+
+def sample_worlds(
+    document: PXDocument, count: int, *, seed: Optional[int] = None
+) -> Iterator[World]:
+    """Draw ``count`` independent worlds (deterministic under ``seed``)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield sample_world(document, rng)

@@ -1,0 +1,133 @@
+"""Wire format for probabilistic XML.
+
+Probabilistic trees round-trip through plain XML using two reserved tags
+(the spelling MonetDB-era tools used namespaces for; our plain parser keeps
+the prefix literal):
+
+* ``<p:prob>`` — a probability node;
+* ``<p:poss prob="1/3">`` — a possibility with its probability (exact
+  fraction or decimal string).
+
+Everything else is ordinary XML.  Example::
+
+    <p:prob>
+      <p:poss prob="1/2">
+        <person>
+          <p:prob><p:poss prob="1"><nm>John</nm></p:poss></p:prob>
+        </person>
+      </p:poss>
+      ...
+    </p:prob>
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..xmlkit.nodes import XDocument, XElement, XText
+from ..xmlkit.parser import parse_document
+from ..xmlkit.serializer import serialize, serialize_pretty
+from .model import PXChild, PXDocument, PXElement, PXText, Possibility, ProbNode
+
+PROB_TAG = "p:prob"
+POSS_TAG = "p:poss"
+PROB_ATTR = "prob"
+
+
+def pxml_to_xml(node: PXDocument | ProbNode | PXElement) -> XElement:
+    """Encode a probabilistic subtree as plain XML."""
+    if isinstance(node, PXDocument):
+        return _encode_prob(node.root)
+    if isinstance(node, ProbNode):
+        return _encode_prob(node)
+    if isinstance(node, PXElement):
+        element = XElement(node.tag, dict(node.attributes))
+        for child in node.children:
+            element.append(_encode_prob(child))
+        return element
+    raise ModelError(f"cannot serialize {type(node).__name__}")
+
+
+def _encode_prob(node: ProbNode) -> XElement:
+    wrapper = XElement(PROB_TAG)
+    for possibility in node.possibilities:
+        poss = XElement(POSS_TAG, {PROB_ATTR: str(possibility.prob)})
+        buffer: list[str] = []
+        for child in possibility.children:
+            if isinstance(child, PXText):
+                # Adjacent text runs merge on the wire (the parser cannot
+                # tell them apart, and worlds concatenate them anyway).
+                buffer.append(child.value)
+                continue
+            if buffer:
+                poss.append(XText("".join(buffer)))
+                buffer = []
+            poss.append(pxml_to_xml(child))
+        if buffer:
+            poss.append(XText("".join(buffer)))
+        wrapper.append(poss)
+    return wrapper
+
+
+def pxml_to_text(document: PXDocument, *, pretty: bool = False) -> str:
+    """Serialize a probabilistic document to XML text."""
+    encoded = _encode_prob(document.root)
+    return serialize_pretty(encoded) if pretty else serialize(encoded)
+
+
+def xml_to_pxml(element: XElement) -> ProbNode:
+    """Decode the plain-XML encoding back into a probabilistic tree."""
+    if element.tag != PROB_TAG:
+        raise ModelError(f"expected <{PROB_TAG}> root, got <{element.tag}>")
+    return _decode_prob(element)
+
+
+def _decode_prob(element: XElement) -> ProbNode:
+    node = ProbNode()
+    for child in element.children:
+        if isinstance(child, XText):
+            if child.value.strip():
+                raise ModelError(f"unexpected text inside <{PROB_TAG}>")
+            continue
+        if child.tag != POSS_TAG:
+            raise ModelError(
+                f"children of <{PROB_TAG}> must be <{POSS_TAG}>, got <{child.tag}>"
+            )
+        prob = child.attributes.get(PROB_ATTR)
+        if prob is None:
+            raise ModelError(f"<{POSS_TAG}> missing {PROB_ATTR!r} attribute")
+        possibility = Possibility(prob)
+        for grandchild in child.children:
+            if isinstance(grandchild, XText):
+                if grandchild.value.strip():
+                    possibility.append(PXText(grandchild.value))
+            else:
+                possibility.append(_decode_element(grandchild))
+        node.append(possibility)
+    return node
+
+
+def _decode_element(element: XElement) -> PXElement:
+    if element.tag in (PROB_TAG, POSS_TAG):
+        raise ModelError(f"misplaced <{element.tag}>")
+    result = PXElement(element.tag, dict(element.attributes))
+    for child in element.children:
+        if isinstance(child, XText):
+            if child.value.strip():
+                raise ModelError(
+                    f"text under <{element.tag}> must be wrapped in a"
+                    f" possibility (found {child.value!r})"
+                )
+            continue
+        result.append(_decode_prob(child))
+    return result
+
+
+def parse_pxml(text: str) -> PXDocument:
+    """Parse the XML encoding of a probabilistic document.
+
+    >>> doc = parse_pxml('<p:prob><p:poss prob="1"><a/></p:poss></p:prob>')
+    >>> doc.is_certain()
+    True
+    """
+    document = parse_document(text)
+    return PXDocument(xml_to_pxml(document.root))

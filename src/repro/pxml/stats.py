@@ -1,0 +1,139 @@
+"""Uncertainty and size metrics for probabilistic trees.
+
+The paper (§V) argues that the number of *nodes* used to represent the
+possible worlds is the honest scalability measure (world counts grow
+exponentially in the number of independent choices and therefore
+"deceive").  Table I and Figure 5 are therefore node-count experiments;
+:func:`tree_stats` produces everything those benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from ..probability import ONE
+from .model import PXDocument, PXElement, PXText, Possibility, ProbNode
+from .worlds import world_count
+
+AnyPX = Union[PXDocument, ProbNode, Possibility, PXElement, PXText]
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Node census of a probabilistic tree."""
+
+    probability_nodes: int
+    possibility_nodes: int
+    element_nodes: int
+    text_nodes: int
+    choice_points: int        # probability nodes with >1 possibility
+    max_branching: int        # largest possibility count at one node
+    world_count: int          # exact number of (choice) worlds
+
+    @property
+    def total(self) -> int:
+        """Total node count — the paper's scalability measure."""
+        return (
+            self.probability_nodes
+            + self.possibility_nodes
+            + self.element_nodes
+            + self.text_nodes
+        )
+
+    @property
+    def regular_nodes(self) -> int:
+        return self.element_nodes + self.text_nodes
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} nodes"
+            f" ({self.probability_nodes}▽ {self.possibility_nodes}○"
+            f" {self.element_nodes}elem {self.text_nodes}text),"
+            f" {self.choice_points} choice points,"
+            f" {self.world_count} worlds"
+        )
+
+
+def node_count(node: AnyPX) -> int:
+    """Total number of nodes (probability + possibility + regular)."""
+    if isinstance(node, PXDocument):
+        return node.root.node_count()
+    return node.node_count()
+
+
+def _census(node: AnyPX, counts: list[int]) -> None:
+    # counts = [prob, poss, elem, text, choice_points, max_branching]
+    if isinstance(node, PXDocument):
+        _census(node.root, counts)
+    elif isinstance(node, ProbNode):
+        counts[0] += 1
+        branching = len(node.possibilities)
+        if branching > 1:
+            counts[4] += 1
+        counts[5] = max(counts[5], branching)
+        for possibility in node.possibilities:
+            _census(possibility, counts)
+    elif isinstance(node, Possibility):
+        counts[1] += 1
+        for child in node.children:
+            _census(child, counts)
+    elif isinstance(node, PXElement):
+        counts[2] += 1
+        for child in node.children:
+            _census(child, counts)
+    elif isinstance(node, PXText):
+        counts[3] += 1
+    else:
+        raise TypeError(f"cannot census {type(node).__name__}")
+
+
+def tree_stats(node: AnyPX) -> NodeStats:
+    """Full census of a probabilistic tree.
+
+    >>> from repro.pxml import certain_document
+    >>> from repro.xmlkit import parse_document
+    >>> stats = tree_stats(certain_document(parse_document("<a><b>x</b></a>")))
+    >>> (stats.total, stats.world_count)
+    (9, 1)
+    """
+    counts = [0, 0, 0, 0, 0, 0]
+    _census(node, counts)
+    worlds = world_count(node if not isinstance(node, Possibility) else node)
+    return NodeStats(
+        probability_nodes=counts[0],
+        possibility_nodes=counts[1],
+        element_nodes=counts[2],
+        text_nodes=counts[3],
+        choice_points=counts[4],
+        max_branching=counts[5],
+        world_count=worlds,
+    )
+
+
+def expected_world_size(node: AnyPX) -> Fraction:
+    """Expected number of plain-XML nodes of a random world.
+
+    Computed bottom-up in one pass: E[size of a probability node's
+    expansion] = Σᵢ pᵢ · E[size of possibility i], elements add 1 plus the
+    sum of their children's expectations.
+    """
+    if isinstance(node, PXDocument):
+        return expected_world_size(node.root)
+    if isinstance(node, PXText):
+        return Fraction(1)
+    if isinstance(node, PXElement):
+        return Fraction(1) + sum(
+            (expected_world_size(child) for child in node.children), Fraction(0)
+        )
+    if isinstance(node, Possibility):
+        return sum(
+            (expected_world_size(child) for child in node.children), Fraction(0)
+        )
+    if isinstance(node, ProbNode):
+        return sum(
+            (p.prob * expected_world_size(p) for p in node.possibilities),
+            Fraction(0),
+        )
+    raise TypeError(f"cannot size {type(node).__name__}")

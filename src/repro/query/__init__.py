@@ -1,0 +1,43 @@
+"""Probabilistic querying (§VI): ranked, amalgamated answers.
+
+"In theory, the semantics of a query is the set of possible answers
+obtained by evaluating the query in each of the possible worlds
+separately.  […] we can construct an amalgamated answer by merging and
+ranking the elements of all possible answers."
+
+Two implementations with identical semantics (cross-checked by tests):
+
+* :func:`query_enumeration` — the definition, literally: evaluate the
+  XPath in every world, merge answer values, sum world probabilities;
+* :class:`ProbQueryEngine` — compile the query over the probabilistic
+  tree into event expressions and compute exact probabilities without
+  enumerating worlds.
+"""
+
+from .ranking import RankedAnswer, RankedItem
+from .engine import ProbQueryEngine, query_enumeration
+from .quality import AnswerQuality, answer_quality, precision_recall_at
+from .aggregates import (
+    count_distribution,
+    count_distribution_enumerated,
+    count_quantile,
+    expected_count,
+)
+from .approximate import ApproximateAnswer, ApproximateItem, approximate_query
+
+__all__ = [
+    "RankedItem",
+    "RankedAnswer",
+    "ProbQueryEngine",
+    "query_enumeration",
+    "AnswerQuality",
+    "answer_quality",
+    "precision_recall_at",
+    "count_distribution",
+    "count_distribution_enumerated",
+    "expected_count",
+    "count_quantile",
+    "ApproximateItem",
+    "ApproximateAnswer",
+    "approximate_query",
+]

@@ -1,0 +1,182 @@
+"""Exact distributions of aggregate queries over probabilistic XML.
+
+A count query (``count(//movie)``) has no single answer on an uncertain
+document — it has a *distribution*.  For structural counts (no predicates
+coupling distinct subtrees) the distribution is computable exactly by a
+bottom-up convolution over the tree, without enumerating worlds:
+
+* a text node contributes a constant;
+* an element contributes its own indicator plus the *convolution* of its
+  children's distributions (children are independent given the element
+  exists);
+* a probability node contributes the *mixture* of its possibilities'
+  distributions.
+
+For queries whose predicates couple subtrees, use
+:func:`count_distribution_enumerated` (the per-world definition) — the
+test suite checks both agree wherever both apply.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Union
+
+from ..errors import QueryError
+from ..probability import ONE, ZERO
+from ..pxml.model import PXDocument, PXElement, PXText, Possibility, ProbNode
+from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
+from ..xmlkit.xpath import XPath
+
+#: A distribution over non-negative integer counts.
+CountDistribution = dict[int, Fraction]
+
+
+def _convolve(a: CountDistribution, b: CountDistribution) -> CountDistribution:
+    result: CountDistribution = {}
+    for count_a, prob_a in a.items():
+        for count_b, prob_b in b.items():
+            key = count_a + count_b
+            result[key] = result.get(key, ZERO) + prob_a * prob_b
+    return result
+
+
+def _mixture(parts: list[tuple[Fraction, CountDistribution]]) -> CountDistribution:
+    result: CountDistribution = {}
+    for weight, distribution in parts:
+        for count, prob in distribution.items():
+            result[count] = result.get(count, ZERO) + weight * prob
+    return result
+
+
+class _StructuralCounter:
+    """Counts elements matching (tag, optional leaf-text equality) — the
+    fragment with exact tree-convolution semantics."""
+
+    def __init__(self, tag: str, text: Optional[str] = None):
+        self.tag = tag
+        self.text = text
+
+    def matches(self, element: PXElement) -> Optional[bool]:
+        if self.tag != "*" and element.tag != self.tag:
+            return False
+        if self.text is None:
+            return True
+        return None  # needs the text realisation — handled in traversal
+
+    def count_element(self, element: PXElement) -> CountDistribution:
+        own: CountDistribution
+        verdict = self.matches(element)
+        if verdict is False:
+            own = {0: ONE}
+        elif verdict is True:
+            own = {1: ONE}
+        else:
+            own = self._text_indicator(element)
+        total = own
+        for prob_child in element.children:
+            total = _convolve(total, self.count_prob(prob_child))
+        return total
+
+    def _text_indicator(self, element: PXElement) -> CountDistribution:
+        """P(element's string value equals the target text) for leaf-ish
+        elements: mixture over the element's direct text choices."""
+        hit = ZERO
+        miss = ZERO
+        if not element.children:
+            return {1 if self.text == "" else 0: ONE}
+        if len(element.children) != 1:
+            raise QueryError(
+                "text-matching counts support single-choice leaves only;"
+                " use count_distribution_enumerated for general shapes"
+            )
+        for possibility in element.children[0].possibilities:
+            texts = [
+                child.value
+                for child in possibility.children
+                if isinstance(child, PXText)
+            ]
+            if any(isinstance(c, PXElement) for c in possibility.children):
+                raise QueryError(
+                    "text-matching counts support leaf elements only;"
+                    " use count_distribution_enumerated for general shapes"
+                )
+            value = "".join(texts).strip()
+            if value == self.text:
+                hit += possibility.prob
+            else:
+                miss += possibility.prob
+        distribution: CountDistribution = {}
+        if miss > 0:
+            distribution[0] = miss
+        if hit > 0:
+            distribution[1] = hit
+        return distribution
+
+    def count_prob(self, node: ProbNode) -> CountDistribution:
+        parts = []
+        for possibility in node.possibilities:
+            branch: CountDistribution = {0: ONE}
+            for child in possibility.children:
+                if isinstance(child, PXElement):
+                    branch = _convolve(branch, self.count_element(child))
+            parts.append((possibility.prob, branch))
+        return _mixture(parts)
+
+
+def count_distribution(
+    document: PXDocument,
+    tag: str,
+    *,
+    text: Optional[str] = None,
+) -> CountDistribution:
+    """Exact distribution of ``count(//tag)`` (optionally of elements whose
+    text equals ``text``), computed by tree convolution.
+
+    >>> from repro.pxml import certain_document
+    >>> from repro.xmlkit import parse_document
+    >>> doc = certain_document(parse_document("<r><m/><m/></r>"))
+    >>> count_distribution(doc, "m")
+    {2: Fraction(1, 1)}
+    """
+    counter = _StructuralCounter(tag, text)
+    distribution = counter.count_prob(document.root)
+    return dict(sorted(distribution.items()))
+
+
+def count_distribution_enumerated(
+    document: PXDocument,
+    expression: str,
+    *,
+    limit: Optional[int] = DEFAULT_WORLD_LIMIT,
+) -> CountDistribution:
+    """Distribution of ``count(<expression>)`` by per-world evaluation —
+    the reference semantics, supporting arbitrary XPath."""
+    xpath = XPath(expression)
+    distribution: CountDistribution = {}
+    for world in iter_worlds(document, limit=limit):
+        result = xpath.evaluate(world.document)
+        if not isinstance(result, list):
+            raise QueryError("count queries must select nodes")
+        key = len(result)
+        distribution[key] = distribution.get(key, ZERO) + world.probability
+    return dict(sorted(distribution.items()))
+
+
+def expected_count(distribution: CountDistribution) -> Fraction:
+    """Mean of a count distribution."""
+    return sum((Fraction(count) * prob for count, prob in distribution.items()), ZERO)
+
+
+def count_quantile(distribution: CountDistribution, quantile: Fraction) -> int:
+    """Smallest count c with P(count ≤ c) ≥ quantile."""
+    if not ZERO <= quantile <= ONE:
+        raise QueryError(f"quantile {quantile} outside [0, 1]")
+    cumulative = ZERO
+    last = 0
+    for count in sorted(distribution):
+        cumulative += distribution[count]
+        last = count
+        if cumulative >= quantile:
+            return count
+    return last

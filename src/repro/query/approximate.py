@@ -1,0 +1,117 @@
+"""Monte-Carlo approximate querying.
+
+For documents whose event computation or enumeration is too heavy,
+answers can be estimated by sampling worlds: each sampled world is a plain
+document, the query runs on it with the ordinary XPath engine, and value
+frequencies estimate the answer probabilities.  Estimates carry a
+standard-error column so callers can decide whether the sample suffices
+— "good is good enough" applies to evaluation effort too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..errors import QueryError
+from ..pxml.model import PXDocument
+from ..pxml.sampling import sample_worlds
+from ..xmlkit.nodes import XElement, XText
+from ..xmlkit.xpath import XPath
+from .ranking import RankedAnswer, RankedItem
+
+
+@dataclass(frozen=True)
+class ApproximateItem:
+    """One estimated answer value."""
+
+    value: str
+    estimate: float
+    standard_error: float
+    hits: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate * 100:5.1f}% ±{self.standard_error * 100:4.1f}%"
+            f"  {self.value}"
+        )
+
+
+@dataclass
+class ApproximateAnswer:
+    """Sampled ranked answer with per-item standard errors."""
+
+    items: list[ApproximateItem]
+    samples: int
+
+    def values(self) -> list[str]:
+        return [item.value for item in self.items]
+
+    def estimate_of(self, value: str) -> float:
+        for item in self.items:
+            if item.value == value:
+                return item.estimate
+        return 0.0
+
+    def as_ranked(self) -> RankedAnswer:
+        """Drop the error bars (e.g. to feed quality measures)."""
+        return RankedAnswer(
+            [
+                RankedItem(
+                    item.value,
+                    Fraction(item.hits, self.samples),
+                    item.hits,
+                )
+                for item in self.items
+            ]
+        )
+
+    def as_table(self) -> str:
+        if not self.items:
+            return "(empty answer)"
+        return "\n".join(str(item) for item in self.items)
+
+
+def approximate_query(
+    document: PXDocument,
+    expression: str,
+    *,
+    samples: int = 1000,
+    seed: Optional[int] = None,
+) -> ApproximateAnswer:
+    """Estimate the ranked answer from ``samples`` sampled worlds.
+
+    The standard error per value is the binomial one,
+    ``sqrt(p̂(1−p̂)/n)`` — exact enough for ranking decisions at a few
+    hundred samples.
+    """
+    if samples <= 0:
+        raise QueryError("sample count must be positive")
+    xpath = XPath(expression)
+    hits: dict[str, int] = {}
+    for world in sample_worlds(document, samples, seed=seed):
+        result = xpath.evaluate(world.document)
+        if not isinstance(result, list):
+            raise QueryError("probabilistic queries must select nodes")
+        values = set()
+        for node in result:
+            if isinstance(node, XElement):
+                value = node.text()
+            elif isinstance(node, XText):
+                value = node.value
+            else:
+                value = getattr(node, "value", "")
+            if value:
+                values.add(value)
+        for value in values:
+            hits[value] = hits.get(value, 0) + 1
+
+    items = []
+    for value, count in hits.items():
+        estimate = count / samples
+        error = math.sqrt(estimate * (1.0 - estimate) / samples)
+        items.append(ApproximateItem(value, estimate, error, count))
+    items.sort(key=lambda item: (-item.estimate, item.value))
+    return ApproximateAnswer(items, samples)

@@ -1,0 +1,88 @@
+"""Answer-quality measures for probabilistic query results.
+
+The demo "measure[s] answer quality with adapted precision and recall
+measures" (§VII, citing de Keijzer & van Keulen, *Quality measures in
+uncertain data management*, SUM 2007).  The adaptation: answers are not
+sets but probability-weighted collections, so precision weighs each
+returned value by its probability, and recall credits each expected value
+with the probability it was returned.
+
+For answer ``A = {(v, p_v)}`` and expected (ground-truth) set ``T``::
+
+    precision = Σ_{v ∈ A∩T} p_v / Σ_{v ∈ A} p_v
+    recall    = Σ_{v ∈ T} p_v / |T|          (p_v = 0 when v ∉ A)
+    f1        = harmonic mean of the two
+
+A *certain*, correct and complete answer scores 1/1/1; hedging on wrong
+values lowers precision smoothly instead of abruptly; failing to return an
+expected value at any probability lowers recall.  :func:`precision_recall_at`
+additionally evaluates the classical crisp measures after thresholding,
+which is how "good is good enough" can be quantified against a cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from ..probability import ZERO
+from .ranking import RankedAnswer
+
+
+@dataclass(frozen=True)
+class AnswerQuality:
+    """Probability-weighted precision/recall/F1 of one answer."""
+
+    precision: Fraction
+    recall: Fraction
+
+    @property
+    def f1(self) -> Fraction:
+        if self.precision + self.recall == 0:
+            return ZERO
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def summary(self) -> str:
+        return (
+            f"precision={float(self.precision):.3f}"
+            f" recall={float(self.recall):.3f}"
+            f" f1={float(self.f1):.3f}"
+        )
+
+
+def answer_quality(answer: RankedAnswer, expected: Iterable[str]) -> AnswerQuality:
+    """Probability-weighted precision and recall against a ground truth.
+
+    >>> from repro.query.ranking import RankedAnswer, RankedItem
+    >>> from fractions import Fraction
+    >>> answer = RankedAnswer([RankedItem("Jaws", Fraction(97, 100))])
+    >>> quality = answer_quality(answer, {"Jaws", "Jaws 2"})
+    >>> float(quality.precision), float(quality.recall)
+    (1.0, 0.485)
+    """
+    truth = set(expected)
+    if not truth and not answer.items:
+        return AnswerQuality(Fraction(1), Fraction(1))
+    returned_mass = sum((item.probability for item in answer.items), ZERO)
+    correct_mass = sum(
+        (item.probability for item in answer.items if item.value in truth), ZERO
+    )
+    precision = correct_mass / returned_mass if returned_mass else Fraction(1)
+    recall = correct_mass / len(truth) if truth else Fraction(1)
+    return AnswerQuality(precision, recall)
+
+
+def precision_recall_at(
+    answer: RankedAnswer, expected: Iterable[str], threshold: float | Fraction
+) -> AnswerQuality:
+    """Crisp precision/recall after keeping only values with probability ≥
+    ``threshold`` (each kept value counts fully)."""
+    truth = set(expected)
+    kept = {item.value for item in answer.above(threshold)}
+    if not kept:
+        precision = Fraction(1) if not truth else ZERO
+    else:
+        precision = Fraction(len(kept & truth), len(kept))
+    recall = Fraction(len(kept & truth), len(truth)) if truth else Fraction(1)
+    return AnswerQuality(precision, recall)

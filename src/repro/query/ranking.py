@@ -1,0 +1,87 @@
+"""Amalgamated ranked answers.
+
+A probabilistic query returns, for each distinct answer *value*, the exact
+probability that the value occurs in the answer of a randomly drawn world.
+The paper displays these as percentage-ranked lists::
+
+    100% Die Hard: With a Vengeance
+     96% Mission: Impossible II
+     21% Mission: Impossible
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Optional
+
+from ..probability import format_percent
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One answer value with its probability of appearing in the answer."""
+
+    value: str
+    probability: Fraction
+    occurrences: int = 1  # distinct tree occurrences contributing the value
+
+    def __str__(self) -> str:
+        return f"{format_percent(self.probability):>4} {self.value}"
+
+
+@dataclass
+class RankedAnswer:
+    """All answer values, most probable first (ties broken by value)."""
+
+    items: list[RankedItem] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.items.sort(key=lambda item: (-item.probability, item.value))
+
+    def __iter__(self) -> Iterator[RankedItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def values(self) -> list[str]:
+        return [item.value for item in self.items]
+
+    def probability_of(self, value: str) -> Fraction:
+        for item in self.items:
+            if item.value == value:
+                return item.probability
+        return Fraction(0)
+
+    def top(self, count: int) -> list[RankedItem]:
+        return self.items[:count]
+
+    def above(self, threshold: Fraction | float) -> list[RankedItem]:
+        """Items with probability ≥ threshold (crisp answer extraction)."""
+        limit = Fraction(threshold) if not isinstance(threshold, float) else threshold
+        return [item for item in self.items if item.probability >= limit]
+
+    def as_table(self) -> str:
+        """The paper's display format (§VI)."""
+        if not self.items:
+            return "(empty answer)"
+        return "\n".join(str(item) for item in self.items)
+
+
+def merge_ranked(items: Iterable[RankedItem]) -> RankedAnswer:
+    """Merge items sharing a value by summing probabilities (used by the
+    enumeration backend, where each world contributes its own items)."""
+    merged: dict[str, tuple[Fraction, int]] = {}
+    for item in items:
+        probability, occurrences = merged.get(item.value, (Fraction(0), 0))
+        merged[item.value] = (
+            probability + item.probability,
+            occurrences + item.occurrences,
+        )
+    return RankedAnswer(
+        [
+            RankedItem(value, probability, occurrences)
+            for value, (probability, occurrences) in merged.items()
+        ]
+    )

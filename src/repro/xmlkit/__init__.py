@@ -1,0 +1,31 @@
+"""Plain-XML substrate: node model, parser, serializer, DTD, XPath subset.
+
+This package is the reproduction's stand-in for the XML layer of
+MonetDB/XQuery (the DBMS the original IMPrECISE module ran on).  Everything
+above it — the probabilistic model, integration and querying — only touches
+XML through these classes.
+"""
+
+from .nodes import XDocument, XElement, XNode, XText, deep_equal
+from .parser import parse_document, parse_element
+from .serializer import serialize, serialize_pretty
+from .dtd import DTD, Cardinality, ElementDecl, parse_dtd
+from .xpath import XPath, evaluate_xpath
+
+__all__ = [
+    "XNode",
+    "XElement",
+    "XText",
+    "XDocument",
+    "deep_equal",
+    "parse_document",
+    "parse_element",
+    "serialize",
+    "serialize_pretty",
+    "DTD",
+    "Cardinality",
+    "ElementDecl",
+    "parse_dtd",
+    "XPath",
+    "evaluate_xpath",
+]

@@ -1,0 +1,215 @@
+"""Mini-DTD: the schema knowledge that steers integration.
+
+The paper (§III) lets a DTD rule out possibilities during integration — the
+running example rejects "John has two phone numbers" because the DTD says a
+person has exactly one ``tel``.  This module implements the fragment of DTD
+the integration engine consumes: per-element child content models with the
+standard cardinalities (``one``, ``?``, ``*``, ``+``) plus ``#PCDATA``.
+
+Content models are interpreted as *unordered* tag→cardinality maps (data
+integration cares about how many of each child may exist, not about their
+order), which also matches the order-insensitive deep-equality the oracle
+uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .nodes import XDocument, XElement, XText
+from ..errors import DTDError, DTDViolation
+
+
+class Cardinality(enum.Enum):
+    """How many children of a tag an element may contain."""
+
+    ONE = "1"        # exactly one
+    OPTIONAL = "?"   # zero or one
+    MANY = "*"       # zero or more
+    PLUS = "+"       # one or more
+
+    @property
+    def repeatable(self) -> bool:
+        """True when more than one occurrence is allowed."""
+        return self in (Cardinality.MANY, Cardinality.PLUS)
+
+    @property
+    def required(self) -> bool:
+        """True when at least one occurrence is required."""
+        return self in (Cardinality.ONE, Cardinality.PLUS)
+
+    def admits(self, count: int) -> bool:
+        """Whether ``count`` occurrences satisfy this cardinality."""
+        if self is Cardinality.ONE:
+            return count == 1
+        if self is Cardinality.OPTIONAL:
+            return count <= 1
+        if self is Cardinality.PLUS:
+            return count >= 1
+        return True
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of one element type."""
+
+    tag: str
+    children: dict[str, Cardinality] = field(default_factory=dict)
+    allows_text: bool = False
+
+    def cardinality(self, child_tag: str) -> Optional[Cardinality]:
+        return self.children.get(child_tag)
+
+
+@dataclass
+class Violation:
+    """One DTD violation found while validating a document."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+class DTD:
+    """A set of element declarations.
+
+    >>> dtd = parse_dtd('''
+    ...     <!ELEMENT addressbook (person*)>
+    ...     <!ELEMENT person (nm, tel)>
+    ...     <!ELEMENT nm (#PCDATA)>
+    ...     <!ELEMENT tel (#PCDATA)>
+    ... ''')
+    >>> dtd.cardinality("person", "tel")
+    <Cardinality.ONE: '1'>
+    """
+
+    def __init__(self, declarations: Optional[dict[str, ElementDecl]] = None):
+        self.declarations: dict[str, ElementDecl] = dict(declarations or {})
+
+    def declare(
+        self,
+        tag: str,
+        children: Optional[dict[str, Cardinality]] = None,
+        *,
+        allows_text: bool = False,
+    ) -> ElementDecl:
+        """Add (or replace) a declaration programmatically."""
+        decl = ElementDecl(tag, dict(children or {}), allows_text)
+        self.declarations[tag] = decl
+        return decl
+
+    def declaration(self, tag: str) -> Optional[ElementDecl]:
+        return self.declarations.get(tag)
+
+    def cardinality(self, parent_tag: str, child_tag: str) -> Optional[Cardinality]:
+        """Cardinality of ``child_tag`` under ``parent_tag``; None when the
+        parent is undeclared or the child is not part of its model."""
+        decl = self.declarations.get(parent_tag)
+        if decl is None:
+            return None
+        return decl.cardinality(child_tag)
+
+    def is_single(self, parent_tag: str, child_tag: str) -> bool:
+        """True when the DTD says at most one ``child_tag`` child may exist
+        — the property that turns integration conflicts into local
+        probability nodes (the "one phone number" rule of §III)."""
+        card = self.cardinality(parent_tag, child_tag)
+        return card is not None and not card.repeatable
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, document: XDocument | XElement) -> list[Violation]:
+        """All violations in the document (empty list = valid)."""
+        root = document.root if isinstance(document, XDocument) else document
+        return list(self._validate_element(root, f"/{root.tag}"))
+
+    def check(self, document: XDocument | XElement) -> None:
+        """Raise :class:`DTDViolation` listing all problems, if any."""
+        violations = self.validate(document)
+        if violations:
+            details = "; ".join(str(v) for v in violations[:10])
+            more = f" (+{len(violations) - 10} more)" if len(violations) > 10 else ""
+            raise DTDViolation(f"document violates DTD: {details}{more}")
+
+    def _validate_element(self, element: XElement, path: str) -> Iterator[Violation]:
+        decl = self.declarations.get(element.tag)
+        if decl is None:
+            # Undeclared elements are permitted (open-world): integration
+            # may meet source-specific wrapper tags.
+            for child in element.child_elements():
+                yield from self._validate_element(child, f"{path}/{child.tag}")
+            return
+        counts: dict[str, int] = {}
+        for child in element.children:
+            if isinstance(child, XText):
+                if child.value.strip() and not decl.allows_text:
+                    yield Violation(path, "text content not allowed")
+                continue
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            if child.tag not in decl.children:
+                yield Violation(path, f"unexpected child <{child.tag}>")
+        for tag, card in decl.children.items():
+            count = counts.get(tag, 0)
+            if not card.admits(count):
+                yield Violation(
+                    path, f"child <{tag}> occurs {count}x, allowed {card.value}"
+                )
+        for child in element.child_elements():
+            yield from self._validate_element(child, f"{path}/{child.tag}")
+
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.:-]+)\s+(.+?)>", re.DOTALL)
+_ITEM_RE = re.compile(r"([\w.:-]+|#PCDATA)\s*([?*+]?)")
+
+
+def parse_dtd(text: str) -> DTD:
+    """Parse ``<!ELEMENT …>`` declarations into a :class:`DTD`.
+
+    Supported content models: ``EMPTY``, ``ANY``, ``(#PCDATA)``, and
+    sequences/choices of named children with optional ``? * +`` suffixes.
+    Sequence (``,``) and choice (``|``) separators are both accepted and
+    both interpreted as the unordered tag→cardinality view described in the
+    module docstring.
+    """
+    dtd = DTD()
+    matched_any = False
+    for match in _ELEMENT_RE.finditer(text):
+        matched_any = True
+        tag, model = match.group(1), match.group(2).strip()
+        if model in ("EMPTY", "ANY"):
+            dtd.declare(tag, {}, allows_text=(model == "ANY"))
+            continue
+        if not (model.startswith("(") and model.endswith(")")):
+            raise DTDError(f"unsupported content model for <{tag}>: {model!r}")
+        inner = model[1:-1]
+        children: dict[str, Cardinality] = {}
+        allows_text = False
+        for part in re.split(r"[,|]", inner):
+            part = part.strip()
+            if not part:
+                continue
+            item = _ITEM_RE.fullmatch(part)
+            if item is None:
+                raise DTDError(f"unsupported content particle for <{tag}>: {part!r}")
+            name, suffix = item.group(1), item.group(2)
+            if name == "#PCDATA":
+                allows_text = True
+                continue
+            if name in children:
+                raise DTDError(f"duplicate child <{name}> in model of <{tag}>")
+            children[name] = {
+                "": Cardinality.ONE,
+                "?": Cardinality.OPTIONAL,
+                "*": Cardinality.MANY,
+                "+": Cardinality.PLUS,
+            }[suffix]
+        dtd.declare(tag, children, allows_text=allows_text)
+    stripped = text.strip()
+    if stripped and not matched_any:
+        raise DTDError("no <!ELEMENT …> declarations found")
+    return dtd

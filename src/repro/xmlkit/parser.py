@@ -1,0 +1,261 @@
+"""Hand-written XML parser.
+
+Supports the XML subset the experiments need: elements, attributes (single
+or double quoted), text, comments, CDATA sections, processing instructions
+(skipped), an optional XML declaration and DOCTYPE (skipped), and the five
+predefined entities plus decimal/hex character references.
+
+The parser reports 1-based line/column positions in every error, checks
+well-formedness (tag balance, attribute uniqueness, single root) and is
+round-trip stable with :mod:`repro.xmlkit.serializer` — a property the test
+suite enforces with hypothesis.
+"""
+
+from __future__ import annotations
+
+from .nodes import XDocument, XElement, XText
+from ..errors import XMLParseError
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Cursor over the input text with line/column tracking."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position)."""
+        if pos is None:
+            pos = self.pos
+        prefix = self.text[:pos]
+        line = prefix.count("\n") + 1
+        column = pos - (prefix.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> XMLParseError:
+        line, column = self.location(pos)
+        return XMLParseError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_until(self, token: str, *, context: str) -> str:
+        """Consume text up to (and including) ``token``; return the text
+        before the token."""
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {context}: expected {token!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        if self.at_end() or self.peek() not in _NAME_START:
+            raise self.error(f"expected a name, found {self.peek()!r}")
+        start = self.pos
+        while not self.at_end() and self.peek() in _NAME_CHARS:
+            self.advance()
+        return self.text[start : self.pos]
+
+
+def _decode_references(raw: str, scanner: _Scanner, start_pos: int) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while True:
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            break
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference", pos=start_pos + amp)
+        name = raw[amp + 1 : semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                parts.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise scanner.error(
+                    f"invalid character reference &{name};", pos=start_pos + amp
+                ) from None
+        elif name.startswith("#"):
+            try:
+                parts.append(chr(int(name[1:])))
+            except ValueError:
+                raise scanner.error(
+                    f"invalid character reference &{name};", pos=start_pos + amp
+                ) from None
+        elif name in _ENTITIES:
+            parts.append(_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};", pos=start_pos + amp)
+        index = semi + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        char = scanner.peek()
+        if char in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        if scanner.peek() != "=":
+            raise scanner.error(f"expected '=' after attribute {name!r}")
+        scanner.advance()
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error(f"attribute {name!r} value must be quoted")
+        scanner.advance()
+        value_start = scanner.pos
+        raw = scanner.read_until(quote, context=f"attribute {name!r}")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}", pos=value_start)
+        attributes[name] = _decode_references(raw, scanner, value_start)
+
+
+def _parse_element(scanner: _Scanner) -> XElement:
+    """Parse one element starting at '<'."""
+    if scanner.peek() != "<":
+        raise scanner.error(f"expected '<', found {scanner.peek()!r}")
+    scanner.advance()
+    tag = scanner.read_name()
+    element = XElement(tag, attributes=_parse_attributes(scanner))
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return element
+    if scanner.peek() != ">":
+        raise scanner.error(f"malformed start tag <{tag}>")
+    scanner.advance()
+
+    text_start = scanner.pos
+    buffer: list[str] = []
+
+    def flush_text() -> None:
+        raw = "".join(buffer)
+        buffer.clear()
+        if raw:
+            element.append(XText(_decode_references(raw, scanner, text_start)))
+
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{tag}>")
+        if scanner.startswith("</"):
+            flush_text()
+            scanner.advance(2)
+            closing = scanner.read_name()
+            if closing != tag:
+                raise scanner.error(
+                    f"mismatched end tag </{closing}>, expected </{tag}>"
+                )
+            scanner.skip_whitespace()
+            if scanner.peek() != ">":
+                raise scanner.error(f"malformed end tag </{closing}>")
+            scanner.advance()
+            return element
+        if scanner.startswith("<!--"):
+            flush_text()
+            scanner.advance(4)
+            scanner.read_until("-->", context="comment")
+            text_start = scanner.pos
+            continue
+        if scanner.startswith("<![CDATA["):
+            flush_text()
+            scanner.advance(9)
+            element.append(XText(scanner.read_until("]]>", context="CDATA section")))
+            text_start = scanner.pos
+            continue
+        if scanner.startswith("<?"):
+            flush_text()
+            scanner.advance(2)
+            scanner.read_until("?>", context="processing instruction")
+            text_start = scanner.pos
+            continue
+        if scanner.peek() == "<":
+            flush_text()
+            element.append(_parse_element(scanner))
+            text_start = scanner.pos
+            continue
+        buffer.append(scanner.peek())
+        scanner.advance()
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    """Skip XML declaration, DOCTYPE, comments and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", context="XML declaration")
+        elif scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", context="comment")
+        elif scanner.startswith("<!DOCTYPE"):
+            # Tolerate internal subsets by tracking bracket depth.
+            scanner.advance(len("<!DOCTYPE"))
+            depth = 0
+            while True:
+                if scanner.at_end():
+                    raise scanner.error("unterminated DOCTYPE")
+                char = scanner.peek()
+                scanner.advance()
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    break
+        else:
+            return
+
+
+def parse_element(text: str) -> XElement:
+    """Parse ``text`` as a single XML element (prolog allowed)."""
+    scanner = _Scanner(text)
+    _skip_prolog(scanner)
+    if scanner.at_end():
+        raise scanner.error("no element found in input")
+    element = _parse_element(scanner)
+    scanner.skip_whitespace()
+    while scanner.startswith("<!--"):
+        scanner.advance(4)
+        scanner.read_until("-->", context="comment")
+        scanner.skip_whitespace()
+    if not scanner.at_end():
+        raise scanner.error("content after the root element")
+    return element
+
+
+def parse_document(text: str) -> XDocument:
+    """Parse ``text`` as an XML document (single root element)."""
+    return XDocument(parse_element(text))

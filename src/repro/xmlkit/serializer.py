@@ -1,0 +1,104 @@
+"""XML serialization for the plain node model.
+
+Two renderers: :func:`serialize` (compact, canonical, round-trip safe with
+the parser) and :func:`serialize_pretty` (indented, for humans; inserts
+whitespace only around element-only content so it stays semantically
+round-trip safe under the library's whitespace-insensitive deep equality).
+"""
+
+from __future__ import annotations
+
+from .nodes import XDocument, XElement, XText, XChild
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted serialization."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def _start_tag(element: XElement) -> str:
+    parts = [element.tag]
+    for name in sorted(element.attributes):
+        parts.append(f'{name}="{escape_attribute(element.attributes[name])}"')
+    return "<" + " ".join(parts) + ">"
+
+
+def _serialize_node(node: XChild, out: list[str]) -> None:
+    if isinstance(node, XText):
+        out.append(escape_text(node.value))
+        return
+    if not node.children:
+        out.append(_start_tag(node)[:-1] + "/>")
+        return
+    out.append(_start_tag(node))
+    for child in node.children:
+        _serialize_node(child, out)
+    out.append(f"</{node.tag}>")
+
+
+def serialize(node: XChild | XDocument) -> str:
+    """Compact canonical serialization (attributes sorted, no added
+    whitespace).  ``parse_document(serialize(doc))`` reproduces ``doc``."""
+    if isinstance(node, XDocument):
+        node = node.root
+    out: list[str] = []
+    _serialize_node(node, out)
+    return "".join(out)
+
+
+def _has_element_children(element: XElement) -> bool:
+    return any(isinstance(child, XElement) for child in element.children)
+
+
+def _pretty_node(node: XChild, out: list[str], depth: int, indent: str) -> None:
+    pad = indent * depth
+    if isinstance(node, XText):
+        if node.value.strip():
+            out.append(pad + escape_text(node.value))
+        return
+    if not node.children:
+        out.append(pad + _start_tag(node)[:-1] + "/>")
+        return
+    if not _has_element_children(node):
+        # Text-only content stays inline: <title>Jaws</title>
+        text = "".join(
+            escape_text(child.value)
+            for child in node.children
+            if isinstance(child, XText)
+        )
+        out.append(pad + _start_tag(node) + text + f"</{node.tag}>")
+        return
+    if any(
+        isinstance(child, XText) and child.value.strip() for child in node.children
+    ):
+        # Mixed content: indentation would alter the text values, so this
+        # subtree is rendered compactly instead.
+        compact: list[str] = []
+        _serialize_node(node, compact)
+        out.append(pad + "".join(compact))
+        return
+    out.append(pad + _start_tag(node))
+    for child in node.children:
+        _pretty_node(child, out, depth + 1, indent)
+    out.append(pad + f"</{node.tag}>")
+
+
+def serialize_pretty(node: XChild | XDocument, *, indent: str = "  ") -> str:
+    """Human-readable indented serialization."""
+    if isinstance(node, XDocument):
+        node = node.root
+    out: list[str] = []
+    _pretty_node(node, out, 0, indent)
+    return "\n".join(out)

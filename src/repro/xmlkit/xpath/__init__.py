@@ -1,0 +1,46 @@
+"""XPath 1.0 subset with XQuery-style quantified expressions.
+
+Large enough to run both §VI paper queries verbatim::
+
+    //movie[.//genre="Horror"]/title
+    //movie[some $d in .//director satisfies contains($d,"John")]/title
+
+The AST produced by :func:`compile_xpath` is shared with the probabilistic
+query engine (:mod:`repro.query.engine`), which reinterprets the same tree
+over probabilistic XML documents.
+"""
+
+from .ast import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    Negate,
+    Number,
+    Path,
+    Quantified,
+    Step,
+    Union,
+    VarRef,
+    XPathNode,
+)
+from .parser import compile_xpath
+from .evaluator import XPath, evaluate_xpath, AttributeNode, XPathContext
+
+__all__ = [
+    "XPathNode",
+    "Literal",
+    "Number",
+    "VarRef",
+    "FunctionCall",
+    "BinaryOp",
+    "Negate",
+    "Union",
+    "Path",
+    "Step",
+    "Quantified",
+    "compile_xpath",
+    "XPath",
+    "evaluate_xpath",
+    "AttributeNode",
+    "XPathContext",
+]

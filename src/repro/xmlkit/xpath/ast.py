@@ -1,0 +1,137 @@
+"""XPath abstract syntax tree.
+
+Plain dataclasses with no behaviour: both the plain-XML evaluator and the
+probabilistic query compiler walk this tree, so it must stay free of
+evaluation assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union as TUnion
+
+
+class XPathNode:
+    """Base class for AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(XPathNode):
+    """A quoted string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Number(XPathNode):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef(XPathNode):
+    """``$name`` — a variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FunctionCall(XPathNode):
+    """``name(arg, …)``."""
+
+    name: str
+    args: tuple[XPathNode, ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp(XPathNode):
+    """Binary operator: ``or and = != < <= > >= + - * div mod``."""
+
+    op: str
+    left: XPathNode
+    right: XPathNode
+
+
+@dataclass(frozen=True)
+class Negate(XPathNode):
+    """Unary minus."""
+
+    operand: XPathNode
+
+
+@dataclass(frozen=True)
+class Union(XPathNode):
+    """``left | right`` node-set union."""
+
+    left: XPathNode
+    right: XPathNode
+
+
+# Node tests ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NameTest(XPathNode):
+    """Match elements (or attributes) by name; ``*`` matches any."""
+
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "*"
+
+
+@dataclass(frozen=True)
+class TextTest(XPathNode):
+    """``text()`` — match text nodes."""
+
+
+@dataclass(frozen=True)
+class NodeTest(XPathNode):
+    """``node()`` — match any node."""
+
+
+AnyTest = TUnion[NameTest, TextTest, NodeTest]
+
+# Axes supported by this subset.
+AXIS_CHILD = "child"
+AXIS_DESCENDANT = "descendant"            # produced by '//' shorthand
+AXIS_SELF = "self"
+AXIS_PARENT = "parent"
+AXIS_ATTRIBUTE = "attribute"
+AXES = (AXIS_CHILD, AXIS_DESCENDANT, AXIS_SELF, AXIS_PARENT, AXIS_ATTRIBUTE)
+
+
+@dataclass(frozen=True)
+class Step(XPathNode):
+    """One location step: axis, node test, predicates."""
+
+    axis: str
+    test: AnyTest
+    predicates: tuple[XPathNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class Path(XPathNode):
+    """A location path.
+
+    ``absolute`` paths start at the document node; otherwise the path
+    starts from ``base`` (a primary expression, for filter expressions like
+    ``(expr)/step``) or from the context node when ``base`` is None.
+    """
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+    base: Optional[XPathNode] = None
+
+
+@dataclass(frozen=True)
+class Quantified(XPathNode):
+    """``some $v in seq satisfies cond`` (or ``every``)."""
+
+    kind: str  # 'some' | 'every'
+    variable: str
+    sequence: XPathNode
+    condition: XPathNode

@@ -1,0 +1,659 @@
+"""XPath evaluation over plain XML trees.
+
+Implements XPath 1.0 value semantics: node-sets (Python lists in document
+order), strings, numbers (floats) and booleans, with the standard
+existential comparison rules for node-sets and effective-boolean-value
+conversions.  This evaluator is the *reference* semantics for querying: the
+probabilistic engine must agree with it on every possible world (a property
+the test suite checks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ...errors import XPathEvaluationError
+from ..nodes import XDocument, XElement, XNode, XText
+from .ast import (
+    AXIS_ATTRIBUTE,
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    AXIS_PARENT,
+    AXIS_SELF,
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    NameTest,
+    Negate,
+    NodeTest,
+    Number,
+    Path,
+    Quantified,
+    Step,
+    TextTest,
+    Union,
+    VarRef,
+    XPathNode,
+)
+from .parser import compile_xpath
+
+
+@dataclass(frozen=True)
+class AttributeNode:
+    """A synthetic node representing one attribute of an element."""
+
+    owner: XElement
+    name: str
+    value: str
+
+    def string_value(self) -> str:
+        return self.value
+
+
+XPathValue = Any  # list (node-set) | str | float | bool
+
+
+@dataclass
+class XPathContext:
+    """Evaluation context: current node, proximity position/size, variables."""
+
+    node: Any
+    position: int = 1
+    size: int = 1
+    variables: Optional[dict[str, XPathValue]] = None
+
+    def variable(self, name: str) -> XPathValue:
+        if self.variables and name in self.variables:
+            return self.variables[name]
+        raise XPathEvaluationError(f"unbound variable ${name}")
+
+    def with_node(self, node: Any, position: int, size: int) -> "XPathContext":
+        return XPathContext(node, position, size, self.variables)
+
+    def with_variable(self, name: str, value: XPathValue) -> "XPathContext":
+        variables = dict(self.variables or {})
+        variables[name] = value
+        return XPathContext(self.node, self.position, self.size, variables)
+
+
+# -- value conversions ------------------------------------------------------
+
+def string_value(node: Any) -> str:
+    """XPath string value of a node (or passthrough for atomic values)."""
+    if isinstance(node, XDocument):
+        return node.root.text()
+    if isinstance(node, XElement):
+        return node.text()
+    if isinstance(node, XText):
+        return node.value
+    if isinstance(node, AttributeNode):
+        return node.value
+    raise XPathEvaluationError(f"no string value for {type(node).__name__}")
+
+
+def as_string(value: XPathValue) -> str:
+    if isinstance(value, list):
+        return string_value(value[0]) if value else ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    return string_value(value)
+
+
+def as_number(value: XPathValue) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, list):
+        return as_number(as_string(value))
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return math.nan
+    return as_number(as_string(value))
+
+
+def as_boolean(value: XPathValue) -> bool:
+    """Effective boolean value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, float):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    return True  # a single node
+
+
+def _atomic_compare(op: str, a: XPathValue, b: XPathValue) -> bool:
+    if op in ("=", "!="):
+        if isinstance(a, bool) or isinstance(b, bool):
+            result = as_boolean(a) == as_boolean(b)
+        elif isinstance(a, float) or isinstance(b, float):
+            result = as_number(a) == as_number(b)
+        else:
+            result = as_string(a) == as_string(b)
+        return result if op == "=" else not result
+    left, right = as_number(a), as_number(b)
+    if math.isnan(left) or math.isnan(right):
+        return False
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise XPathEvaluationError(f"unknown comparison operator {op!r}")
+
+
+def compare_values(op: str, a: XPathValue, b: XPathValue) -> bool:
+    """XPath 1.0 comparison with existential node-set semantics."""
+    a_is_set = isinstance(a, list)
+    b_is_set = isinstance(b, list)
+    if a_is_set and b_is_set:
+        return any(
+            _atomic_compare(op, string_value(na), string_value(nb))
+            for na in a
+            for nb in b
+        )
+    if a_is_set:
+        return any(_atomic_compare(op, string_value(na), b) for na in a)
+    if b_is_set:
+        return any(_atomic_compare(op, a, string_value(nb)) for nb in b)
+    return _atomic_compare(op, a, b)
+
+
+# -- axes ---------------------------------------------------------------------
+
+def _children(node: Any) -> list[Any]:
+    if isinstance(node, XDocument):
+        return [node.root]
+    if isinstance(node, XElement):
+        return list(node.children)
+    return []
+
+
+def _descendants(node: Any) -> list[Any]:
+    result: list[Any] = []
+    stack = _children(node)[::-1]
+    while stack:
+        current = stack.pop()
+        result.append(current)
+        if isinstance(current, XElement):
+            stack.extend(reversed(current.children))
+    return result
+
+
+def _matches_test(node: Any, test: Any) -> bool:
+    if isinstance(test, NodeTest):
+        return True
+    if isinstance(test, TextTest):
+        return isinstance(node, XText)
+    if isinstance(test, NameTest):
+        if isinstance(node, XElement):
+            return test.is_wildcard or node.tag == test.name
+        if isinstance(node, AttributeNode):
+            return test.is_wildcard or node.name == test.name
+        return False
+    raise XPathEvaluationError(f"unknown node test {test!r}")
+
+
+class XPath:
+    """A compiled XPath expression.
+
+    >>> from repro.xmlkit import parse_document
+    >>> doc = parse_document("<a><b>1</b><b>2</b></a>")
+    >>> [n.text() for n in XPath("//b").evaluate(doc)]
+    ['1', '2']
+    """
+
+    def __init__(self, expression: str | XPathNode):
+        if isinstance(expression, str):
+            self.source: str = expression
+            self.ast = compile_xpath(expression)
+        else:
+            self.source = "<precompiled>"
+            self.ast = expression
+        self._order_cache: dict[int, dict[int, int]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(
+        self,
+        node: Any,
+        variables: Optional[dict[str, XPathValue]] = None,
+    ) -> XPathValue:
+        """Evaluate against a document or node; returns a node-set (list),
+        string, number or boolean."""
+        context = XPathContext(node, 1, 1, variables)
+        return self._eval(self.ast, context)
+
+    def select(
+        self,
+        node: Any,
+        variables: Optional[dict[str, XPathValue]] = None,
+    ) -> list[Any]:
+        """Evaluate and require a node-set result."""
+        value = self.evaluate(node, variables)
+        if not isinstance(value, list):
+            raise XPathEvaluationError(
+                f"{self.source!r} returned {type(value).__name__}, expected a node-set"
+            )
+        return value
+
+    def matches(
+        self,
+        node: Any,
+        variables: Optional[dict[str, XPathValue]] = None,
+    ) -> bool:
+        """Effective boolean value of the evaluation."""
+        return as_boolean(self.evaluate(node, variables))
+
+    # -- document order -------------------------------------------------------
+
+    def _top_ancestor(self, node: Any) -> Any:
+        if isinstance(node, (XDocument, AttributeNode)):
+            return node if not isinstance(node, AttributeNode) else self._top_ancestor(node.owner)
+        current = node
+        while getattr(current, "parent", None) is not None:
+            current = current.parent
+        return current
+
+    def _order_index(self, anchor: Any) -> dict[int, int]:
+        top = self._top_ancestor(anchor)
+        key = id(top)
+        cached = self._order_cache.get(key)
+        if cached is not None:
+            return cached
+        index: dict[int, int] = {id(top): 0}
+        counter = 1
+        root = top.root if isinstance(top, XDocument) else top
+        for node in root.iter():
+            index[id(node)] = counter
+            counter += 1
+        self._order_cache[key] = index
+        return index
+
+    def _doc_order_key(self, node: Any, index: dict[int, int]) -> tuple:
+        if isinstance(node, AttributeNode):
+            owner = index.get(id(node.owner), -1)
+            return (owner, 1, node.name)
+        return (index.get(id(node), -1), 0, "")
+
+    def _sort_unique(self, nodes: list[Any], anchor: Any) -> list[Any]:
+        seen: set = set()
+        unique: list[Any] = []
+        for node in nodes:
+            key = (
+                (id(node.owner), node.name)
+                if isinstance(node, AttributeNode)
+                else id(node)
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(node)
+        if len(unique) <= 1:
+            return unique
+        index = self._order_index(anchor)
+        unique.sort(key=lambda n: self._doc_order_key(n, index))
+        return unique
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _eval(self, node: XPathNode, ctx: XPathContext) -> XPathValue:
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, Number):
+            return node.value
+        if isinstance(node, VarRef):
+            return ctx.variable(node.name)
+        if isinstance(node, Negate):
+            return -as_number(self._eval(node.operand, ctx))
+        if isinstance(node, BinaryOp):
+            return self._eval_binary(node, ctx)
+        if isinstance(node, Union):
+            left = self._eval(node.left, ctx)
+            right = self._eval(node.right, ctx)
+            if not isinstance(left, list) or not isinstance(right, list):
+                raise XPathEvaluationError("'|' requires node-set operands")
+            return self._sort_unique(left + right, ctx.node)
+        if isinstance(node, FunctionCall):
+            return self._eval_function(node, ctx)
+        if isinstance(node, Quantified):
+            return self._eval_quantified(node, ctx)
+        if isinstance(node, Path):
+            return self._eval_path(node, ctx)
+        raise XPathEvaluationError(f"cannot evaluate AST node {type(node).__name__}")
+
+    def _eval_binary(self, node: BinaryOp, ctx: XPathContext) -> XPathValue:
+        if node.op == "or":
+            return as_boolean(self._eval(node.left, ctx)) or as_boolean(
+                self._eval(node.right, ctx)
+            )
+        if node.op == "and":
+            return as_boolean(self._eval(node.left, ctx)) and as_boolean(
+                self._eval(node.right, ctx)
+            )
+        left = self._eval(node.left, ctx)
+        right = self._eval(node.right, ctx)
+        if node.op in ("=", "!=", "<", "<=", ">", ">="):
+            return compare_values(node.op, left, right)
+        a, b = as_number(left), as_number(right)
+        if node.op == "+":
+            return a + b
+        if node.op == "-":
+            return a - b
+        if node.op == "*":
+            return a * b
+        if node.op == "div":
+            if b == 0:
+                return math.nan if a == 0 else math.copysign(math.inf, a)
+            return a / b
+        if node.op == "mod":
+            return math.nan if b == 0 else math.fmod(a, b)
+        raise XPathEvaluationError(f"unknown operator {node.op!r}")
+
+    def _eval_quantified(self, node: Quantified, ctx: XPathContext) -> bool:
+        sequence = self._eval(node.sequence, ctx)
+        if not isinstance(sequence, list):
+            sequence = [sequence]
+        results = (
+            as_boolean(self._eval(node.condition, ctx.with_variable(node.variable, item)))
+            for item in sequence
+        )
+        return any(results) if node.kind == "some" else all(results)
+
+    def _eval_path(self, node: Path, ctx: XPathContext) -> list[Any]:
+        if node.absolute:
+            current = [self._top_ancestor(ctx.node)]
+        elif node.base is not None:
+            base_value = self._eval(node.base, ctx)
+            if isinstance(base_value, list):
+                current = base_value
+            elif isinstance(base_value, (XDocument, XElement, XText, AttributeNode)):
+                # A variable bound to a single node (e.g. a FLWOR 'for'
+                # binding) acts as a singleton node-set.
+                current = [base_value]
+            else:
+                raise XPathEvaluationError("path base must be a node-set")
+        else:
+            current = [ctx.node]
+        for step in node.steps:
+            current = self._eval_step(step, current, ctx)
+        return current
+
+    def _eval_step(
+        self, step: Step, context_nodes: list[Any], ctx: XPathContext
+    ) -> list[Any]:
+        gathered: list[Any] = []
+        for context_node in context_nodes:
+            candidates = self._axis_candidates(step, context_node)
+            candidates = [c for c in candidates if _matches_test(c, step.test)]
+            for predicate in step.predicates:
+                candidates = self._filter_predicate(predicate, candidates, ctx)
+            gathered.extend(candidates)
+        anchor = context_nodes[0] if context_nodes else ctx.node
+        return self._sort_unique(gathered, anchor)
+
+    def _axis_candidates(self, step: Step, node: Any) -> list[Any]:
+        if step.axis == AXIS_CHILD:
+            return _children(node)
+        if step.axis == AXIS_DESCENDANT:
+            return _descendants(node)
+        if step.axis == AXIS_SELF:
+            return [node]
+        if step.axis == AXIS_PARENT:
+            parent = getattr(node, "parent", None)
+            if isinstance(node, AttributeNode):
+                parent = node.owner
+            return [parent] if parent is not None else []
+        if step.axis == AXIS_ATTRIBUTE:
+            if isinstance(node, XElement):
+                return [
+                    AttributeNode(node, name, value)
+                    for name, value in sorted(node.attributes.items())
+                ]
+            return []
+        raise XPathEvaluationError(f"unsupported axis {step.axis!r}")
+
+    def _filter_predicate(
+        self, predicate: XPathNode, candidates: list[Any], ctx: XPathContext
+    ) -> list[Any]:
+        kept: list[Any] = []
+        size = len(candidates)
+        for position, candidate in enumerate(candidates, start=1):
+            inner = ctx.with_node(candidate, position, size)
+            value = self._eval(predicate, inner)
+            if isinstance(value, float):
+                if value == position:
+                    kept.append(candidate)
+            elif as_boolean(value):
+                kept.append(candidate)
+        return kept
+
+    # -- functions ------------------------------------------------------------
+
+    def _eval_function(self, node: FunctionCall, ctx: XPathContext) -> XPathValue:
+        handler = _FUNCTIONS.get(node.name)
+        if handler is None:
+            raise XPathEvaluationError(f"unknown function {node.name}()")
+        min_args, max_args, impl = handler
+        if not (min_args <= len(node.args) <= max_args):
+            raise XPathEvaluationError(
+                f"{node.name}() takes {min_args}..{max_args} arguments,"
+                f" got {len(node.args)}"
+            )
+        args = [self._eval(arg, ctx) for arg in node.args]
+        return impl(self, ctx, args)
+
+
+# Function table: name -> (min_args, max_args, impl).
+_FunctionImpl = Callable[[XPath, XPathContext, list[XPathValue]], XPathValue]
+
+
+def _fn_string(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    return as_string(args[0]) if args else string_value(ctx.node)
+
+
+def _fn_concat(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    return "".join(as_string(arg) for arg in args)
+
+
+def _fn_contains(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return as_string(args[1]) in as_string(args[0])
+
+
+def _fn_starts_with(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return as_string(args[0]).startswith(as_string(args[1]))
+
+
+def _fn_ends_with(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return as_string(args[0]).endswith(as_string(args[1]))
+
+
+def _fn_substring(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    text = as_string(args[0])
+    start = as_number(args[1])
+    if math.isnan(start):
+        return ""
+    begin = int(round(start)) - 1
+    if len(args) >= 3:
+        length = as_number(args[2])
+        if math.isnan(length):
+            return ""
+        end = begin + int(round(length))
+    else:
+        end = len(text)
+    begin = max(begin, 0)
+    end = min(max(end, begin), len(text))
+    return text[begin:end]
+
+
+def _fn_substring_before(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    text, sep = as_string(args[0]), as_string(args[1])
+    index = text.find(sep)
+    return text[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    text, sep = as_string(args[0]), as_string(args[1])
+    index = text.find(sep)
+    return text[index + len(sep):] if index >= 0 else ""
+
+
+def _fn_string_length(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    text = as_string(args[0]) if args else string_value(ctx.node)
+    return float(len(text))
+
+
+def _fn_normalize_space(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    text = as_string(args[0]) if args else string_value(ctx.node)
+    return " ".join(text.split())
+
+
+def _fn_translate(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    text, source, target = (as_string(a) for a in args)
+    table: dict[int, int | None] = {}
+    for index, char in enumerate(source):
+        if ord(char) in table:
+            continue
+        table[ord(char)] = ord(target[index]) if index < len(target) else None
+    return text.translate(table)
+
+
+def _fn_lower(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    return as_string(args[0]).lower()
+
+
+def _fn_upper(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    return as_string(args[0]).upper()
+
+
+def _fn_boolean(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return as_boolean(args[0])
+
+
+def _fn_not(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return not as_boolean(args[0])
+
+
+def _fn_true(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return True
+
+
+def _fn_false(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> bool:
+    return False
+
+
+def _fn_number(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    return as_number(args[0]) if args else as_number(string_value(ctx.node))
+
+
+def _fn_sum(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    nodes = args[0]
+    if not isinstance(nodes, list):
+        raise XPathEvaluationError("sum() requires a node-set")
+    return float(sum(as_number(string_value(n)) for n in nodes))
+
+
+def _fn_floor(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    return float(math.floor(as_number(args[0])))
+
+
+def _fn_ceiling(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    return float(math.ceil(as_number(args[0])))
+
+
+def _fn_round(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    value = as_number(args[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.floor(value + 0.5))
+
+
+def _fn_count(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    nodes = args[0]
+    if not isinstance(nodes, list):
+        raise XPathEvaluationError("count() requires a node-set")
+    return float(len(nodes))
+
+
+def _fn_position(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    return float(ctx.position)
+
+
+def _fn_last(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> float:
+    return float(ctx.size)
+
+
+def _fn_name(xp: XPath, ctx: XPathContext, args: list[XPathValue]) -> str:
+    if args:
+        nodes = args[0]
+        if not isinstance(nodes, list):
+            raise XPathEvaluationError("name() requires a node-set argument")
+        if not nodes:
+            return ""
+        target = nodes[0]
+    else:
+        target = ctx.node
+    if isinstance(target, XElement):
+        return target.tag
+    if isinstance(target, AttributeNode):
+        return target.name
+    return ""
+
+
+_FUNCTIONS: dict[str, tuple[int, int, _FunctionImpl]] = {
+    "string": (0, 1, _fn_string),
+    "concat": (2, 64, _fn_concat),
+    "contains": (2, 2, _fn_contains),
+    "starts-with": (2, 2, _fn_starts_with),
+    "ends-with": (2, 2, _fn_ends_with),
+    "substring": (2, 3, _fn_substring),
+    "substring-before": (2, 2, _fn_substring_before),
+    "substring-after": (2, 2, _fn_substring_after),
+    "string-length": (0, 1, _fn_string_length),
+    "normalize-space": (0, 1, _fn_normalize_space),
+    "translate": (3, 3, _fn_translate),
+    "lower-case": (1, 1, _fn_lower),
+    "upper-case": (1, 1, _fn_upper),
+    "boolean": (1, 1, _fn_boolean),
+    "not": (1, 1, _fn_not),
+    "true": (0, 0, _fn_true),
+    "false": (0, 0, _fn_false),
+    "number": (0, 1, _fn_number),
+    "sum": (1, 1, _fn_sum),
+    "floor": (1, 1, _fn_floor),
+    "ceiling": (1, 1, _fn_ceiling),
+    "round": (1, 1, _fn_round),
+    "count": (1, 1, _fn_count),
+    "position": (0, 0, _fn_position),
+    "last": (0, 0, _fn_last),
+    "name": (0, 1, _fn_name),
+    "local-name": (0, 1, _fn_name),
+}
+
+
+def evaluate_xpath(
+    node: Any,
+    expression: str,
+    variables: Optional[dict[str, XPathValue]] = None,
+) -> XPathValue:
+    """One-shot convenience: compile and evaluate ``expression``."""
+    return XPath(expression).evaluate(node, variables)

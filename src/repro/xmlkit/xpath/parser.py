@@ -1,0 +1,369 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (standard XPath 1.0 precedence, plus XQuery quantifiers)::
+
+    Expr        := QuantExpr | OrExpr
+    QuantExpr   := ('some'|'every') '$' Name 'in' Expr 'satisfies' Expr
+    OrExpr      := AndExpr ('or' AndExpr)*
+    AndExpr     := EqExpr ('and' EqExpr)*
+    EqExpr      := RelExpr (('='|'!=') RelExpr)*
+    RelExpr     := AddExpr (('<'|'<='|'>'|'>=') AddExpr)*
+    AddExpr     := MulExpr (('+'|'-') MulExpr)*
+    MulExpr     := UnaryExpr (('*'|'div'|'mod') UnaryExpr)*
+    UnaryExpr   := '-' UnaryExpr | UnionExpr
+    UnionExpr   := PathExpr ('|' PathExpr)*
+    PathExpr    := LocationPath | Filter (('/'|'//') RelativePath)?
+    Filter      := Literal | Number | VarRef | FunctionCall | '(' Expr ')'
+    LocationPath:= ('/' RelativePath? | '//' RelativePath | RelativePath)
+    RelativePath:= Step (('/'|'//') Step)*
+    Step        := '.' | '..' | '@'? NodeTest Predicate*
+    NodeTest    := Name | '*' | 'text()' | 'node()'
+    Predicate   := '[' Expr ']'
+
+The classic ``*`` ambiguity (wildcard vs. multiplication) is resolved by
+parse position: in step position ``*`` is a wildcard, in operator position
+it is multiplication.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...errors import XPathSyntaxError
+from .ast import (
+    AXIS_ATTRIBUTE,
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    AXIS_PARENT,
+    AXIS_SELF,
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    NameTest,
+    Negate,
+    NodeTest,
+    Number,
+    Path,
+    Quantified,
+    Step,
+    TextTest,
+    Union,
+    VarRef,
+    XPathNode,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d*)?|\.\d+)
+  | (?P<literal>"[^"]*"|'[^']*')
+  | (?P<dslash>//)
+  | (?P<op><=|>=|!=|[=<>+\-*|/@\[\](),.$])
+  | (?P<dotdot>\.\.)
+  | (?P<name>[\w][\w.\-]*(:[\w][\w.\-]*)?)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'literal' | 'op' | 'name' | 'eof'
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise XPathSyntaxError(
+                f"unexpected character {text[pos]!r}", position=pos, text=text
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "dslash":
+            kind, value = "op", "//"
+        elif kind == "dotdot":
+            kind, value = "op", ".."
+        tokens.append(_Token(kind, value, match.start()))
+    # Collapse '.' '.' into '..' (the regex alternation order yields single
+    # dots; parent steps are written '..').
+    collapsed: list[_Token] = []
+    for token in tokens:
+        if (
+            token.kind == "op"
+            and token.value == "."
+            and collapsed
+            and collapsed[-1].kind == "op"
+            and collapsed[-1].value == "."
+            and collapsed[-1].position == token.position - 1
+        ):
+            collapsed[-1] = _Token("op", "..", collapsed[-1].position)
+        else:
+            collapsed.append(token)
+    collapsed.append(_Token("eof", "", len(text)))
+    return collapsed
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at_op(self, *values: str) -> bool:
+        return self.current.kind == "op" and self.current.value in values
+
+    def at_name(self, *values: str) -> bool:
+        return self.current.kind == "name" and self.current.value in values
+
+    def expect_op(self, value: str) -> None:
+        if not self.at_op(value):
+            raise self.error(f"expected {value!r}")
+        self.advance()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(
+            f"{message}, found {self.current.value or 'end of input'!r}",
+            position=self.current.position,
+            text=self.text,
+        )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> XPathNode:
+        expr = self.parse_expr()
+        if self.current.kind != "eof":
+            raise self.error("unexpected trailing input")
+        return expr
+
+    def parse_expr(self) -> XPathNode:
+        if self.at_name("some", "every") and self._peek_is_var():
+            return self.parse_quantified()
+        return self.parse_or()
+
+    def _peek_is_var(self) -> bool:
+        nxt = self.tokens[self.index + 1]
+        return nxt.kind == "op" and nxt.value == "$"
+
+    def parse_quantified(self) -> XPathNode:
+        kind = self.advance().value
+        self.expect_op("$")
+        if self.current.kind != "name":
+            raise self.error("expected variable name after '$'")
+        variable = self.advance().value
+        if not self.at_name("in"):
+            raise self.error("expected 'in' in quantified expression")
+        self.advance()
+        sequence = self.parse_or()
+        if not self.at_name("satisfies"):
+            raise self.error("expected 'satisfies' in quantified expression")
+        self.advance()
+        condition = self.parse_expr()
+        return Quantified(kind, variable, sequence, condition)
+
+    def parse_or(self) -> XPathNode:
+        left = self.parse_and()
+        while self.at_name("or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> XPathNode:
+        left = self.parse_equality()
+        while self.at_name("and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> XPathNode:
+        left = self.parse_relational()
+        while self.at_op("=", "!="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self) -> XPathNode:
+        left = self.parse_additive()
+        while self.at_op("<", "<=", ">", ">="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> XPathNode:
+        left = self.parse_multiplicative()
+        while self.at_op("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> XPathNode:
+        left = self.parse_unary()
+        while self.at_op("*") or self.at_name("div", "mod"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> XPathNode:
+        if self.at_op("-"):
+            self.advance()
+            return Negate(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> XPathNode:
+        left = self.parse_path_expr()
+        while self.at_op("|"):
+            self.advance()
+            left = Union(left, self.parse_path_expr())
+        return left
+
+    def parse_path_expr(self) -> XPathNode:
+        # Absolute paths and paths starting with a step.
+        if self.at_op("/", "//") or self._at_step_start():
+            return self.parse_location_path()
+        base = self.parse_filter_expr()
+        if self.at_op("/", "//"):
+            steps = self.parse_relative_steps()
+            return Path(tuple(steps), absolute=False, base=base)
+        return base
+
+    def _at_step_start(self) -> bool:
+        token = self.current
+        if token.kind == "op" and token.value in ("@", ".", "..", "*"):
+            return True
+        if token.kind != "name":
+            return False
+        # A name token starts a step unless it is a function call or a
+        # keyword operator in this position — but in *operand* position
+        # keywords like 'div' act as element names (XPath 1.0 rule).
+        nxt = self.tokens[self.index + 1]
+        if nxt.kind == "op" and nxt.value == "(":
+            return token.value in ("text", "node")
+        return True
+
+    def parse_filter_expr(self) -> XPathNode:
+        token = self.current
+        if token.kind == "literal":
+            self.advance()
+            return Literal(token.value[1:-1])
+        if token.kind == "number":
+            self.advance()
+            return Number(float(token.value))
+        if self.at_op("$"):
+            self.advance()
+            if self.current.kind != "name":
+                raise self.error("expected variable name after '$'")
+            return VarRef(self.advance().value)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if token.kind == "name":
+            name = self.advance().value
+            self.expect_op("(")
+            args: list[XPathNode] = []
+            if not self.at_op(")"):
+                args.append(self.parse_expr())
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            return FunctionCall(name, tuple(args))
+        raise self.error("expected an expression")
+
+    def parse_location_path(self) -> XPathNode:
+        steps: list[Step] = []
+        absolute = False
+        if self.at_op("/"):
+            absolute = True
+            self.advance()
+            if not self._at_step_start():
+                return Path((), absolute=True)
+            steps.append(self.parse_step(AXIS_CHILD))
+        elif self.at_op("//"):
+            absolute = True
+            self.advance()
+            steps.append(self.parse_step(AXIS_DESCENDANT))
+        else:
+            steps.append(self.parse_step(AXIS_CHILD))
+        steps.extend(self.parse_relative_steps())
+        return Path(tuple(steps), absolute=absolute)
+
+    def parse_relative_steps(self) -> list[Step]:
+        """Parse ``(('/'|'//') Step)*`` continuations."""
+        steps: list[Step] = []
+        while self.at_op("/", "//"):
+            axis = AXIS_DESCENDANT if self.current.value == "//" else AXIS_CHILD
+            self.advance()
+            steps.append(self.parse_step(axis))
+        return steps
+
+    def parse_step(self, axis: str) -> Step:
+        if self.at_op("."):
+            self.advance()
+            return Step(AXIS_SELF if axis == AXIS_CHILD else axis, NodeTest())
+        if self.at_op(".."):
+            self.advance()
+            return Step(AXIS_PARENT, NodeTest())
+        if self.at_op("@"):
+            self.advance()
+            if self.at_op("*"):
+                self.advance()
+                test = NameTest("*")
+            elif self.current.kind == "name":
+                test = NameTest(self.advance().value)
+            else:
+                raise self.error("expected attribute name after '@'")
+            return Step(AXIS_ATTRIBUTE, test, self.parse_predicates())
+        if self.at_op("*"):
+            self.advance()
+            return Step(axis, NameTest("*"), self.parse_predicates())
+        if self.current.kind == "name":
+            name = self.advance().value
+            if name in ("text", "node") and self.at_op("("):
+                self.advance()
+                self.expect_op(")")
+                test = TextTest() if name == "text" else NodeTest()
+                return Step(axis, test, self.parse_predicates())
+            return Step(axis, NameTest(name), self.parse_predicates())
+        raise self.error("expected a location step")
+
+    def parse_predicates(self) -> tuple[XPathNode, ...]:
+        predicates: list[XPathNode] = []
+        while self.at_op("["):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect_op("]")
+        return tuple(predicates)
+
+
+def compile_xpath(text: str) -> XPathNode:
+    """Parse an XPath expression into its AST.
+
+    >>> ast = compile_xpath('//movie[.//genre="Horror"]/title')
+    >>> ast.steps[0].test.name
+    'movie'
+    """
+    if not text or not text.strip():
+        raise XPathSyntaxError("empty XPath expression")
+    return _Parser(text).parse()

@@ -1,0 +1,114 @@
+"""Tests for exact count distributions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import QueryError
+from repro.pxml.build import certain_document, certain_prob, choice_prob
+from repro.pxml.model import PXDocument, PXElement
+from repro.pxml.worlds import world_count
+from repro.query.aggregates import (
+    count_distribution,
+    count_distribution_enumerated,
+    count_quantile,
+    expected_count,
+)
+from repro.xmlkit.parser import parse_document
+from .conftest import make_leaf, pxml_documents
+
+
+def uncertain_doc():
+    """<r> with one certain <m> and one 1/3-chance <m>."""
+    maybe = choice_prob([("1/3", [make_leaf("m", "x")]), ("2/3", [])])
+    return PXDocument(certain_prob(PXElement("r", children=[
+        certain_prob(make_leaf("m", "y")), maybe,
+    ])))
+
+
+class TestCountDistribution:
+    def test_certain_document(self):
+        doc = certain_document(parse_document("<r><m/><m/><other/></r>"))
+        assert count_distribution(doc, "m") == {2: Fraction(1)}
+
+    def test_uncertain_counts(self):
+        assert count_distribution(uncertain_doc(), "m") == {
+            1: Fraction(2, 3),
+            2: Fraction(1, 3),
+        }
+
+    def test_wildcard_counts_all_elements(self):
+        doc = certain_document(parse_document("<r><m/><n/></r>"))
+        assert count_distribution(doc, "*") == {3: Fraction(1)}
+
+    def test_text_filtered_counts(self):
+        doc = uncertain_doc()
+        assert count_distribution(doc, "m", text="x") == {
+            0: Fraction(2, 3),
+            1: Fraction(1, 3),
+        }
+
+    def test_text_filter_with_value_choice(self):
+        title = PXElement("t", children=[
+            choice_prob([("1/4", ["Jaws"]), ("3/4", ["Heat"])])
+        ])
+        doc = PXDocument(certain_prob(PXElement("r", children=[certain_prob(title)])))
+        assert count_distribution(doc, "t", text="Jaws") == {
+            0: Fraction(3, 4),
+            1: Fraction(1, 4),
+        }
+
+    def test_text_filter_rejects_non_leaf(self):
+        doc = certain_document(parse_document("<r><m><sub/></m></r>"))
+        with pytest.raises(QueryError):
+            count_distribution(doc, "m", text="x")
+
+    def test_matches_enumeration_on_figure2(self):
+        from repro.core.engine import integrate
+        from repro.core.rules import DeepEqualRule, LeafValueRule
+        from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+        book_a, book_b = addressbook_documents()
+        doc = integrate(book_a, book_b,
+                        rules=[DeepEqualRule(), LeafValueRule()],
+                        dtd=ADDRESSBOOK_DTD).document
+        assert count_distribution(doc, "person") == {
+            1: Fraction(1, 2),
+            2: Fraction(1, 2),
+        }
+        assert count_distribution(doc, "person") == count_distribution_enumerated(
+            doc, "//person"
+        )
+
+    @given(pxml_documents())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_property_agreement_with_enumeration(self, doc):
+        if world_count(doc) > 300:
+            return
+        for tag in ("a", "b", "x"):
+            assert count_distribution(doc, tag) == count_distribution_enumerated(
+                doc, f"//{tag}"
+            )
+
+    @given(pxml_documents())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_distribution_mass_is_one(self, doc):
+        distribution = count_distribution(doc, "a")
+        assert sum(distribution.values()) == 1
+
+
+class TestMoments:
+    def test_expected_count(self):
+        assert expected_count({1: Fraction(2, 3), 2: Fraction(1, 3)}) == Fraction(4, 3)
+
+    def test_quantiles(self):
+        distribution = {0: Fraction(1, 4), 1: Fraction(1, 4), 5: Fraction(1, 2)}
+        assert count_quantile(distribution, Fraction(1, 4)) == 0
+        assert count_quantile(distribution, Fraction(1, 2)) == 1
+        assert count_quantile(distribution, Fraction(1)) == 5
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(QueryError):
+            count_quantile({0: Fraction(1)}, Fraction(3, 2))

@@ -1,0 +1,73 @@
+"""Tests for the public API surface and the docstring examples.
+
+Docstrings are executable documentation: every doctest in the library
+must pass, and every name exported through ``repro.__all__`` must
+resolve.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES_WITH_DOCTESTS = [
+    "repro.probability",
+    "repro.xmlkit.nodes",
+    "repro.xmlkit.dtd",
+    "repro.xmlkit.xpath.parser",
+    "repro.xmlkit.xpath.evaluator",
+    "repro.pxml.build",
+    "repro.pxml.stats",
+    "repro.pxml.serialize",
+    "repro.core.similarity",
+    "repro.core.rules",
+    "repro.core.domain",
+    "repro.core.oracle",
+    "repro.core.matching",
+    "repro.core.engine",
+    "repro.query.quality",
+    "repro.dbms.store",
+    "repro.dbms.module",
+    "repro.dbms.xq",
+    "repro.data.imdb",
+    "repro.data.mpeg7",
+    "repro.data.addressbook",
+    "repro.data.perturb",
+]
+
+
+def _all_library_modules():
+    modules = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(info.name)
+    return modules
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("module_name", _all_library_modules())
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", _all_library_modules())
+    def test_every_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+    def test_module_doctests(self, module_name):
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0, f"{result.failed} doctest failure(s) in {module_name}"
+        assert result.attempted > 0, f"expected doctests in {module_name}"

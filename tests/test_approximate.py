@@ -1,0 +1,64 @@
+"""Tests for Monte-Carlo approximate querying."""
+
+import pytest
+
+from repro.core.engine import integrate
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.errors import QueryError
+from repro.query.approximate import approximate_query
+from repro.query.engine import ProbQueryEngine
+
+
+@pytest.fixture(scope="module")
+def figure2_document():
+    book_a, book_b = addressbook_documents()
+    return integrate(book_a, book_b,
+                     rules=[DeepEqualRule(), LeafValueRule()],
+                     dtd=ADDRESSBOOK_DTD).document
+
+
+class TestApproximateQuery:
+    def test_deterministic_under_seed(self, figure2_document):
+        first = approximate_query(figure2_document, "//person/tel",
+                                  samples=200, seed=1)
+        second = approximate_query(figure2_document, "//person/tel",
+                                   samples=200, seed=1)
+        assert [(i.value, i.hits) for i in first.items] == [
+            (i.value, i.hits) for i in second.items
+        ]
+
+    def test_estimates_close_to_exact(self, figure2_document):
+        exact = ProbQueryEngine(figure2_document).query("//person/tel")
+        approx = approximate_query(figure2_document, "//person/tel",
+                                   samples=3000, seed=7)
+        for item in exact:
+            estimate = approx.estimate_of(item.value)
+            assert abs(estimate - float(item.probability)) < 0.05
+
+    def test_error_bars_shrink_with_samples(self, figure2_document):
+        small = approximate_query(figure2_document, "//person/tel",
+                                  samples=100, seed=3)
+        large = approximate_query(figure2_document, "//person/tel",
+                                  samples=5000, seed=3)
+        assert large.items[0].standard_error < small.items[0].standard_error
+
+    def test_as_ranked_bridges_to_quality(self, figure2_document):
+        from repro.query.quality import answer_quality
+        approx = approximate_query(figure2_document, "//person/tel",
+                                   samples=500, seed=5)
+        quality = answer_quality(approx.as_ranked(), {"1111", "2222"})
+        assert float(quality.recall) > 0.5
+
+    def test_table_rendering(self, figure2_document):
+        approx = approximate_query(figure2_document, "//person/tel",
+                                   samples=50, seed=2)
+        assert "%" in approx.as_table()
+
+    def test_invalid_samples_rejected(self, figure2_document):
+        with pytest.raises(QueryError):
+            approximate_query(figure2_document, "//person/tel", samples=0)
+
+    def test_value_queries_rejected(self, figure2_document):
+        with pytest.raises(QueryError):
+            approximate_query(figure2_document, "count(//person)", samples=10)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.addressbook import addressbook_documents
+from repro.xmlkit.serializer import serialize
+
+DTD_TEXT = (
+    "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel)>"
+    "<!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>"
+)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    book_a, book_b = addressbook_documents()
+    (tmp_path / "a.xml").write_text(serialize(book_a), encoding="utf-8")
+    (tmp_path / "b.xml").write_text(serialize(book_b), encoding="utf-8")
+    (tmp_path / "ab.dtd").write_text(DTD_TEXT, encoding="utf-8")
+    return tmp_path
+
+
+def run(args):
+    return main([str(arg) for arg in args])
+
+
+class TestIntegrate:
+    def test_integrate_writes_pxml(self, workspace, capsys):
+        status = run([
+            "integrate", workspace / "a.xml", workspace / "b.xml",
+            "--dtd", workspace / "ab.dtd", "-o", workspace / "out.pxml",
+        ])
+        assert status == 0
+        assert (workspace / "out.pxml").exists()
+        assert "3 worlds" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, workspace, capsys):
+        status = run([
+            "integrate", workspace / "missing.xml", workspace / "b.xml",
+            "-o", workspace / "out.pxml",
+        ])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_mismatched_roots_error(self, workspace, capsys):
+        (workspace / "c.xml").write_text("<other/>", encoding="utf-8")
+        status = run([
+            "integrate", workspace / "a.xml", workspace / "c.xml",
+            "-o", workspace / "out.pxml",
+        ])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueryAndStats:
+    @pytest.fixture
+    def integrated(self, workspace, capsys):
+        run([
+            "integrate", workspace / "a.xml", workspace / "b.xml",
+            "--dtd", workspace / "ab.dtd", "-o", workspace / "out.pxml",
+        ])
+        capsys.readouterr()
+        return workspace / "out.pxml"
+
+    def test_query_ranked_output(self, integrated, capsys):
+        assert run(["query", integrated, "//person/tel"]) == 0
+        out = capsys.readouterr().out
+        assert "75% 1111" in out
+
+    def test_stats_output(self, integrated, capsys):
+        assert run(["stats", integrated]) == 0
+        out = capsys.readouterr().out
+        assert "possible worlds:   3" in out
+
+    def test_worlds_output(self, integrated, capsys):
+        assert run(["worlds", integrated, "--limit", 10]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_feedback_roundtrip(self, integrated, workspace, capsys):
+        assert run([
+            "feedback", integrated, "//person/tel", "1111", "--correct",
+            "-o", workspace / "post.pxml",
+        ]) == 0
+        capsys.readouterr()
+        assert run(["query", workspace / "post.pxml", "//person/tel"]) == 0
+        assert "100% 1111" in capsys.readouterr().out
+
+    def test_bad_xpath_fails_cleanly(self, integrated, capsys):
+        assert run(["query", integrated, "//person["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_estimate_output(self, workspace, capsys):
+        assert run([
+            "estimate", workspace / "a.xml", workspace / "b.xml",
+            "--dtd", workspace / "ab.dtd",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worlds:        3" in out
+
+    def test_estimate_joint(self, workspace, capsys):
+        assert run([
+            "estimate", workspace / "a.xml", workspace / "b.xml",
+            "--dtd", workspace / "ab.dtd", "--joint",
+        ]) == 0
+        assert "nodes:" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Tests for the synthetic data sources."""
+
+import pytest
+
+from repro.core.similarity import title_similarity
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.data.imdb import MOVIE_DTD, family_first, imdb_document
+from repro.data.movies import (
+    confusing_imdb_records,
+    confusing_mpeg7_six,
+    sequels_six_imdb,
+    typical_imdb_records,
+    typical_mpeg7_six,
+)
+from repro.data.mpeg7 import mpeg7_document
+from repro.data.perturb import drop_field_marker, typo
+
+
+class TestCatalog:
+    def test_confusing_six_composition(self):
+        records = confusing_mpeg7_six()
+        assert len(records) == 6
+        franchises = [record.title.split()[0] for record in records]
+        assert franchises.count("Jaws") == 2
+
+    def test_sequels_six_shares_one_rwo_per_franchise(self):
+        mpeg7 = {record.rwo for record in confusing_mpeg7_six()}
+        imdb = {record.rwo for record in sequels_six_imdb()}
+        shared = mpeg7 & imdb
+        assert shared == {"jaws-1975", "die-hard-1988", "mi-1996"}
+
+    def test_confusing_imdb_deterministic(self):
+        assert confusing_imdb_records(30) == confusing_imdb_records(30)
+
+    def test_confusing_imdb_prefix_stable(self):
+        # Growing the selection only appends (Figure 5's x-axis semantics).
+        assert confusing_imdb_records(60)[:20] == confusing_imdb_records(20)
+
+    def test_confusing_titles_extend_franchise_tokens(self):
+        for record in confusing_imdb_records(60):
+            franchise = next(
+                name for name in ("Jaws", "Die Hard", "Mission: Impossible")
+                if name.split()[0].rstrip(":").lower() in record.title.lower()
+            )
+            assert title_similarity(franchise, record.title) >= 0.65
+
+    def test_confusing_rejects_negative(self):
+        with pytest.raises(ValueError):
+            confusing_imdb_records(-1)
+
+    def test_typical_records_distinct_titles(self):
+        records = typical_imdb_records(60)
+        titles = [record.title for record in records]
+        assert len(titles) == len(set(titles)) == 60
+
+    def test_typical_records_all_1995(self):
+        assert all(record.year == 1995 for record in typical_imdb_records(60))
+
+    def test_typical_mpeg7_shares_exactly_two_rwos(self):
+        imdb = {record.rwo for record in typical_imdb_records(60)}
+        mpeg7 = [record.rwo for record in typical_mpeg7_six()]
+        assert len(mpeg7) == 6
+        assert sum(1 for rwo in mpeg7 if rwo in imdb) == 2
+
+    def test_typical_no_accidental_title_confusion(self):
+        """Only the two shared movies should be title-confusable — the
+        §V 'typical conditions' premise."""
+        imdb = typical_imdb_records(60)
+        shared = {record.rwo for record in imdb}
+        confusable = 0
+        for mpeg7_record in typical_mpeg7_six():
+            for imdb_record in imdb:
+                if title_similarity(mpeg7_record.title, imdb_record.title) >= 0.65:
+                    confusable += 1
+        assert confusable == 2
+
+
+class TestRenderers:
+    def test_family_first(self):
+        assert family_first("John McTiernan") == "McTiernan, John"
+        assert family_first("Cher") == "Cher"
+
+    def test_imdb_conventions(self):
+        doc = imdb_document(sequels_six_imdb())
+        directors = [d.text() for d in doc.root.iter_elements("director")]
+        assert "Spielberg, Steven" in directors
+
+    def test_mpeg7_conventions(self):
+        doc = mpeg7_document(confusing_mpeg7_six())
+        directors = [d.text() for d in doc.root.iter_elements("director")]
+        assert "Steven Spielberg" in directors
+
+    def test_sources_never_deep_equal(self):
+        from repro.xmlkit.nodes import deep_equal
+        imdb = imdb_document(sequels_six_imdb()).root.child_elements("movie")
+        mpeg7 = mpeg7_document(confusing_mpeg7_six()).root.child_elements("movie")
+        assert not any(deep_equal(a, b) for a in mpeg7 for b in imdb)
+
+    def test_imdb_valid_against_dtd(self):
+        doc = imdb_document(confusing_imdb_records(30))
+        assert MOVIE_DTD.validate(doc) == []
+
+    def test_mpeg7_valid_against_dtd(self):
+        doc = mpeg7_document(typical_mpeg7_six())
+        assert MOVIE_DTD.validate(doc) == []
+
+    def test_typo_injection(self):
+        doc = imdb_document(sequels_six_imdb(), typo_titles=["Jaws"])
+        titles = [t.text() for t in doc.root.iter_elements("title")]
+        assert "Jaws" not in titles
+
+    def test_deterministic_rendering(self):
+        from repro.xmlkit.serializer import serialize
+        first = serialize(imdb_document(confusing_imdb_records(20)))
+        second = serialize(imdb_document(confusing_imdb_records(20)))
+        assert first == second
+
+
+class TestAddressbook:
+    def test_default_books(self):
+        book_a, book_b = addressbook_documents()
+        assert book_a.root.child_elements("person")[0].find("tel").text() == "1111"
+
+    def test_custom_entries(self):
+        book_a, _ = addressbook_documents(entries_a=[("Ann", "3"), ("Bo", "4")])
+        assert len(book_a.root.child_elements("person")) == 2
+
+    def test_dtd_declares_single_tel(self):
+        assert ADDRESSBOOK_DTD.is_single("person", "tel")
+
+
+class TestPerturb:
+    def test_typo_deterministic(self):
+        assert typo("Mission", seed=5) == typo("Mission", seed=5)
+
+    def test_typo_changes_text(self):
+        assert typo("Mission", seed=5) != "Mission"
+
+    def test_typo_short_strings(self):
+        assert typo("a") == "a"
+        assert len(typo("ab", seed=1)) == 1
+
+    def test_typo_no_letters(self):
+        assert typo("1234", seed=1) == "1234"
+
+    def test_drop_field_marker(self):
+        assert drop_field_marker("Mission: Impossible") == "Mission Impossible"

@@ -1,0 +1,101 @@
+"""Tests for the paper's movie-domain rules (§V)."""
+
+import pytest
+
+from repro.core.domain import GenreRule, TitleRule, YearRule, movie_rules
+from repro.core.rules import Decision, MatchContext
+from repro.xmlkit.nodes import element
+
+CTX = MatchContext(parent_tag="movies", tag="movie")
+
+
+def movie(title=None, year=None, genres=()):
+    children = []
+    if title is not None:
+        children.append(element("title", title))
+    if year is not None:
+        children.append(element("year", year))
+    children.extend(element("genre", genre) for genre in genres)
+    return element("movie", *children)
+
+
+class TestGenreRule:
+    def test_disjoint_genres_no_match(self):
+        a = movie(genres=("Horror", "Thriller"))
+        b = movie(genres=("Comedy",))
+        assert GenreRule().judge(a, b, CTX) is Decision.NO_MATCH
+
+    def test_overlap_abstains(self):
+        a = movie(genres=("Action", "Thriller"))
+        b = movie(genres=("Thriller",))
+        assert GenreRule().judge(a, b, CTX) is None
+
+    def test_case_insensitive(self):
+        a = movie(genres=("horror",))
+        b = movie(genres=("HORROR",))
+        assert GenreRule().judge(a, b, CTX) is None  # overlap → abstain
+
+    def test_missing_genres_abstains(self):
+        assert GenreRule().judge(movie(), movie(genres=("Action",)), CTX) is None
+
+
+class TestTitleRule:
+    def test_dissimilar_titles_no_match(self):
+        assert TitleRule().judge(movie("Jaws"), movie("Die Hard"), CTX) is Decision.NO_MATCH
+
+    def test_similar_titles_abstain(self):
+        assert TitleRule().judge(movie("Jaws"), movie("Jaws 2"), CTX) is None
+
+    def test_equal_titles_abstain(self):
+        # similarity proves nothing; only *dis*similarity decides.
+        assert TitleRule().judge(movie("Jaws"), movie("Jaws"), CTX) is None
+
+    def test_missing_title_abstains(self):
+        assert TitleRule().judge(movie(), movie("Jaws"), CTX) is None
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            TitleRule(threshold=0.0)
+        with pytest.raises(ValueError):
+            TitleRule(threshold=1.5)
+
+    def test_custom_threshold_changes_verdict(self):
+        a, b = movie("Die Hard"), movie("Die Hard: With a Vengeance")
+        assert TitleRule(threshold=0.65).judge(a, b, CTX) is None
+        assert TitleRule(threshold=0.95).judge(a, b, CTX) is Decision.NO_MATCH
+
+
+class TestYearRule:
+    def test_different_years_no_match(self):
+        assert YearRule().judge(movie(year="1975"), movie(year="1978"), CTX) is Decision.NO_MATCH
+
+    def test_same_year_abstains(self):
+        assert YearRule().judge(movie(year="1975"), movie(year="1975"), CTX) is None
+
+    def test_missing_year_abstains(self):
+        assert YearRule().judge(movie(), movie(year="1975"), CTX) is None
+
+    def test_empty_year_abstains(self):
+        assert YearRule().judge(movie(year=""), movie(year="1975"), CTX) is None
+
+
+class TestMovieRules:
+    def test_factory_order_preserved(self):
+        rules = movie_rules("genre", "title", "year")
+        assert [rule.name for rule in rules] == ["genre", "title", "year"]
+
+    def test_empty_factory(self):
+        assert movie_rules() == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            movie_rules("budget")
+
+    def test_title_threshold_forwarded(self):
+        (rule,) = movie_rules("title", title_threshold=0.8)
+        assert rule.threshold == 0.8
+
+    def test_rules_scoped_to_movie_tag(self):
+        for rule in movie_rules("genre", "title", "year"):
+            assert rule.relevant("movie")
+            assert not rule.relevant("person")

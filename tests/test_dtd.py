@@ -1,0 +1,139 @@
+"""Tests for the mini-DTD."""
+
+import pytest
+
+from repro.errors import DTDError, DTDViolation
+from repro.xmlkit.dtd import DTD, Cardinality, parse_dtd
+from repro.xmlkit.parser import parse_document
+
+MOVIE_DTD_TEXT = """
+<!ELEMENT movies (movie*)>
+<!ELEMENT movie (title, year?, genre*, director+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ELEMENT director (#PCDATA)>
+"""
+
+
+class TestCardinality:
+    @pytest.mark.parametrize(
+        "card,counts",
+        [
+            (Cardinality.ONE, {0: False, 1: True, 2: False}),
+            (Cardinality.OPTIONAL, {0: True, 1: True, 2: False}),
+            (Cardinality.MANY, {0: True, 1: True, 5: True}),
+            (Cardinality.PLUS, {0: False, 1: True, 5: True}),
+        ],
+    )
+    def test_admits(self, card, counts):
+        for count, expected in counts.items():
+            assert card.admits(count) is expected
+
+    def test_repeatable_flags(self):
+        assert Cardinality.MANY.repeatable
+        assert Cardinality.PLUS.repeatable
+        assert not Cardinality.ONE.repeatable
+        assert not Cardinality.OPTIONAL.repeatable
+
+    def test_required_flags(self):
+        assert Cardinality.ONE.required
+        assert Cardinality.PLUS.required
+        assert not Cardinality.OPTIONAL.required
+
+
+class TestParseDtd:
+    def test_parses_cardinalities(self):
+        dtd = parse_dtd(MOVIE_DTD_TEXT)
+        assert dtd.cardinality("movie", "title") == Cardinality.ONE
+        assert dtd.cardinality("movie", "year") == Cardinality.OPTIONAL
+        assert dtd.cardinality("movie", "genre") == Cardinality.MANY
+        assert dtd.cardinality("movie", "director") == Cardinality.PLUS
+
+    def test_pcdata_allows_text(self):
+        dtd = parse_dtd(MOVIE_DTD_TEXT)
+        assert dtd.declaration("title").allows_text
+        assert not dtd.declaration("movie").allows_text
+
+    def test_empty_model(self):
+        dtd = parse_dtd("<!ELEMENT br EMPTY>")
+        assert dtd.declaration("br").children == {}
+
+    def test_any_model_allows_text(self):
+        dtd = parse_dtd("<!ELEMENT x ANY>")
+        assert dtd.declaration("x").allows_text
+
+    def test_choice_separator_accepted(self):
+        dtd = parse_dtd("<!ELEMENT x (a | b)>")
+        assert set(dtd.declaration("x").children) == {"a", "b"}
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT x (a, a)>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("this is not a dtd")
+
+    def test_unsupported_model_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT x ((a, b) | c)>")
+
+    def test_empty_text_gives_empty_dtd(self):
+        assert parse_dtd("").declarations == {}
+
+
+class TestValidation:
+    @pytest.fixture
+    def dtd(self):
+        return parse_dtd(MOVIE_DTD_TEXT)
+
+    def test_valid_document(self, dtd):
+        doc = parse_document(
+            "<movies><movie><title>J</title><director>S</director></movie></movies>"
+        )
+        assert dtd.validate(doc) == []
+
+    def test_missing_required_child(self, dtd):
+        doc = parse_document("<movies><movie><title>J</title></movie></movies>")
+        violations = dtd.validate(doc)
+        assert any("director" in str(v) for v in violations)
+
+    def test_duplicate_single_child(self, dtd):
+        doc = parse_document(
+            "<movies><movie><title>a</title><title>b</title>"
+            "<director>d</director></movie></movies>"
+        )
+        assert any("title" in str(v) for v in dtd.validate(doc))
+
+    def test_unexpected_child(self, dtd):
+        doc = parse_document(
+            "<movies><movie><title>a</title><director>d</director>"
+            "<budget>1</budget></movie></movies>"
+        )
+        assert any("budget" in str(v) for v in dtd.validate(doc))
+
+    def test_text_where_disallowed(self, dtd):
+        doc = parse_document("<movies>stray text</movies>")
+        assert any("text" in str(v) for v in dtd.validate(doc))
+
+    def test_undeclared_elements_are_open_world(self, dtd):
+        doc = parse_document("<library><movies/></library>")
+        assert dtd.validate(doc) == []
+
+    def test_check_raises(self, dtd):
+        doc = parse_document("<movies><movie/></movies>")
+        with pytest.raises(DTDViolation):
+            dtd.check(doc)
+
+    def test_is_single(self, dtd):
+        assert dtd.is_single("movie", "title")
+        assert dtd.is_single("movie", "year")
+        assert not dtd.is_single("movie", "genre")
+        assert not dtd.is_single("movies", "movie")
+        assert not dtd.is_single("unknown", "title")
+
+    def test_programmatic_declare(self):
+        dtd = DTD()
+        dtd.declare("person", {"nm": Cardinality.ONE, "tel": Cardinality.ONE})
+        assert dtd.is_single("person", "tel")

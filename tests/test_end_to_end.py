@@ -1,0 +1,174 @@
+"""End-to-end scenarios across the whole stack.
+
+Each test walks a complete user journey — load sources, integrate, store,
+query, give feedback, reload — asserting cross-module invariants that no
+single-module test covers (persistence round-trips of *conditioned*
+documents, query consistency across serialisation, report/stats
+agreement).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rules import DeepEqualRule, KeyFieldRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD
+from repro.data.imdb import MOVIE_DTD, imdb_document
+from repro.data.movies import confusing_mpeg7_six, sequels_six_imdb
+from repro.data.mpeg7 import mpeg7_document
+from repro.dbms.module import ImpreciseModule
+from repro.dbms.store import DocumentStore
+from repro.experiments import (
+    QUERY_HORROR,
+    movie_config,
+    section6_document,
+    standard_rules,
+)
+from repro.pxml.model import px_deep_equal
+from repro.pxml.serialize import parse_pxml, pxml_to_text
+from repro.pxml.stats import tree_stats
+from repro.query.engine import ProbQueryEngine
+from repro.xmlkit.serializer import serialize
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+
+class TestMovieWorkflow:
+    """The §VII demo, start to finish, on a persistent store."""
+
+    @pytest.fixture
+    def module(self, tmp_path):
+        module = ImpreciseModule(DocumentStore(tmp_path))
+        module.load_document("mpeg7", mpeg7_document(confusing_mpeg7_six()))
+        module.load_document("imdb", imdb_document(sequels_six_imdb()))
+        return module
+
+    def test_full_demo_workflow(self, module, tmp_path):
+        # 1. Configure with the full rule set, integrate, store.
+        report = module.integrate(
+            "mpeg7", "imdb", "movies",
+            rules=standard_rules("genre", "title", "year"),
+            dtd=MOVIE_DTD,
+        )
+        assert report.undecided_pairs == 3  # one per franchise
+
+        # 2. Query the stored result.
+        titles = module.query("movies", "//movie/title")
+        assert titles.probability_of("Jaws") == 1
+
+        # 3. Feedback persists through the store.
+        module.feedback("movies", "//movie/title", "Jaws: The Revenge",
+                        correct=True)
+
+        # 4. A fresh module over the same directory sees the posterior.
+        reopened = ImpreciseModule(DocumentStore(tmp_path))
+        answer = reopened.query("movies", "//movie/title")
+        assert answer.probability_of("Jaws: The Revenge") == 1
+
+    def test_stats_match_report(self, module):
+        report = module.integrate(
+            "mpeg7", "imdb", "movies",
+            rules=standard_rules("genre", "title", "year"),
+            dtd=MOVIE_DTD,
+        )
+        stats = module.stats("movies")
+        assert stats.total == report.total_nodes
+        assert stats.world_count == report.world_count
+
+
+class TestSerializationConsistency:
+    """Queries must return identical answers before and after a
+    serialisation round-trip (fresh uids must not change semantics)."""
+
+    def test_section6_roundtrip_query_equality(self):
+        document = section6_document().document
+        reloaded = parse_pxml(pxml_to_text(document))
+        assert px_deep_equal(reloaded.root, document.root)
+        original = ProbQueryEngine(document).query(QUERY_HORROR)
+        after = ProbQueryEngine(reloaded).query(QUERY_HORROR)
+        assert {i.value: i.probability for i in original} == {
+            i.value: i.probability for i in after
+        }
+
+    def test_conditioned_document_roundtrip(self, tmp_path):
+        from repro.feedback.conditioning import FeedbackSession
+
+        document = section6_document().document
+        session = FeedbackSession(document)
+        session.confirm(QUERY_HORROR, "Jaws")
+
+        store = DocumentStore(tmp_path)
+        store.put("posterior", session.document)
+        reloaded = DocumentStore(tmp_path).get("posterior")
+        answer = ProbQueryEngine(reloaded).query(QUERY_HORROR)
+        assert answer.probability_of("Jaws") == 1
+
+
+class TestCrossSourceConsistency:
+    """The same information through different paths gives the same
+    numbers: module vs direct engine, XPath vs FLWOR."""
+
+    def test_module_equals_direct_engine(self):
+        from repro.core.engine import Integrator
+
+        module = ImpreciseModule()
+        module.load_document("a", mpeg7_document(confusing_mpeg7_six()))
+        module.load_document("b", imdb_document(sequels_six_imdb()))
+        module.integrate(
+            "a", "b", "out", rules=standard_rules("genre", "title", "year"),
+            dtd=MOVIE_DTD,
+        )
+        via_module = module.query("out", "//movie/year")
+
+        config = movie_config("genre", "title", "year")
+        direct = Integrator(config).integrate(
+            mpeg7_document(confusing_mpeg7_six()),
+            imdb_document(sequels_six_imdb()),
+        )
+        via_engine = ProbQueryEngine(direct.document).query("//movie/year")
+        assert {i.value: i.probability for i in via_module} == {
+            i.value: i.probability for i in via_engine
+        }
+
+    def test_xpath_equals_flwor(self):
+        from repro.dbms.xq import evaluate_flwor_ranked
+
+        document = section6_document().document
+        xpath_answer = ProbQueryEngine(document).query("//movie/year")
+        flwor_answer = evaluate_flwor_ranked(
+            document, "for $m in //movie return $m/year"
+        )
+        assert {i.value: i.probability for i in xpath_answer} == {
+            i.value: i.probability for i in flwor_answer
+        }
+
+
+class TestKeyedAddressbooks:
+    """A small dataspace with a key rule: repeated observations of the
+    same value accumulate probability mass (sequential Bayes)."""
+
+    def test_repeated_observation_raises_confidence(self):
+        from repro.core.engine import IntegrationConfig
+        from repro.core.incremental import integrate_many
+        from repro.core.oracle import Oracle
+        from repro.xmlkit.parser import parse_document
+
+        def book(tel):
+            return parse_document(
+                f"<addressbook><person><nm>John</nm><tel>{tel}</tel>"
+                "</person></addressbook>"
+            )
+
+        config = IntegrationConfig(
+            oracle=Oracle([DeepEqualRule(), KeyFieldRule("person", "nm"),
+                           LeafValueRule()]),
+            dtd=ADDRESSBOOK_DTD,
+        )
+        two, _ = integrate_many([book("1111"), book("2222")], config)
+        three, _ = integrate_many(
+            [book("1111"), book("2222"), book("1111")], config
+        )
+        p_two = ProbQueryEngine(two).query("//person/tel").probability_of("1111")
+        p_three = ProbQueryEngine(three).query("//person/tel").probability_of("1111")
+        assert p_two == Fraction(1, 2)
+        assert p_three == Fraction(3, 4)

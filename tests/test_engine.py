@@ -1,0 +1,286 @@
+"""Tests for the integration engine (§III)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import (
+    IntegrationConfig,
+    Integrator,
+    analyze_sequences,
+    integrate,
+)
+from repro.core.oracle import ConstantPrior, Oracle
+from repro.core.rules import (
+    Decision,
+    DeepEqualRule,
+    LeafValueRule,
+    MatchContext,
+    PersonNameReconciler,
+    PredicateRule,
+)
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.errors import IntegrationConflict, IntegrationError
+from repro.pxml.worlds import iter_worlds, world_count
+from repro.pxml.model import validate_document
+from repro.xmlkit.nodes import XDocument, canonical_key, element
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serializer import serialize
+from .conftest import source_pairs
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+
+def world_set(document):
+    return {
+        serialize(world.document): world.probability
+        for world in iter_worlds(document, limit=None)
+    }
+
+
+class TestFigure2:
+    """The paper's running example: exactly three possible worlds."""
+
+    def test_three_worlds(self, address_books, address_dtd):
+        result = integrate(*address_books, rules=GENERIC, dtd=address_dtd)
+        worlds = world_set(result.document)
+        assert len(worlds) == 3
+
+    def test_world_contents(self, address_books, address_dtd):
+        result = integrate(*address_books, rules=GENERIC, dtd=address_dtd)
+        worlds = world_set(result.document)
+        two_johns = (
+            "<addressbook><person><nm>John</nm><tel>1111</tel></person>"
+            "<person><nm>John</nm><tel>2222</tel></person></addressbook>"
+        )
+        assert worlds[two_johns] == Fraction(1, 2)
+        assert (
+            worlds["<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>"]
+            == Fraction(1, 4)
+        )
+
+    def test_without_dtd_john_may_have_two_phones(self, address_books):
+        result = integrate(*address_books, rules=GENERIC)
+        worlds = world_set(result.document)
+        merged = (
+            "<addressbook><person><nm>John</nm><tel>1111</tel>"
+            "<tel>2222</tel></person></addressbook>"
+        )
+        assert merged in worlds
+
+    def test_result_is_valid_model(self, address_books, address_dtd):
+        result = integrate(*address_books, rules=GENERIC, dtd=address_dtd)
+        validate_document(result.document)
+
+    def test_report_counts_the_undecided_pair(self, address_books, address_dtd):
+        result = integrate(*address_books, rules=GENERIC, dtd=address_dtd)
+        assert result.report.undecided_pairs == 1
+        assert result.report.pairs_judged == 1
+
+
+class TestBasicMerging:
+    def test_identical_documents_stay_certain(self):
+        doc = parse_document("<r><x>1</x><y>2</y></r>")
+        result = integrate(doc, parse_document("<r><x>1</x><y>2</y></r>"), rules=GENERIC)
+        assert result.document.is_certain()
+
+    def test_root_tags_must_align(self):
+        with pytest.raises(IntegrationError):
+            integrate(parse_document("<a/>"), parse_document("<b/>"), rules=GENERIC)
+
+    def test_disjoint_children_union(self):
+        result = integrate(
+            parse_document("<r><x>1</x></r>"),
+            parse_document("<r><y>2</y></r>"),
+            rules=GENERIC,
+        )
+        assert result.document.is_certain()
+        worlds = world_set(result.document)
+        assert "<r><x>1</x><y>2</y></r>" in worlds
+
+    def test_leaf_conflict_becomes_choice(self):
+        # Same single-valued leaf, different values.
+        dtd_text = "<!ELEMENT r (v)><!ELEMENT v (#PCDATA)>"
+        from repro.xmlkit.dtd import parse_dtd
+        result = integrate(
+            parse_document("<r><v>1</v></r>"),
+            parse_document("<r><v>2</v></r>"),
+            rules=GENERIC,
+            dtd=parse_dtd(dtd_text),
+        )
+        worlds = world_set(result.document)
+        assert worlds == {
+            "<r><v>1</v></r>": Fraction(1, 2),
+            "<r><v>2</v></r>": Fraction(1, 2),
+        }
+
+    def test_source_weights_bias_conflicts(self):
+        from repro.xmlkit.dtd import parse_dtd
+        config = IntegrationConfig(
+            oracle=Oracle(GENERIC),
+            dtd=parse_dtd("<!ELEMENT r (v)><!ELEMENT v (#PCDATA)>"),
+            source_weights=("3/4", "1/4"),
+        )
+        result = Integrator(config).integrate(
+            parse_document("<r><v>1</v></r>"), parse_document("<r><v>2</v></r>")
+        )
+        assert world_set(result.document)["<r><v>1</v></r>"] == Fraction(3, 4)
+
+    def test_bad_source_weights_rejected(self):
+        with pytest.raises(IntegrationError):
+            IntegrationConfig(oracle=Oracle(GENERIC), source_weights=("1/2", "1/3"))
+
+    def test_attribute_union_and_conflict_report(self):
+        result = integrate(
+            parse_document('<r a="1" c="x"/>'),
+            parse_document('<r b="2" c="y"/>'),
+            rules=GENERIC,
+        )
+        assert result.report.attribute_conflicts == 1
+        root_elements = result.document.root.possibilities[0].children
+        assert root_elements[0].attributes == {"a": "1", "b": "2", "c": "x"}
+
+    def test_reconciler_prevents_choice(self):
+        from repro.xmlkit.dtd import parse_dtd
+        config = IntegrationConfig(
+            oracle=Oracle(GENERIC),
+            dtd=parse_dtd("<!ELEMENT r (d)><!ELEMENT d (#PCDATA)>"),
+            reconcilers=(PersonNameReconciler(("d",)),),
+        )
+        result = Integrator(config).integrate(
+            parse_document("<r><d>John Woo</d></r>"),
+            parse_document("<r><d>Woo, John</d></r>"),
+        )
+        assert result.document.is_certain()
+        assert result.report.value_conflicts == 0
+
+
+class TestSequenceMerging:
+    def test_certain_match_merges_once(self):
+        result = integrate(
+            parse_document("<r><g>Action</g></r>"),
+            parse_document("<r><g>Action</g></r>"),
+            rules=GENERIC,
+        )
+        assert world_set(result.document) == {"<r><g>Action</g></r>": Fraction(1)}
+
+    def test_certain_non_match_keeps_both(self):
+        result = integrate(
+            parse_document("<r><g>Action</g></r>"),
+            parse_document("<r><g>Horror</g></r>"),
+            rules=GENERIC,
+        )
+        worlds = world_set(result.document)
+        assert list(worlds.values()) == [Fraction(1)]
+        assert "Action" in next(iter(worlds)) and "Horror" in next(iter(worlds))
+
+    def test_uncertain_pair_two_worlds(self):
+        # Non-leaf records with no deciding rule → prior ½.
+        result = integrate(
+            parse_document("<r><p><n>ann</n></p></r>"),
+            parse_document("<r><p><n>ann</n><t>1</t></p></r>"),
+            rules=[DeepEqualRule()],
+        )
+        assert world_count(result.document) == 2
+
+    def test_ambiguous_certain_matches_demoted(self):
+        # One element certainly matching two partners: the pairings become
+        # an uncertain choice, never a double merge (sibling distinctness).
+        match_all = PredicateRule("match-all", lambda a, b, ctx: Decision.MATCH, tags=("p",))
+        result = integrate(
+            parse_document("<r><p><n>a</n></p></r>"),
+            parse_document("<r><p><n>a</n></p><p><n>b</n></p></r>"),
+            rules=[match_all, LeafValueRule()],
+        )
+        # worlds: merge with first, merge with second, merge with neither.
+        assert world_count(result.document) == 3
+
+    def test_duplicate_siblings_stay_distinct(self):
+        # Two identical persons in one source vs one in the other: the
+        # duplicate siblings are distinct rwos; only one can merge.
+        result = integrate(
+            parse_document("<r><p><n>a</n></p><p><n>a</n></p></r>"),
+            parse_document("<r><p><n>a</n></p></r>"),
+            rules=[DeepEqualRule()],
+        )
+        for world in iter_worlds(result.document):
+            persons = world.document.root.child_elements("p")
+            assert len(persons) >= 2
+
+    def test_factored_vs_joint_same_worlds(self):
+        source_a = parse_document("<r><p><n>a</n></p><p><n>b</n></p></r>")
+        source_b = parse_document("<r><p><n>a</n><t>1</t></p><p><n>c</n></p></r>")
+        factored = integrate(source_a, source_b, rules=[DeepEqualRule()], factor_components=True)
+        joint = integrate(source_a, source_b, rules=[DeepEqualRule()], factor_components=False)
+        merged_f = {canonical_key(d.root): p for d, p in
+                    __import__("repro.pxml.worlds", fromlist=["distinct_worlds"]).distinct_worlds(factored.document, limit=None)}
+        merged_j = {canonical_key(d.root): p for d, p in
+                    __import__("repro.pxml.worlds", fromlist=["distinct_worlds"]).distinct_worlds(joint.document, limit=None)}
+        assert merged_f == merged_j
+
+    def test_joint_representation_is_larger(self):
+        source_a = parse_document("<r><p><n>a</n></p><p><n>b</n></p></r>")
+        source_b = parse_document("<r><p><n>a</n><t>1</t></p><p><n>b</n><t>2</t></p></r>")
+        factored = integrate(source_a, source_b, rules=[DeepEqualRule()], factor_components=True)
+        joint = integrate(source_a, source_b, rules=[DeepEqualRule()], factor_components=False)
+        assert joint.document.node_count() >= factored.document.node_count()
+
+    def test_oracle_and_one_sided_groups(self):
+        result = integrate(
+            parse_document("<r><x>1</x><x>2</x></r>"),
+            parse_document("<r/>"),
+            rules=GENERIC,
+        )
+        assert result.document.is_certain()
+        assert result.report.pairs_judged == 0
+
+
+class TestAnalyzeSequences:
+    def test_classification(self):
+        oracle = Oracle(GENERIC)
+        elements_a = [element("g", "x"), element("g", "y")]
+        elements_b = [element("g", "x"), element("g", "z")]
+        analysis = analyze_sequences("g", elements_a, elements_b, oracle,
+                                     MatchContext(tag="g"))
+        assert analysis.certain_pairs == [(0, 0)]
+        assert analysis.problem.pairs == ()
+        assert analysis.free_a == [1]
+        assert analysis.free_b == [1]
+
+    def test_certain_match_suppresses_other_pairs(self):
+        # a0 certainly matches b0; an uncertain a0-b1 pair must vanish.
+        def judge(a, b, ctx):
+            if a.text() == b.text():
+                return Decision.MATCH
+            return None
+        oracle = Oracle([PredicateRule("eq", judge)])
+        elements_a = [element("p", "same")]
+        elements_b = [element("p", "same"), element("p", "other")]
+        analysis = analyze_sequences("p", elements_a, elements_b, oracle,
+                                     MatchContext(tag="p"))
+        assert analysis.certain_pairs == [(0, 0)]
+        assert analysis.problem.pairs == ()
+        assert analysis.free_b == [1]
+
+
+class TestProbabilityMass:
+    @given(source_pairs())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_integration_worlds_sum_to_one(self, pair):
+        source_a, source_b = pair
+        result = integrate(source_a, source_b, rules=[DeepEqualRule()],
+                           max_possibilities=5000)
+        if world_count(result.document) <= 2000:
+            total = sum(w.probability for w in iter_worlds(result.document, limit=None))
+            assert total == 1
+
+    @given(source_pairs())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_result_is_always_valid(self, pair):
+        source_a, source_b = pair
+        result = integrate(source_a, source_b, rules=[DeepEqualRule()],
+                           max_possibilities=5000)
+        validate_document(result.document)

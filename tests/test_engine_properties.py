@@ -1,0 +1,160 @@
+"""Cross-cutting semantic properties of the integration engine.
+
+These pin down behaviours a downstream user would rely on:
+
+* **symmetry** — with symmetric source weights, integrating (a, b) and
+  (b, a) yields the same distribution over worlds;
+* **idempotence** — integrating a document with itself is certain and
+  (deep-)equal to the original;
+* **identity** — integrating with an empty sibling list changes nothing;
+* **explosion guard** — oversized possibility spaces raise
+  :class:`ExplosionError` with a usable estimate instead of hanging.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import integrate
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.errors import ExplosionError
+from repro.pxml.build import to_certain
+from repro.pxml.worlds import distinct_worlds, world_count
+from repro.xmlkit.nodes import canonical_key, deep_equal
+from repro.xmlkit.parser import parse_document
+from .conftest import source_pairs, xml_documents
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+
+def world_distribution(document):
+    return {
+        canonical_key(doc.root): prob
+        for doc, prob in distinct_worlds(document, limit=None)
+    }
+
+
+class TestSymmetry:
+    @given(source_pairs())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_integration_is_symmetric_up_to_value_order(self, pair):
+        """With ½/½ source weights the two directions define the same
+        distribution over worlds."""
+        source_a, source_b = pair
+        forward = integrate(source_a, source_b, rules=GENERIC,
+                            max_possibilities=5000)
+        backward = integrate(source_b, source_a, rules=GENERIC,
+                             max_possibilities=5000)
+        if world_count(forward.document) > 1500:
+            return
+        assert world_distribution(forward.document) == world_distribution(
+            backward.document
+        )
+
+    def test_symmetry_on_figure2(self):
+        from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+        book_a, book_b = addressbook_documents()
+        forward = integrate(book_a, book_b, rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        backward = integrate(book_b, book_a, rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        assert world_distribution(forward.document) == world_distribution(
+            backward.document
+        )
+
+
+class TestIdempotence:
+    @staticmethod
+    def _normalized_key(element):
+        """Canonical key after the engine's text normalisation, mirroring
+        ``merge_pair`` exactly: leaf elements keep their concatenated text
+        (ends stripped); mixed content keeps each text node individually
+        stripped, repositioned into one block after the elements."""
+        from repro.xmlkit.nodes import XElement, XText
+
+        def normalize(node):
+            clone = XElement(node.tag, dict(node.attributes))
+            element_children = [
+                child for child in node.children if isinstance(child, XElement)
+            ]
+            text_children = [
+                child.value
+                for child in node.children
+                if isinstance(child, XText)
+            ]
+            if not element_children:
+                text = "".join(text_children).strip()
+                if text:
+                    clone.append(XText(text))
+                return clone
+            for child in element_children:
+                clone.append(normalize(child))
+            stray = "".join(part.strip() for part in text_children if part.strip())
+            if stray:
+                clone.append(XText(stray))
+            return clone
+
+        return canonical_key(normalize(element))
+
+    @given(xml_documents())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_self_integration_is_certain(self, document):
+        result = integrate(document, document.copy(), rules=GENERIC,
+                           max_possibilities=5000)
+        if not result.document.is_certain():
+            # Duplicate-looking siblings legitimately stay ambiguous
+            # (sibling distinctness); anything else must be certain.
+            assert result.report.ambiguous_matches > 0
+            return
+        merged = to_certain(result.document)
+        assert self._normalized_key(merged.root) == self._normalized_key(
+            document.root
+        )
+
+
+class TestIdentity:
+    def test_empty_other_side_preserves_content(self):
+        source = parse_document("<r><x>1</x><y><z>2</z></y></r>")
+        result = integrate(source, parse_document("<r/>"), rules=GENERIC)
+        assert result.document.is_certain()
+        assert deep_equal(to_certain(result.document).root, source.root)
+
+    def test_both_empty(self):
+        result = integrate(parse_document("<r/>"), parse_document("<r/>"),
+                           rules=GENERIC)
+        assert result.document.is_certain()
+        assert to_certain(result.document).root.tag == "r"
+
+
+class TestExplosionGuard:
+    def _confusable_sources(self, count):
+        # Non-leaf records with no deciding rule → all pairs uncertain.
+        records_a = "".join(f"<p><q><n>a{i}</n></q></p>" for i in range(count))
+        records_b = "".join(f"<p><q><m>b{i}</m></q></p>" for i in range(count))
+        return (
+            parse_document(f"<r>{records_a}</r>"),
+            parse_document(f"<r>{records_b}</r>"),
+        )
+
+    def test_budget_exceeded_raises(self):
+        source_a, source_b = self._confusable_sources(6)
+        with pytest.raises(ExplosionError) as excinfo:
+            integrate(source_a, source_b, rules=[DeepEqualRule()],
+                      max_possibilities=100)
+        assert excinfo.value.estimated == 13327
+
+    def test_budget_sufficient_succeeds(self):
+        source_a, source_b = self._confusable_sources(3)
+        result = integrate(source_a, source_b, rules=[DeepEqualRule()],
+                           max_possibilities=100)
+        # 3-vs-3 all-uncertain: Σ C(3,k)² k! = 34 matchings.
+        assert result.report.largest_choice == 34
+
+    def test_estimator_predicts_the_explosion(self):
+        from repro.core.engine import IntegrationConfig
+        from repro.core.estimate import estimate_integration
+        from repro.core.oracle import Oracle
+        source_a, source_b = self._confusable_sources(6)
+        config = IntegrationConfig(oracle=Oracle([DeepEqualRule()]),
+                                   max_possibilities=100)
+        estimate = estimate_integration(source_a, source_b, config)
+        assert estimate.possibility_count == 13327

@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.XMLParseError,
+    errors.DTDError,
+    errors.DTDViolation,
+    errors.XPathSyntaxError,
+    errors.XPathEvaluationError,
+    errors.ModelError,
+    errors.ProbabilityError,
+    errors.IntegrationError,
+    errors.IntegrationConflict,
+    errors.ExplosionError,
+    errors.QueryError,
+    errors.FeedbackError,
+    errors.StoreError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_imprecise_error(self, error_type):
+        assert issubclass(error_type, errors.ImpreciseError)
+
+    def test_integration_subtypes(self):
+        assert issubclass(errors.IntegrationConflict, errors.IntegrationError)
+        assert issubclass(errors.ExplosionError, errors.IntegrationError)
+
+    def test_single_catch_covers_library(self):
+        with pytest.raises(errors.ImpreciseError):
+            raise errors.QueryError("boom")
+
+
+class TestPayloads:
+    def test_parse_error_location(self):
+        error = errors.XMLParseError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_parse_error_without_location(self):
+        assert str(errors.XMLParseError("bad")) == "bad"
+
+    def test_xpath_error_position(self):
+        error = errors.XPathSyntaxError("bad", position=4, text="//a[")
+        assert "offset 4" in str(error)
+
+    def test_explosion_estimate(self):
+        error = errors.ExplosionError("too big", estimated=12345)
+        assert error.estimated == 12345

@@ -1,0 +1,119 @@
+"""Tests for the analytic size estimator.
+
+The headline property: the estimator equals the materialised engine result
+*exactly* — node counts and world counts — in both representation modes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import IntegrationConfig, Integrator
+from repro.core.estimate import estimate_integration
+from repro.core.oracle import ConstantPrior, Oracle
+from repro.core.rules import DeepEqualRule, LeafValueRule, PersonNameReconciler
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.errors import IntegrationError
+from repro.pxml.stats import tree_stats
+from repro.xmlkit.parser import parse_document
+from .conftest import source_pairs
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+
+def both_modes(source_a, source_b, **kwargs):
+    for factored in (True, False):
+        config = IntegrationConfig(
+            oracle=Oracle(GENERIC, prior=ConstantPrior("1/2")),
+            factor_components=factored,
+            max_possibilities=100_000,
+            **kwargs,
+        )
+        result = Integrator(config).integrate(source_a, source_b)
+        estimate = estimate_integration(source_a, source_b, config)
+        stats = tree_stats(result.document)
+        yield factored, stats, estimate
+
+
+class TestExactAgreement:
+    def test_addressbook(self):
+        book_a, book_b = addressbook_documents()
+        for factored, stats, estimate in both_modes(book_a, book_b, dtd=ADDRESSBOOK_DTD):
+            assert estimate.total_nodes == stats.total, f"factored={factored}"
+            assert estimate.world_count == stats.world_count
+
+    def test_leaf_conflicts(self):
+        source_a = parse_document("<r><p><n>a</n><t>1</t></p></r>")
+        source_b = parse_document("<r><p><n>a</n><t>2</t></p></r>")
+        for factored, stats, estimate in both_modes(source_a, source_b):
+            assert estimate.total_nodes == stats.total
+            assert estimate.world_count == stats.world_count
+
+    def test_multi_element_components(self):
+        source_a = parse_document(
+            "<r><p><n>a</n></p><p><n>b</n></p><p><n>c</n></p></r>"
+        )
+        source_b = parse_document(
+            "<r><p><n>a</n><x>1</x></p><p><n>b</n><x>2</x></p></r>"
+        )
+        for factored, stats, estimate in both_modes(source_a, source_b):
+            assert estimate.total_nodes == stats.total
+            assert estimate.world_count == stats.world_count
+
+    def test_reconcilers_mirrored(self):
+        source_a = parse_document("<r><p><d>John Woo</d><x>q</x></p></r>")
+        source_b = parse_document("<r><p><d>Woo, John</d><x>q</x></p></r>")
+        for factored, stats, estimate in both_modes(
+            source_a, source_b, reconcilers=(PersonNameReconciler(("d",)),)
+        ):
+            assert estimate.total_nodes == stats.total
+            assert estimate.world_count == stats.world_count
+
+    @given(source_pairs())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_property_agreement(self, pair):
+        source_a, source_b = pair
+        for factored, stats, estimate in both_modes(source_a, source_b):
+            assert estimate.total_nodes == stats.total, f"factored={factored}"
+            assert estimate.world_count == stats.world_count, f"factored={factored}"
+
+
+class TestDiagnostics:
+    def test_group_diagnostics_present(self):
+        source_a = parse_document("<r><p><n>a</n></p></r>")
+        source_b = parse_document("<r><p><n>a</n><x>1</x></p></r>")
+        config = IntegrationConfig(oracle=Oracle([DeepEqualRule()]))
+        estimate = estimate_integration(source_a, source_b, config)
+        assert len(estimate.groups) == 1
+        group = estimate.groups[0]
+        assert group.tag == "p"
+        assert group.parent_tag == "r"
+        assert group.joint_matchings == 2
+        assert estimate.possibility_count == 2
+
+    def test_no_uncertain_groups(self):
+        source = parse_document("<r><p><n>a</n></p></r>")
+        config = IntegrationConfig(oracle=Oracle(GENERIC))
+        estimate = estimate_integration(source, source.copy(), config)
+        assert estimate.groups == []
+        assert estimate.possibility_count == 1
+
+    def test_root_mismatch_mirrors_engine(self):
+        config = IntegrationConfig(oracle=Oracle(GENERIC))
+        with pytest.raises(IntegrationError):
+            estimate_integration(
+                parse_document("<a/>"), parse_document("<b/>"), config
+            )
+
+    def test_estimator_ignores_possibility_budget(self):
+        # 5×5 all-uncertain: 1546 matchings, budget 10 — the engine would
+        # refuse, the estimator must not.
+        record = "".join(f"<p><n>n{i}</n></p>" for i in range(5))
+        other = "".join(f"<p><m>m{i}</m></p>" for i in range(5))
+        source_a = parse_document(f"<r>{record}</r>")
+        source_b = parse_document(f"<r>{other}</r>")
+        config = IntegrationConfig(
+            oracle=Oracle([DeepEqualRule()]), max_possibilities=10
+        )
+        estimate = estimate_integration(source_a, source_b, config)
+        assert estimate.possibility_count == 1546

@@ -1,0 +1,156 @@
+"""Integration tests for the paper's experiment setups — the structural
+claims of §V/§VI that the reproduction must hit exactly."""
+
+import pytest
+
+from repro.core.estimate import estimate_integration
+from repro.experiments import (
+    FIGURE5_SERIES,
+    QUERY_HORROR,
+    QUERY_JOHN,
+    TABLE1_PAPER_NODES_X1000,
+    TABLE1_ROWS,
+    figure5_sources,
+    movie_config,
+    run_table1_row,
+    run_typical,
+    section6_document,
+    table1_config,
+    table1_sources,
+)
+from repro.pxml.stats import tree_stats
+from repro.query.engine import ProbQueryEngine, query_enumeration
+
+
+@pytest.fixture(scope="module")
+def table1_estimates():
+    source_a, source_b = table1_sources()
+    return [
+        estimate_integration(source_a, source_b, table1_config(names))
+        for _, names in TABLE1_ROWS
+    ]
+
+
+class TestTableOne:
+    def test_no_rules_matches_k66_matchings(self, table1_estimates):
+        # 6 vs 6 all-uncertain: Σ C(6,k)² k! = 13 327 joint matchings.
+        assert table1_estimates[0].possibility_count == 13327
+
+    def test_rule_sets_monotonically_shrink(self, table1_estimates):
+        nodes = [estimate.total_nodes for estimate in table1_estimates]
+        assert nodes == sorted(nodes, reverse=True)
+        assert all(nodes[i] > nodes[i + 1] for i in range(len(nodes) - 1))
+
+    def test_reduction_spans_orders_of_magnitude(self, table1_estimates):
+        first, last = table1_estimates[0], table1_estimates[-1]
+        assert first.total_nodes / last.total_nodes > 100
+
+    def test_full_rules_leave_three_undecided_franchise_pairs(self):
+        result = run_table1_row(("genre", "title", "year"))
+        assert result.report.undecided_pairs >= 3
+        movie_groups = [g for g in
+                        estimate_integration(*table1_sources(),
+                                             table1_config(("genre", "title", "year"))).groups
+                        if g.tag == "movie"]
+        assert movie_groups[0].joint_matchings == 8  # 2^3: one pair per franchise
+
+    def test_smallest_rows_materialize_to_estimated_size(self):
+        source_a, source_b = table1_sources()
+        for _, names in TABLE1_ROWS[2:]:
+            config = table1_config(names)
+            estimate = estimate_integration(source_a, source_b, config)
+            from repro.core.engine import Integrator
+            result = Integrator(config).integrate(source_a, source_b)
+            assert tree_stats(result.document).total == estimate.total_nodes
+
+
+class TestFigureFive:
+    def test_growth_is_monotone(self):
+        for label, names in FIGURE5_SERIES:
+            previous = 0
+            for count in (0, 12, 24, 36):
+                source_a, source_b = figure5_sources(count)
+                config = movie_config(*names, factor_components=False)
+                estimate = estimate_integration(source_a, source_b, config)
+                assert estimate.total_nodes > previous, (label, count)
+                previous = estimate.total_nodes
+
+    def test_year_rule_separates_series(self):
+        source_a, source_b = figure5_sources(36)
+        title_only = estimate_integration(
+            source_a, source_b, movie_config("title", factor_components=False)
+        )
+        with_year = estimate_integration(
+            source_a, source_b, movie_config("title", "year", factor_components=False)
+        )
+        assert title_only.total_nodes > 10 * with_year.total_nodes
+
+    def test_confusing_conditions_explode(self):
+        source_a, source_b = figure5_sources(60)
+        config = movie_config("title", factor_components=False)
+        estimate = estimate_integration(source_a, source_b, config)
+        assert estimate.total_nodes > 10**8  # the paper's 10⁸–10⁹ regime
+
+
+class TestTypicalConditions:
+    """§V: 'only on two occasions The Oracle could not make an absolute
+    decision. The integrated document of about 3500 nodes compactly stores
+    the resulting 4 possible worlds.'"""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_typical()
+
+    def test_exactly_two_undecided(self, result):
+        assert result.report.undecided_pairs == 2
+
+    def test_exactly_four_worlds(self, result):
+        assert result.report.world_count == 4
+
+    def test_about_3500_nodes(self, result):
+        assert 2500 <= result.report.total_nodes <= 4500
+
+    def test_two_binary_choice_points(self, result):
+        assert result.report.choice_points == 2
+        assert result.report.largest_choice == 2
+
+
+class TestSectionSixQueries:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return section6_document().document
+
+    def test_horror_query_answers(self, document):
+        """Paper: 'the ranked answer contains only two movies: Jaws and
+        Jaws 2 with an equal rank of 97%.'"""
+        answer = ProbQueryEngine(document).query(QUERY_HORROR)
+        assert answer.values() == ["Jaws", "Jaws 2"] or answer.values() == ["Jaws 2", "Jaws"]
+        for item in answer:
+            assert 0.90 <= float(item.probability) < 1.0
+
+    def test_horror_ranks_equal(self, document):
+        answer = ProbQueryEngine(document).query(QUERY_HORROR)
+        assert answer.probability_of("Jaws") == answer.probability_of("Jaws 2")
+
+    def test_john_query_ordering(self, document):
+        """Paper: 100% Die Hard: With a Vengeance, 96% Mission: Impossible
+        II, 21% Mission: Impossible — same ordering, WaV certain, the bare
+        title a low-probability incorrect answer."""
+        answer = ProbQueryEngine(document).query(QUERY_JOHN)
+        assert answer.values()[0] == "Die Hard: With a Vengeance"
+        assert answer.probability_of("Die Hard: With a Vengeance") == 1
+        assert answer.values()[1] == "Mission: Impossible II"
+        low = answer.probability_of("Mission: Impossible")
+        assert 0 < float(low) <= 0.35
+
+    def test_queries_agree_with_enumeration(self, document):
+        for query in (QUERY_HORROR, QUERY_JOHN):
+            event_based = {
+                item.value: item.probability
+                for item in ProbQueryEngine(document).query(query)
+            }
+            enumerated = {
+                item.value: item.probability
+                for item in query_enumeration(document, query)
+            }
+            assert event_based == enumerated

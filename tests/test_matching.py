@@ -1,0 +1,187 @@
+"""Tests for partial injective matching enumeration/counting."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.matching import (
+    Component,
+    MatchingProblem,
+    Pair,
+    count_matchings,
+    count_matchings_containing,
+    count_matchings_weighted,
+    enumerate_matchings,
+    matched_count_by_element,
+    matching_distribution,
+    matching_weight,
+)
+from repro.errors import ExplosionError
+
+HALF = Fraction(1, 2)
+
+
+def complete(m, n, prob=HALF):
+    pairs = tuple(Pair(i, j, prob) for i in range(m) for j in range(n))
+    return Component(tuple(range(m)), tuple(range(n)), pairs)
+
+
+def closed_form(m, n):
+    """Number of partial matchings of K_{m,n}: Σ C(m,k)·C(n,k)·k!."""
+    return sum(
+        math.comb(m, k) * math.comb(n, k) * math.factorial(k)
+        for k in range(min(m, n) + 1)
+    )
+
+
+class TestPair:
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            Pair(0, 0, Fraction(0))
+
+    def test_ordering(self):
+        assert Pair(0, 1, HALF) < Pair(1, 0, HALF)
+
+
+class TestMatchingProblem:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MatchingProblem(1, 1, [Pair(0, 5, HALF)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            MatchingProblem(2, 2, [Pair(0, 0, HALF), Pair(0, 0, HALF)])
+
+    def test_free_elements(self):
+        problem = MatchingProblem(3, 2, [Pair(0, 0, HALF)])
+        assert problem.free_left() == [1, 2]
+        assert problem.free_right() == [1]
+
+    def test_components_split_independent_pairs(self):
+        problem = MatchingProblem(4, 4, [Pair(0, 0, HALF), Pair(2, 2, HALF)])
+        components = problem.components()
+        assert len(components) == 2
+        assert components[0].left == (0,)
+
+    def test_components_join_shared_vertices(self):
+        problem = MatchingProblem(
+            3, 3, [Pair(0, 0, HALF), Pair(0, 1, HALF), Pair(1, 1, HALF)]
+        )
+        assert len(problem.components()) == 1
+
+    def test_single_component_view(self):
+        problem = MatchingProblem(4, 4, [Pair(0, 0, HALF), Pair(2, 2, HALF)])
+        joint = problem.as_single_component()
+        assert joint.left == (0, 2)
+
+
+class TestEnumeration:
+    def test_empty_component_one_matching(self):
+        assert enumerate_matchings(Component((), (), ())) == [()]
+
+    def test_single_pair_two_matchings(self):
+        component = complete(1, 1)
+        assert len(enumerate_matchings(component)) == 2
+
+    def test_k22_has_seven(self):
+        assert len(enumerate_matchings(complete(2, 2))) == 7
+
+    def test_injectivity_respected(self):
+        for matching in enumerate_matchings(complete(2, 3)):
+            lefts = [pair.left for pair in matching]
+            rights = [pair.right for pair in matching]
+            assert len(set(lefts)) == len(lefts)
+            assert len(set(rights)) == len(rights)
+
+    def test_deterministic_order(self):
+        first = enumerate_matchings(complete(2, 2))
+        second = enumerate_matchings(complete(2, 2))
+        assert first == second
+        assert first[0] == ()
+
+    def test_limit_guard(self):
+        with pytest.raises(ExplosionError):
+            enumerate_matchings(complete(4, 4), limit=10)
+
+    def test_limit_error_carries_estimate(self):
+        try:
+            enumerate_matchings(complete(4, 4), limit=10)
+        except ExplosionError as error:
+            assert error.estimated == closed_form(4, 4)
+
+
+class TestCounting:
+    @pytest.mark.parametrize("m,n", [(0, 0), (1, 1), (2, 2), (2, 3), (3, 3), (6, 6), (2, 20)])
+    def test_complete_bipartite_closed_form(self, m, n):
+        assert count_matchings(complete(m, n)) == closed_form(m, n)
+
+    def test_sequels_six_count(self):
+        # The Table I "no rules" workload: K(6,6) → 13 327 matchings.
+        assert count_matchings(complete(6, 6)) == 13327
+
+    def test_counts_match_enumeration_sparse(self):
+        pairs = tuple(Pair(i, j, HALF) for i, j in [(0, 0), (0, 1), (1, 1), (2, 0)])
+        component = Component((0, 1, 2), (0, 1), pairs)
+        assert count_matchings(component) == len(enumerate_matchings(component))
+
+    @given(st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10))
+    def test_counting_equals_enumeration(self, edges):
+        pairs = tuple(Pair(i, j, HALF) for i, j in sorted(edges))
+        lefts = tuple(sorted({i for i, _ in edges}))
+        rights = tuple(sorted({j for _, j in edges}))
+        component = Component(lefts, rights, pairs)
+        assert count_matchings(component) == len(enumerate_matchings(component))
+
+    def test_containing_pair(self):
+        component = complete(2, 2)
+        pair = component.pairs[0]
+        explicit = sum(
+            1 for matching in enumerate_matchings(component) if pair in matching
+        )
+        assert count_matchings_containing(component, pair) == explicit
+
+    def test_matched_count_by_element(self):
+        component = complete(2, 2)
+        left_counts, right_counts = matched_count_by_element(component)
+        matchings = enumerate_matchings(component)
+        for i in (0, 1):
+            explicit = sum(
+                1 for m in matchings if any(p.left == i for p in m)
+            )
+            assert left_counts[i] == explicit
+
+    def test_weighted_counting(self):
+        # weight 2 on every pair of K(1,1): Σ = 1 (empty) + 2 (matched).
+        component = complete(1, 1)
+        weights = {(0, 0): 2}
+        assert count_matchings_weighted(component, weights) == 3
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_one(self):
+        distribution = matching_distribution(complete(2, 2))
+        assert sum(prob for _, prob in distribution) == 1
+
+    def test_uniform_with_half_priors(self):
+        distribution = matching_distribution(complete(2, 2, HALF))
+        probabilities = {prob for _, prob in distribution}
+        assert probabilities == {Fraction(1, 7)}
+
+    def test_high_prior_favours_matching(self):
+        distribution = matching_distribution(complete(1, 1, Fraction(9, 10)))
+        by_size = {len(matching): prob for matching, prob in distribution}
+        assert by_size[1] == Fraction(9, 10)
+        assert by_size[0] == Fraction(1, 10)
+
+    def test_weight_formula(self):
+        component = complete(2, 2, Fraction(1, 3))
+        empty_weight = matching_weight((), component)
+        assert empty_weight == Fraction(2, 3) ** 4
+
+    def test_forced_pair_with_probability_one(self):
+        component = Component((0,), (0,), (Pair(0, 0, Fraction(1)),))
+        distribution = matching_distribution(component)
+        assert len(distribution) == 1
+        assert len(distribution[0][0]) == 1

@@ -1,0 +1,79 @@
+"""Tests for information-theoretic uncertainty measures."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.pxml.build import certain_document, certain_prob, choice_prob
+from repro.pxml.measures import uncertainty_profile, world_entropy
+from repro.pxml.model import PXDocument, PXElement, PXText
+from repro.pxml.worlds import iter_worlds, world_count
+from repro.xmlkit.nodes import XDocument, element
+from .conftest import make_leaf, pxml_documents
+
+
+class TestWorldEntropy:
+    def test_certain_document_zero_bits(self):
+        doc = certain_document(XDocument(element("a", element("b", "x"))))
+        assert world_entropy(doc) == 0.0
+
+    def test_fair_coin_one_bit(self):
+        coin = choice_prob([("1/2", [PXText("h")]), ("1/2", [PXText("t")])])
+        doc = PXDocument(certain_prob(PXElement("r", children=[coin])))
+        assert world_entropy(doc) == 1.0
+
+    def test_two_coins_two_bits(self):
+        coins = [
+            choice_prob([("1/2", [PXText("h")]), ("1/2", [PXText("t")])])
+            for _ in range(2)
+        ]
+        doc = PXDocument(certain_prob(PXElement("r", children=coins)))
+        assert world_entropy(doc) == 2.0
+
+    def test_biased_coin_below_one_bit(self):
+        coin = choice_prob([("1/10", [PXText("h")]), ("9/10", [PXText("t")])])
+        doc = PXDocument(certain_prob(PXElement("r", children=[coin])))
+        assert 0.0 < world_entropy(doc) < 1.0
+
+    def test_nested_choice_weighted_by_reachability(self):
+        inner = choice_prob([("1/2", [PXText("a")]), ("1/2", [PXText("b")])])
+        outer = choice_prob([
+            ("1/2", [PXElement("x", children=[inner])]),
+            ("1/2", []),
+        ])
+        doc = PXDocument(certain_prob(PXElement("r", children=[outer])))
+        # H(outer)=1 bit; inner reachable half the time → +0.5 bits.
+        assert world_entropy(doc) == 1.5
+
+    @given(pxml_documents())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_matches_direct_world_entropy(self, doc):
+        """Tree-decomposed entropy equals the entropy of the enumerated
+        choice-world distribution."""
+        if world_count(doc) > 300:
+            return
+        direct = 0.0
+        for world in iter_worlds(doc, limit=None):
+            p = float(world.probability)
+            direct -= p * math.log2(p)
+        assert abs(world_entropy(doc) - direct) < 1e-9
+
+    @given(pxml_documents())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_entropy_bounded_by_log_worlds(self, doc):
+        count = world_count(doc)
+        assert world_entropy(doc) <= math.log2(count) + 1e-9
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        coin = choice_prob([("1/2", [make_leaf("a", "1")]), ("1/2", [])])
+        doc = PXDocument(certain_prob(PXElement("r", children=[coin])))
+        profile = uncertainty_profile(doc)
+        assert profile.worlds == 2
+        assert profile.choice_points == 1
+        assert profile.entropy_bits == 1.0
+        assert "bits" in profile.summary()

@@ -1,0 +1,71 @@
+"""Tests for the ImpreciseModule façade (Figure 4 architecture)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD
+from repro.dbms.module import ImpreciseModule
+from repro.errors import StoreError
+from repro.xmlkit.serializer import serialize
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+BOOK_A = "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>"
+BOOK_B = "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>"
+
+
+@pytest.fixture
+def module():
+    mod = ImpreciseModule()
+    mod.load("a", BOOK_A)
+    mod.load("b", BOOK_B)
+    return mod
+
+
+class TestWorkflow:
+    def test_integrate_reports(self, module):
+        report = module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        assert report.undecided_pairs == 1
+        assert module.store.kind("ab") == "pxml"
+
+    def test_query_ranked(self, module):
+        module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        answer = module.query("ab", "//person/tel")
+        assert answer.probability_of("1111") == Fraction(3, 4)
+
+    def test_query_plain_document(self, module):
+        answer = module.query("a", "//person/tel")
+        assert answer.probability_of("1111") == 1
+
+    def test_stats(self, module):
+        module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        stats = module.stats("ab")
+        assert stats.world_count == 3
+
+    def test_worlds(self, module):
+        module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        worlds = module.worlds("ab")
+        assert len(worlds) == 3
+        assert sum(w.probability for w in worlds) == 1
+
+    def test_feedback_persists_posterior(self, module):
+        module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        step = module.feedback("ab", "//person/tel", "1111", correct=True)
+        assert step.worlds_after < step.worlds_before
+        assert module.query("ab", "//person/tel").probability_of("1111") == 1
+
+    def test_integrating_pxml_source_rejected(self, module):
+        module.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        with pytest.raises(StoreError):
+            module.integrate("ab", "b", "bad", rules=GENERIC)
+
+    def test_persistent_module(self, tmp_path):
+        from repro.dbms.store import DocumentStore
+        first = ImpreciseModule(DocumentStore(tmp_path))
+        first.load("a", BOOK_A)
+        first.load("b", BOOK_B)
+        first.integrate("a", "b", "ab", rules=GENERIC, dtd=ADDRESSBOOK_DTD)
+        second = ImpreciseModule(DocumentStore(tmp_path))
+        assert second.stats("ab").world_count == 3

@@ -1,0 +1,138 @@
+"""Tests for The Oracle (rule combination)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.oracle import ConstantPrior, MatchJudgement, Oracle, SimilarityPrior
+from repro.core.rules import (
+    Decision,
+    DeepEqualRule,
+    LeafValueRule,
+    MatchContext,
+    PredicateRule,
+)
+from repro.errors import IntegrationConflict
+from repro.xmlkit.nodes import element
+
+CTX = MatchContext(parent_tag="r", tag="x")
+
+
+def always(decision, name="stub", tags=None):
+    return PredicateRule(name, lambda a, b, ctx: decision, tags=tags)
+
+
+class TestJudgement:
+    def test_first_decision_wins(self):
+        oracle = Oracle([always(Decision.NO_MATCH, "no"), always(Decision.MATCH, "yes")])
+        judgement = oracle.judge(element("x"), element("x"), CTX)
+        assert judgement.is_certain_no_match
+        assert judgement.fired_rules == ("no",)
+
+    def test_match_probability_one(self):
+        oracle = Oracle([always(Decision.MATCH)])
+        assert oracle.judge(element("x"), element("x"), CTX).probability == 1
+
+    def test_abstaining_rules_skipped(self):
+        oracle = Oracle([always(None, "quiet"), always(Decision.MATCH, "loud")])
+        judgement = oracle.judge(element("x"), element("x"), CTX)
+        assert judgement.fired_rules == ("loud",)
+
+    def test_uncertain_when_all_abstain(self):
+        oracle = Oracle([always(None)])
+        judgement = oracle.judge(element("x"), element("x"), CTX)
+        assert judgement.is_uncertain
+        assert judgement.probability == Fraction(1, 2)
+        assert judgement.fired_rules == ()
+
+    def test_different_tags_never_match(self):
+        oracle = Oracle([always(Decision.MATCH)])
+        judgement = oracle.judge(element("x"), element("y"), CTX)
+        assert judgement.is_certain_no_match
+        assert judgement.fired_rules == ("tag-mismatch",)
+
+    def test_irrelevant_rules_not_consulted(self):
+        oracle = Oracle([always(Decision.MATCH, "scoped", tags=("other",))])
+        assert oracle.judge(element("x"), element("x"), CTX).is_uncertain
+
+
+class TestConflicts:
+    def test_first_mode_ignores_conflict(self):
+        oracle = Oracle(
+            [always(Decision.MATCH, "m"), always(Decision.NO_MATCH, "n")],
+            on_conflict="first",
+        )
+        assert oracle.judge(element("x"), element("x"), CTX).is_certain_match
+
+    def test_error_mode_raises(self):
+        oracle = Oracle(
+            [always(Decision.MATCH, "m"), always(Decision.NO_MATCH, "n")],
+            on_conflict="error",
+        )
+        with pytest.raises(IntegrationConflict):
+            oracle.judge(element("x"), element("x"), CTX)
+
+    def test_error_mode_consistent_decisions_fine(self):
+        oracle = Oracle(
+            [always(Decision.MATCH, "m1"), always(Decision.MATCH, "m2")],
+            on_conflict="error",
+        )
+        assert oracle.judge(element("x"), element("x"), CTX).is_certain_match
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Oracle([], on_conflict="panic")
+
+
+class TestPriors:
+    def test_constant_prior(self):
+        oracle = Oracle([], prior=ConstantPrior("1/5"))
+        assert oracle.judge(element("x"), element("x"), CTX).probability == Fraction(1, 5)
+
+    def test_constant_prior_rejects_certainty(self):
+        with pytest.raises(ValueError):
+            ConstantPrior(0)
+        with pytest.raises(ValueError):
+            ConstantPrior(1)
+
+    def test_similarity_prior_scales_with_field(self):
+        prior = SimilarityPrior("title")
+        close_a = element("m", element("title", "Jaws"))
+        close_b = element("m", element("title", "Jaws 2"))
+        far_b = element("m", element("title", "Heat"))
+        high = prior(close_a, close_b, CTX)
+        low = prior(close_a, far_b, CTX)
+        assert high > low
+
+    def test_similarity_prior_clamps(self):
+        prior = SimilarityPrior("title", floor=0.2, ceiling=0.8)
+        same = element("m", element("title", "Jaws"))
+        assert prior(same, same, CTX) <= Fraction(4, 5)
+
+    def test_similarity_prior_missing_field_is_half(self):
+        prior = SimilarityPrior("title")
+        assert prior(element("m"), element("m"), CTX) == Fraction(1, 2)
+
+    def test_similarity_prior_validates_bounds(self):
+        with pytest.raises(ValueError):
+            SimilarityPrior("title", floor=0.9, ceiling=0.1)
+
+    def test_degenerate_prior_clamped_into_open_interval(self):
+        oracle = Oracle([], prior=lambda a, b, ctx: Fraction(1))
+        judgement = oracle.judge(element("x"), element("x"), CTX)
+        assert judgement.is_uncertain
+
+    def test_with_rules_copies_configuration(self):
+        oracle = Oracle([], prior=ConstantPrior("1/5"), on_conflict="error")
+        clone = oracle.with_rules([always(Decision.MATCH)])
+        assert clone.on_conflict == "error"
+        assert clone.judge(element("x"), element("x"), CTX).is_certain_match
+
+
+class TestRealRuleStack:
+    def test_deep_equal_then_leaf(self):
+        oracle = Oracle([DeepEqualRule(), LeafValueRule()])
+        a, b = element("genre", "Action"), element("genre", "Action")
+        assert oracle.judge(a, b, CTX).is_certain_match
+        c = element("genre", "Horror")
+        assert oracle.judge(a, c, CTX).is_certain_no_match

@@ -1,0 +1,179 @@
+"""Tests for the event algebra and exact probability inference."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProbabilityError
+from repro.probability import ONE, ZERO
+from repro.pxml.build import choice_prob
+from repro.pxml.events import (
+    FALSE_EVENT,
+    TRUE_EVENT,
+    all_of,
+    any_of,
+    event_probability,
+    lit,
+    negate,
+    none_of,
+)
+from repro.pxml.model import PXText, Possibility, ProbNode
+
+
+def binary(p="1/2"):
+    """A two-possibility choice node."""
+    q = 1 - Fraction(p)
+    return choice_prob([(Fraction(p), [PXText("a")]), (q, [PXText("b")])])
+
+
+class TestConstructors:
+    def test_lit_on_certain_node_is_true(self):
+        node = ProbNode([Possibility(1, [PXText("x")])])
+        assert lit(node, 0) is TRUE_EVENT
+
+    def test_lit_out_of_range(self):
+        with pytest.raises(ProbabilityError):
+            lit_node = binary()
+            from repro.pxml.events import Lit
+            Lit(lit_node, 5)
+
+    def test_and_contradiction_is_false(self):
+        node = binary()
+        assert all_of([lit(node, 0), lit(node, 1)]) is FALSE_EVENT
+
+    def test_and_dedupes(self):
+        node = binary()
+        event = all_of([lit(node, 0), lit(node, 0)])
+        assert event.key() == lit(node, 0).key()
+
+    def test_and_identity(self):
+        assert all_of([]) is TRUE_EVENT
+        assert all_of([TRUE_EVENT, TRUE_EVENT]) is TRUE_EVENT
+        assert all_of([TRUE_EVENT, FALSE_EVENT]) is FALSE_EVENT
+
+    def test_or_identity(self):
+        assert any_of([]) is FALSE_EVENT
+        assert any_of([FALSE_EVENT]) is FALSE_EVENT
+        assert any_of([TRUE_EVENT, FALSE_EVENT]) is TRUE_EVENT
+
+    def test_or_flattens(self):
+        a, b, c = binary(), binary(), binary()
+        event = any_of([any_of([lit(a, 0), lit(b, 0)]), lit(c, 0)])
+        assert len(event.operands) == 3
+
+    def test_negate_involution(self):
+        node = binary()
+        event = lit(node, 0)
+        assert negate(negate(event)).key() == event.key()
+
+    def test_negate_constants(self):
+        assert negate(TRUE_EVENT) is FALSE_EVENT
+        assert negate(FALSE_EVENT) is TRUE_EVENT
+
+    def test_none_of(self):
+        node = binary()
+        assert none_of([lit(node, 0)]).key() == negate(lit(node, 0)).key()
+
+    def test_operator_sugar(self):
+        a, b = binary(), binary()
+        assert (lit(a, 0) & lit(b, 0)).key() == all_of([lit(a, 0), lit(b, 0)]).key()
+        assert (lit(a, 0) | lit(b, 0)).key() == any_of([lit(a, 0), lit(b, 0)]).key()
+        assert (~lit(a, 0)).key() == negate(lit(a, 0)).key()
+
+
+class TestProbability:
+    def test_constants(self):
+        assert event_probability(TRUE_EVENT) == ONE
+        assert event_probability(FALSE_EVENT) == ZERO
+
+    def test_single_literal(self):
+        node = binary("1/3")
+        assert event_probability(lit(node, 0)) == Fraction(1, 3)
+
+    def test_negation(self):
+        node = binary("1/3")
+        assert event_probability(negate(lit(node, 0))) == Fraction(2, 3)
+
+    def test_independent_and(self):
+        a, b = binary("1/2"), binary("1/3")
+        assert event_probability(all_of([lit(a, 0), lit(b, 0)])) == Fraction(1, 6)
+
+    def test_independent_or(self):
+        a, b = binary("1/2"), binary("1/3")
+        expected = Fraction(1, 2) + Fraction(1, 3) - Fraction(1, 6)
+        assert event_probability(any_of([lit(a, 0), lit(b, 0)])) == expected
+
+    def test_exclusive_or_within_node(self):
+        node = choice_prob([
+            ("1/4", [PXText("a")]), ("1/4", [PXText("b")]), ("1/2", [PXText("c")]),
+        ])
+        event = any_of([lit(node, 0), lit(node, 1)])
+        assert event_probability(event) == Fraction(1, 2)
+
+    def test_shared_subexpression(self):
+        a, b = binary("1/2"), binary("1/2")
+        common = all_of([lit(a, 0), lit(b, 0)])
+        event = any_of([common, all_of([lit(a, 0), lit(b, 1)])])
+        # = lit(a,0) regardless of b.
+        assert event_probability(event) == Fraction(1, 2)
+
+    @given(st.lists(st.sampled_from(["1/4", "1/2", "2/3"]), min_size=1, max_size=4),
+           st.integers(min_value=0, max_value=10**6))
+    def test_matches_brute_force(self, probs, seed):
+        """Random DNF over up to 4 binary variables: Shannon result must
+        equal brute-force enumeration over all assignments."""
+        import random
+        rng = random.Random(seed)
+        nodes = [binary(p) for p in probs]
+        terms = []
+        for _ in range(rng.randint(1, 3)):
+            literals = [
+                lit(node, rng.randint(0, 1))
+                for node in rng.sample(nodes, rng.randint(1, len(nodes)))
+            ]
+            if rng.random() < 0.3:
+                literals[0] = negate(literals[0])
+            terms.append(all_of(literals))
+        event = any_of(terms)
+
+        expected = ZERO
+        for assignment in product(range(2), repeat=len(nodes)):
+            mapping = {node.uid: choice for node, choice in zip(nodes, assignment)}
+            weight = ONE
+            for node, choice in zip(nodes, assignment):
+                weight *= node.possibilities[choice].prob
+            if event.evaluate(mapping):
+                expected += weight
+        assert event_probability(event) == expected
+
+    def test_memoization_handles_large_or(self):
+        # 16 independent literals OR'ed: P = 1 - (1/2)^16, computed fast.
+        nodes = [binary() for _ in range(16)]
+        event = any_of([lit(node, 0) for node in nodes])
+        assert event_probability(event) == 1 - Fraction(1, 2**16)
+
+
+class TestAssign:
+    def test_assign_resolves_literal(self):
+        node = binary()
+        assert lit(node, 0).assign(node.uid, 0) is TRUE_EVENT
+        assert lit(node, 0).assign(node.uid, 1) is FALSE_EVENT
+
+    def test_assign_ignores_other_nodes(self):
+        a, b = binary(), binary()
+        event = lit(a, 0)
+        assert event.assign(b.uid, 1) is event
+
+    def test_assign_simplifies_and(self):
+        a, b = binary(), binary()
+        event = all_of([lit(a, 0), lit(b, 0)])
+        assert event.assign(a.uid, 0).key() == lit(b, 0).key()
+        assert event.assign(a.uid, 1) is FALSE_EVENT
+
+    def test_evaluate_full_assignment(self):
+        a, b = binary(), binary()
+        event = any_of([lit(a, 0), lit(b, 0)])
+        assert event.evaluate({a.uid: 0, b.uid: 1})
+        assert not event.evaluate({a.uid: 1, b.uid: 1})

@@ -1,0 +1,139 @@
+"""Tests for the layered probabilistic XML model."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ModelError
+from repro.pxml.model import (
+    PXDocument,
+    PXElement,
+    PXText,
+    Possibility,
+    ProbNode,
+    px_canonical_key,
+    px_deep_equal,
+    validate_document,
+)
+from repro.pxml.build import certain_prob, choice_prob
+from .conftest import make_leaf, pxml_documents
+
+
+class TestLayering:
+    def test_element_children_must_be_prob_nodes(self):
+        with pytest.raises(ModelError):
+            PXElement("a").append(PXText("x"))
+
+    def test_possibility_children_must_be_regular(self):
+        with pytest.raises(ModelError):
+            Possibility(1).append(ProbNode())
+
+    def test_prob_children_must_be_possibilities(self):
+        with pytest.raises(ModelError):
+            ProbNode().append(PXElement("a"))
+
+    def test_possibility_accepts_string_shorthand(self):
+        possibility = Possibility(1, ["text"])
+        assert isinstance(possibility.children[0], PXText)
+
+    def test_document_root_must_be_prob(self):
+        with pytest.raises(ModelError):
+            PXDocument(PXElement("a"))
+
+
+class TestUids:
+    def test_uids_unique(self):
+        assert ProbNode().uid != ProbNode().uid
+
+    def test_copy_gets_fresh_uid(self):
+        node = certain_prob(make_leaf("a", "x"))
+        assert node.copy().uid != node.uid
+
+    def test_copy_is_structurally_equal(self):
+        node = choice_prob([(Fraction(1, 2), [PXText("a")]),
+                            (Fraction(1, 2), [PXText("b")])])
+        assert px_deep_equal(node, node.copy())
+
+
+class TestCertainty:
+    def test_single_possibility_prob_one_is_certain(self):
+        assert certain_prob(make_leaf("a", "x")).is_certain()
+
+    def test_two_possibilities_not_certain(self):
+        node = choice_prob([(Fraction(1, 2), [PXText("a")]),
+                            (Fraction(1, 2), [PXText("b")])])
+        assert not node.is_certain()
+
+    def test_nested_uncertainty_propagates(self):
+        inner = choice_prob([(Fraction(1, 2), [PXText("a")]),
+                             (Fraction(1, 2), [PXText("b")])])
+        outer = certain_prob(PXElement("e", children=[inner]))
+        assert not outer.is_certain()
+
+    def test_document_certainty(self):
+        doc = PXDocument(certain_prob(make_leaf("a", "x")))
+        assert doc.is_certain()
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        validate_document(PXDocument(certain_prob(make_leaf("a", "x"))))
+
+    def test_probabilities_must_sum_to_one(self):
+        node = ProbNode([Possibility(Fraction(1, 3), [PXText("a")])])
+        with pytest.raises(ModelError):
+            validate_document(PXDocument(
+                ProbNode([Possibility(1, [PXElement("r", children=[node])])])
+            ))
+
+    def test_empty_prob_node_rejected(self):
+        bad = PXElement("r", children=[ProbNode()])
+        with pytest.raises(ModelError):
+            validate_document(
+                PXDocument(ProbNode([Possibility(1, [bad])]))
+            )
+
+    def test_root_possibility_needs_single_element(self):
+        root = ProbNode([Possibility(1, [PXText("loose text")])])
+        with pytest.raises(ModelError):
+            validate_document(PXDocument(root))
+
+    def test_root_possibility_two_elements_rejected(self):
+        root = ProbNode([Possibility(1, [PXElement("a"), PXElement("b")])])
+        with pytest.raises(ModelError):
+            validate_document(PXDocument(root))
+
+    def test_subtree_mode_allows_loose_roots(self):
+        root = ProbNode([Possibility(1, [PXText("loose text")])])
+        validate_document(root, as_document=False)
+
+    @given(pxml_documents())
+    def test_generated_documents_are_valid(self, doc):
+        validate_document(doc)
+
+
+class TestCanonicalKeys:
+    def test_order_insensitive(self):
+        a = PXElement("m", children=[certain_prob(make_leaf("x", "1")),
+                                     certain_prob(make_leaf("y", "2"))])
+        b = PXElement("m", children=[certain_prob(make_leaf("y", "2")),
+                                     certain_prob(make_leaf("x", "1"))])
+        assert px_deep_equal(a, b)
+
+    def test_probability_matters(self):
+        a = choice_prob([(Fraction(1, 2), [PXText("x")]),
+                         (Fraction(1, 2), [PXText("y")])])
+        b = choice_prob([(Fraction(1, 3), [PXText("x")]),
+                         (Fraction(2, 3), [PXText("y")])])
+        assert not px_deep_equal(a, b)
+
+    def test_value_matters(self):
+        assert not px_deep_equal(make_leaf("a", "x"), make_leaf("a", "y"))
+
+    def test_key_is_hashable(self):
+        hash(px_canonical_key(make_leaf("a", "x")))
+
+    def test_node_count(self):
+        # leaf = elem + prob + poss + text
+        assert make_leaf("a", "x").node_count() == 4

@@ -1,0 +1,46 @@
+"""Tests for Monte-Carlo world sampling."""
+
+from collections import Counter
+from fractions import Fraction
+
+from repro.pxml.build import certain_prob, choice_prob
+from repro.pxml.model import PXDocument, PXElement
+from repro.pxml.sampling import sample_world, sample_worlds
+from repro.pxml.worlds import distinct_worlds
+from repro.xmlkit.nodes import canonical_key
+from .conftest import make_leaf
+
+
+def skewed_doc():
+    node = choice_prob([("1/8", [make_leaf("a", "rare")]),
+                        ("7/8", [make_leaf("a", "common")])])
+    return PXDocument(certain_prob(PXElement("r", children=[node])))
+
+
+class TestSampling:
+    def test_deterministic_under_seed(self):
+        doc = skewed_doc()
+        first = [canonical_key(w.document.root) for w in sample_worlds(doc, 50, seed=3)]
+        second = [canonical_key(w.document.root) for w in sample_worlds(doc, 50, seed=3)]
+        assert first == second
+
+    def test_sample_probability_is_world_probability(self):
+        doc = skewed_doc()
+        world = sample_world(doc, __import__("random").Random(1))
+        assert world.probability in (Fraction(1, 8), Fraction(7, 8))
+
+    def test_empirical_frequencies_approximate(self):
+        doc = skewed_doc()
+        counts = Counter(
+            canonical_key(w.document.root) for w in sample_worlds(doc, 4000, seed=11)
+        )
+        truth = {canonical_key(d.root): p for d, p in distinct_worlds(doc)}
+        for key, prob in truth.items():
+            frequency = counts[key] / 4000
+            assert abs(frequency - float(prob)) < 0.05
+
+    def test_samples_are_valid_worlds(self):
+        doc = skewed_doc()
+        valid = {canonical_key(d.root) for d, _ in distinct_worlds(doc)}
+        for world in sample_worlds(doc, 100, seed=5):
+            assert canonical_key(world.document.root) in valid

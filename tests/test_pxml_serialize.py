@@ -1,0 +1,72 @@
+"""Tests for the probabilistic XML wire format."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ModelError
+from repro.pxml.build import certain_document
+from repro.pxml.model import px_deep_equal
+from repro.pxml.serialize import parse_pxml, pxml_to_text, pxml_to_xml, xml_to_pxml
+from repro.xmlkit.nodes import XDocument, element
+from repro.xmlkit.parser import parse_document
+from .conftest import pxml_documents
+
+
+class TestEncoding:
+    def test_certain_doc_encoding_shape(self):
+        doc = certain_document(XDocument(element("a", "x")))
+        text = pxml_to_text(doc)
+        assert text.startswith("<p:prob><p:poss")
+        assert 'prob="1"' in text
+
+    def test_probabilities_as_fractions(self):
+        text = pxml_to_text(parse_pxml(
+            '<p:prob><p:poss prob="1/3"><a/></p:poss>'
+            '<p:poss prob="2/3"><b/></p:poss></p:prob>'
+        ))
+        assert 'prob="1/3"' in text and 'prob="2/3"' in text
+
+    def test_pretty_parses_back(self):
+        doc = certain_document(XDocument(element("a", element("b", "x"))))
+        pretty = pxml_to_text(doc, pretty=True)
+        assert px_deep_equal(parse_pxml(pretty).root, doc.root)
+
+
+class TestDecoding:
+    def test_missing_prob_attr_rejected(self):
+        with pytest.raises(ModelError):
+            parse_pxml("<p:prob><p:poss><a/></p:poss></p:prob>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ModelError):
+            parse_pxml("<movies/>")
+
+    def test_stray_child_of_prob_rejected(self):
+        with pytest.raises(ModelError):
+            parse_pxml("<p:prob><a/></p:prob>")
+
+    def test_misplaced_poss_rejected(self):
+        with pytest.raises(ModelError):
+            parse_pxml(
+                '<p:prob><p:poss prob="1"><p:poss prob="1"/></p:poss></p:prob>'
+            )
+
+    def test_bare_text_under_element_rejected(self):
+        with pytest.raises(ModelError):
+            parse_pxml('<p:prob><p:poss prob="1"><a>text</a></p:poss></p:prob>')
+
+    def test_text_inside_poss_accepted(self):
+        doc = parse_pxml('<p:prob><p:poss prob="1"><a><p:prob>'
+                         '<p:poss prob="1">hello</p:poss></p:prob></a></p:poss></p:prob>')
+        assert doc.is_certain()
+
+
+class TestRoundTrip:
+    @given(pxml_documents())
+    def test_text_roundtrip(self, doc):
+        assert px_deep_equal(parse_pxml(pxml_to_text(doc)).root, doc.root)
+
+    @given(pxml_documents())
+    def test_xml_object_roundtrip(self, doc):
+        encoded = pxml_to_xml(doc)
+        assert px_deep_equal(xml_to_pxml(encoded), doc.root)

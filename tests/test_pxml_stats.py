@@ -1,0 +1,70 @@
+"""Tests for uncertainty/size metrics."""
+
+from fractions import Fraction
+
+from hypothesis import given
+
+from repro.pxml.build import certain_document, certain_prob, choice_prob
+from repro.pxml.model import PXDocument, PXElement, PXText
+from repro.pxml.stats import expected_world_size, node_count, tree_stats
+from repro.pxml.worlds import iter_worlds, world_count
+from repro.xmlkit.nodes import XDocument, element
+from .conftest import make_leaf, pxml_documents
+
+
+class TestTreeStats:
+    def test_certain_document_census(self):
+        doc = certain_document(XDocument(element("a", element("b", "x"))))
+        stats = tree_stats(doc)
+        # prob/poss pairs: root, b, text → 3 each; elements a,b; text x.
+        assert stats.probability_nodes == 3
+        assert stats.possibility_nodes == 3
+        assert stats.element_nodes == 2
+        assert stats.text_nodes == 1
+        assert stats.total == 9
+        assert stats.choice_points == 0
+        assert stats.world_count == 1
+
+    def test_choice_points_and_branching(self):
+        node = choice_prob([("1/3", []), ("1/3", []), ("1/3", [])])
+        doc = PXDocument(certain_prob(PXElement("r", children=[node])))
+        stats = tree_stats(doc)
+        assert stats.choice_points == 1
+        assert stats.max_branching == 3
+
+    def test_total_matches_node_count(self):
+        doc = certain_document(XDocument(element("a", element("b", "x"))))
+        assert tree_stats(doc).total == node_count(doc)
+
+    @given(pxml_documents())
+    def test_census_adds_up(self, doc):
+        stats = tree_stats(doc)
+        assert stats.total == node_count(doc)
+        assert stats.world_count == world_count(doc)
+
+    def test_summary_mentions_worlds(self):
+        doc = certain_document(XDocument(element("a")))
+        assert "worlds" in tree_stats(doc).summary()
+
+
+class TestExpectedWorldSize:
+    def test_certain_size_is_plain_size(self):
+        plain = XDocument(element("a", element("b", "x"), element("c")))
+        doc = certain_document(plain)
+        assert expected_world_size(doc) == plain.node_count()
+
+    def test_expectation_weights_alternatives(self):
+        # <r> plus either a leaf (3 plain nodes... a + text = 2) or nothing.
+        node = choice_prob([("1/2", [make_leaf("a", "x")]), ("1/2", [])])
+        doc = PXDocument(certain_prob(PXElement("r", children=[node])))
+        # world sizes: r+a+text = 3 w.p. 1/2 ; r alone = 1 w.p. 1/2.
+        assert expected_world_size(doc) == 2
+
+    @given(pxml_documents())
+    def test_matches_enumeration(self, doc):
+        if world_count(doc) <= 200:
+            expected = sum(
+                world.probability * world.document.node_count()
+                for world in iter_worlds(doc, limit=None)
+            )
+            assert expected_world_size(doc) == expected

@@ -1,0 +1,82 @@
+"""Tests for answer-quality measures (paper ref [13])."""
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.query.quality import answer_quality, precision_recall_at
+from repro.query.ranking import RankedAnswer, RankedItem
+
+
+def answer(*pairs):
+    return RankedAnswer([RankedItem(value, Fraction(prob)) for value, prob in pairs])
+
+
+class TestAnswerQuality:
+    def test_perfect_answer(self):
+        quality = answer_quality(answer(("a", 1), ("b", 1)), {"a", "b"})
+        assert quality.precision == 1
+        assert quality.recall == 1
+        assert quality.f1 == 1
+
+    def test_empty_answer_empty_truth(self):
+        quality = answer_quality(answer(), set())
+        assert quality.precision == 1 and quality.recall == 1
+
+    def test_wrong_value_lowers_precision(self):
+        quality = answer_quality(answer(("a", 1), ("junk", 1)), {"a"})
+        assert quality.precision == Fraction(1, 2)
+        assert quality.recall == 1
+
+    def test_low_probability_wrong_value_hurts_less(self):
+        hedged = answer_quality(answer(("a", 1), ("junk", "1/10")), {"a"})
+        confident = answer_quality(answer(("a", 1), ("junk", 1)), {"a"})
+        assert hedged.precision > confident.precision
+
+    def test_missing_truth_lowers_recall(self):
+        quality = answer_quality(answer(("a", 1)), {"a", "b"})
+        assert quality.recall == Fraction(1, 2)
+
+    def test_partial_probability_partial_recall(self):
+        quality = answer_quality(answer(("a", "3/4")), {"a"})
+        assert quality.recall == Fraction(3, 4)
+        assert quality.precision == 1
+
+    def test_f1_zero_when_nothing_right(self):
+        quality = answer_quality(answer(("junk", 1)), {"a"})
+        assert quality.f1 == 0
+
+    def test_summary_format(self):
+        text = answer_quality(answer(("a", 1)), {"a"}).summary()
+        assert "precision=1.000" in text
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdef"),
+                              st.fractions(min_value=0, max_value=1)), max_size=6),
+           st.sets(st.sampled_from("abcdef"), max_size=6))
+    def test_bounds(self, items, truth):
+        merged = {}
+        for value, prob in items:
+            merged[value] = prob
+        ranked = answer(*((v, p) for v, p in merged.items() if p > 0))
+        quality = answer_quality(ranked, truth)
+        assert 0 <= quality.precision <= 1
+        assert 0 <= quality.recall <= 1
+        assert 0 <= quality.f1 <= 1
+
+
+class TestThresholded:
+    def test_threshold_drops_uncertain(self):
+        ranked = answer(("a", 1), ("b", "1/10"))
+        quality = precision_recall_at(ranked, {"a"}, Fraction(1, 2))
+        assert quality.precision == 1
+        assert quality.recall == 1
+
+    def test_threshold_zero_keeps_everything(self):
+        ranked = answer(("a", "1/10"), ("junk", "1/10"))
+        quality = precision_recall_at(ranked, {"a"}, Fraction(0))
+        assert quality.precision == Fraction(1, 2)
+
+    def test_empty_after_threshold(self):
+        ranked = answer(("a", "1/10"))
+        quality = precision_recall_at(ranked, {"a"}, Fraction(1, 2))
+        assert quality.recall == 0

@@ -1,0 +1,183 @@
+"""Tests for the probabilistic query engine (§VI).
+
+The central property: the event-based engine and per-world enumeration
+return identical (value, probability) sets on every document.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import integrate
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.errors import QueryError
+from repro.pxml.build import certain_document, certain_prob, choice_prob
+from repro.pxml.model import PXDocument, PXElement, PXText
+from repro.pxml.worlds import world_count
+from repro.query.engine import ProbQueryEngine, query_enumeration
+from repro.xmlkit.parser import parse_document
+from .conftest import make_leaf, pxml_documents
+
+GENERIC = [DeepEqualRule(), LeafValueRule()]
+
+
+def ranked_map(answer):
+    return {item.value: item.probability for item in answer}
+
+
+def assert_engines_agree(document, expression):
+    event_based = ranked_map(ProbQueryEngine(document).query(expression))
+    enumerated = ranked_map(query_enumeration(document, expression))
+    assert event_based == enumerated, expression
+    return event_based
+
+
+@pytest.fixture(scope="module")
+def figure2_document():
+    book_a, book_b = addressbook_documents()
+    return integrate(book_a, book_b, rules=GENERIC, dtd=ADDRESSBOOK_DTD).document
+
+
+class TestCertainDocuments:
+    def test_simple_path(self):
+        doc = certain_document(parse_document("<r><m><t>Jaws</t></m></r>"))
+        answer = ProbQueryEngine(doc).query("//m/t")
+        assert ranked_map(answer) == {"Jaws": Fraction(1)}
+
+    def test_predicate(self):
+        doc = certain_document(parse_document(
+            "<r><m><t>A</t><y>1</y></m><m><t>B</t><y>2</y></m></r>"
+        ))
+        answer = ProbQueryEngine(doc).query('//m[y="2"]/t')
+        assert ranked_map(answer) == {"B": Fraction(1)}
+
+    def test_attribute_value(self):
+        doc = certain_document(parse_document('<r><m id="x"><t>A</t></m></r>'))
+        answer = ProbQueryEngine(doc).query("//m/@id")
+        assert ranked_map(answer) == {"x": Fraction(1)}
+
+    def test_attribute_predicate(self):
+        doc = certain_document(parse_document(
+            '<r><m id="x"><t>A</t></m><m id="y"><t>B</t></m></r>'
+        ))
+        assert ranked_map(ProbQueryEngine(doc).query('//m[@id="y"]/t')) == {
+            "B": Fraction(1)
+        }
+
+
+class TestFigure2Queries:
+    def test_tel_values(self, figure2_document):
+        answer = assert_engines_agree(figure2_document, "//person/tel")
+        assert answer == {"1111": Fraction(3, 4), "2222": Fraction(3, 4)}
+
+    def test_predicate_on_name(self, figure2_document):
+        answer = assert_engines_agree(figure2_document, '//person[nm="John"]/tel')
+        assert answer["1111"] == Fraction(3, 4)
+
+    def test_quantified_contains(self, figure2_document):
+        answer = assert_engines_agree(
+            figure2_document,
+            '//person[some $t in tel satisfies contains($t,"11")]/nm',
+        )
+        assert answer == {"John": Fraction(3, 4)}
+
+    def test_negated_predicate(self, figure2_document):
+        answer = assert_engines_agree(
+            figure2_document, '//person[not(tel="1111")]/nm'
+        )
+        # John-without-1111 exists in: no-match world (the 2222 John) and
+        # the match-world where tel chose 2222 → 1/2 + 1/4.
+        assert answer == {"John": Fraction(3, 4)}
+
+    def test_existence_probability(self, figure2_document):
+        engine = ProbQueryEngine(figure2_document)
+        assert engine.exists_probability('//person[tel="1111"]') == Fraction(3, 4)
+        assert engine.exists_probability("//person") == Fraction(1)
+
+    def test_answer_probability(self, figure2_document):
+        engine = ProbQueryEngine(figure2_document)
+        assert engine.answer_probability("//person/tel", "1111") == Fraction(3, 4)
+        assert engine.answer_probability("//person/tel", "9999") == Fraction(0)
+
+
+class TestValueAlternatives:
+    def test_uncertain_leaf_value_splits_answer(self):
+        title = PXElement("t", children=[
+            choice_prob([("3/4", [PXText("Jaws")]), ("1/4", [PXText("Jaws 2")])])
+        ])
+        doc = PXDocument(certain_prob(PXElement("m", children=[certain_prob(title)])))
+        answer = assert_engines_agree(doc, "//t")
+        assert answer == {"Jaws": Fraction(3, 4), "Jaws 2": Fraction(1, 4)}
+
+    def test_same_value_from_multiple_nodes_ors(self):
+        node = choice_prob([
+            ("1/2", [make_leaf("g", "Horror")]),
+            ("1/2", [make_leaf("g", "Horror"), make_leaf("g", "Action")]),
+        ])
+        doc = PXDocument(certain_prob(PXElement("m", children=[node])))
+        answer = assert_engines_agree(doc, "//g")
+        assert answer["Horror"] == Fraction(1)
+        assert answer["Action"] == Fraction(1, 2)
+
+    def test_comparison_against_uncertain_value(self):
+        year = PXElement("y", children=[
+            choice_prob([("1/3", [PXText("1975")]), ("2/3", [PXText("1987")])])
+        ])
+        movie = PXElement("m", children=[certain_prob(year),
+                                         certain_prob(make_leaf("t", "Jaws"))])
+        doc = PXDocument(certain_prob(PXElement("r", children=[certain_prob(movie)])))
+        answer = assert_engines_agree(doc, '//m[y="1975"]/t')
+        assert answer == {"Jaws": Fraction(1, 3)}
+
+    def test_numeric_comparison(self):
+        year = PXElement("y", children=[
+            choice_prob([("1/3", [PXText("1975")]), ("2/3", [PXText("1987")])])
+        ])
+        movie = PXElement("m", children=[certain_prob(year),
+                                         certain_prob(make_leaf("t", "Jaws"))])
+        doc = PXDocument(certain_prob(PXElement("r", children=[certain_prob(movie)])))
+        answer = assert_engines_agree(doc, "//m[y > 1980]/t")
+        assert answer == {"Jaws": Fraction(2, 3)}
+
+
+class TestUnsupportedFeatures:
+    def test_positional_predicate_rejected(self):
+        doc = certain_document(parse_document("<r><m/></r>"))
+        with pytest.raises(QueryError):
+            ProbQueryEngine(doc).query("//m[1]")
+
+    def test_value_query_rejected(self):
+        doc = certain_document(parse_document("<r><m/></r>"))
+        with pytest.raises(QueryError):
+            ProbQueryEngine(doc).query("count(//m)")
+
+    def test_unknown_function_in_predicate_rejected(self):
+        doc = certain_document(parse_document("<r><m><t>x</t></m></r>"))
+        with pytest.raises(QueryError):
+            ProbQueryEngine(doc).query("//m[frobnicate(t)]")
+
+
+class TestAgreementProperty:
+    QUERIES = (
+        "//a",
+        "//b",
+        "//rec",
+        "//a/b",
+        "//a//x",
+        '//a[b="alpha"]',
+        '//a[contains(., "alpha")]/b',
+        '//a[not(b)]',
+        "//a[b or x]",
+        '//a[some $c in .//b satisfies contains($c, "a")]',
+    )
+
+    @given(pxml_documents())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_event_engine_matches_enumeration(self, doc):
+        if world_count(doc) > 400:
+            return
+        for query in self.QUERIES:
+            assert_engines_agree(doc, query)

@@ -1,0 +1,65 @@
+"""Tests for ranked-answer construction."""
+
+from fractions import Fraction
+
+from repro.query.ranking import RankedAnswer, RankedItem, merge_ranked
+
+
+def item(value, probability, occurrences=1):
+    return RankedItem(value, Fraction(probability), occurrences)
+
+
+class TestRankedAnswer:
+    def test_sorted_by_probability_desc(self):
+        answer = RankedAnswer([item("low", "1/4"), item("high", "3/4")])
+        assert answer.values() == ["high", "low"]
+
+    def test_ties_broken_by_value(self):
+        answer = RankedAnswer([item("b", "1/2"), item("a", "1/2")])
+        assert answer.values() == ["a", "b"]
+
+    def test_probability_of(self):
+        answer = RankedAnswer([item("x", "1/3")])
+        assert answer.probability_of("x") == Fraction(1, 3)
+        assert answer.probability_of("missing") == 0
+
+    def test_top(self):
+        answer = RankedAnswer([item("a", "1/2"), item("b", "1/3"), item("c", "1/6")])
+        assert [i.value for i in answer.top(2)] == ["a", "b"]
+
+    def test_above_threshold(self):
+        answer = RankedAnswer([item("a", "9/10"), item("b", "1/10")])
+        assert [i.value for i in answer.above(0.5)] == ["a"]
+
+    def test_as_table_paper_format(self):
+        answer = RankedAnswer([
+            item("Die Hard: With a Vengeance", 1),
+            item("Mission: Impossible II", "96/100"),
+            item("Mission: Impossible", "21/100"),
+        ])
+        table = answer.as_table()
+        assert table.splitlines()[0] == "100% Die Hard: With a Vengeance"
+        assert " 96% Mission: Impossible II" in table
+        assert " 21% Mission: Impossible" in table
+
+    def test_empty_answer_table(self):
+        assert RankedAnswer([]).as_table() == "(empty answer)"
+
+    def test_len_and_iter(self):
+        answer = RankedAnswer([item("a", "1/2"), item("b", "1/2")])
+        assert len(answer) == 2
+        assert [i.value for i in answer] == ["a", "b"]
+
+
+class TestMergeRanked:
+    def test_sums_same_value(self):
+        merged = merge_ranked([item("x", "1/4"), item("x", "1/4"), item("y", "1/8")])
+        assert merged.probability_of("x") == Fraction(1, 2)
+        assert merged.probability_of("y") == Fraction(1, 8)
+
+    def test_occurrences_accumulate(self):
+        merged = merge_ranked([item("x", "1/4", 2), item("x", "1/4", 3)])
+        assert merged.items[0].occurrences == 5
+
+    def test_empty(self):
+        assert len(merge_ranked([])) == 0

@@ -1,0 +1,126 @@
+"""Tests for the generic rule framework and reconcilers."""
+
+import pytest
+
+from repro.core.rules import (
+    CaseInsensitiveReconciler,
+    Decision,
+    DeepEqualRule,
+    KeyFieldRule,
+    LeafValueRule,
+    MatchContext,
+    PersonNameReconciler,
+    PersonNameRule,
+    PredicateRule,
+)
+from repro.xmlkit.nodes import element
+
+CTX = MatchContext(parent_tag="movies", tag="movie")
+
+
+def movie(title, year="1975"):
+    return element("movie", element("title", title), element("year", year))
+
+
+class TestDeepEqualRule:
+    def test_matches_identical(self):
+        rule = DeepEqualRule()
+        assert rule.judge(movie("Jaws"), movie("Jaws"), CTX) is Decision.MATCH
+
+    def test_matches_reordered(self):
+        a = element("m", element("x", "1"), element("y", "2"))
+        b = element("m", element("y", "2"), element("x", "1"))
+        assert DeepEqualRule().judge(a, b, CTX) is Decision.MATCH
+
+    def test_abstains_on_difference(self):
+        assert DeepEqualRule().judge(movie("Jaws"), movie("Jaws 2"), CTX) is None
+
+
+class TestLeafValueRule:
+    def test_equal_leaves_match(self):
+        rule = LeafValueRule()
+        assert rule.judge(element("genre", "Action"), element("genre", "Action"), CTX) is Decision.MATCH
+
+    def test_different_leaves_no_match(self):
+        rule = LeafValueRule()
+        assert rule.judge(element("genre", "Action"), element("genre", "Horror"), CTX) is Decision.NO_MATCH
+
+    def test_whitespace_stripped(self):
+        rule = LeafValueRule()
+        assert rule.judge(element("g", " x "), element("g", "x"), CTX) is Decision.MATCH
+
+    def test_abstains_on_non_leaf(self):
+        assert LeafValueRule().judge(movie("Jaws"), movie("Jaws"), CTX) is None
+
+
+class TestKeyFieldRule:
+    def test_equal_keys_match(self):
+        rule = KeyFieldRule("movie", "title")
+        assert rule.judge(movie("Jaws"), movie("Jaws", "1980"), CTX) is Decision.MATCH
+
+    def test_different_keys_no_match(self):
+        rule = KeyFieldRule("movie", "title")
+        assert rule.judge(movie("Jaws"), movie("Heat"), CTX) is Decision.NO_MATCH
+
+    def test_missing_key_abstains(self):
+        rule = KeyFieldRule("movie", "title")
+        assert rule.judge(element("movie"), movie("Jaws"), CTX) is None
+
+    def test_applies_only_to_declared_tag(self):
+        rule = KeyFieldRule("movie", "title")
+        assert rule.relevant("movie")
+        assert not rule.relevant("person")
+
+
+class TestPersonNameRule:
+    def test_convention_equivalent_names_match(self):
+        rule = PersonNameRule(("director",))
+        a = element("director", "John McTiernan")
+        b = element("director", "McTiernan, John")
+        assert rule.judge(a, b, CTX) is Decision.MATCH
+
+    def test_different_names_no_match(self):
+        rule = PersonNameRule(("director",))
+        a = element("director", "John Woo")
+        b = element("director", "Brian De Palma")
+        assert rule.judge(a, b, CTX) is Decision.NO_MATCH
+
+    def test_near_miss_abstains(self):
+        rule = PersonNameRule(("director",), uncertain_above=0.9)
+        a = element("director", "John McTiernan")
+        b = element("director", "John McTiernen")  # possible typo
+        assert rule.judge(a, b, CTX) is None
+
+    def test_scoped_to_tags(self):
+        rule = PersonNameRule(("director",))
+        assert rule.relevant("director")
+        assert not rule.relevant("title")
+
+
+class TestPredicateRule:
+    def test_wraps_callable(self):
+        rule = PredicateRule(
+            "always-match", lambda a, b, ctx: Decision.MATCH, tags=("x",)
+        )
+        assert rule.judge(element("x"), element("x"), CTX) is Decision.MATCH
+        assert rule.relevant("x") and not rule.relevant("y")
+
+
+class TestReconcilers:
+    def test_person_name_reconciles_conventions(self):
+        reconciler = PersonNameReconciler(("director",))
+        assert reconciler.reconcile("director", "John Woo", "Woo, John") == "John Woo"
+
+    def test_person_name_keeps_genuine_conflicts(self):
+        reconciler = PersonNameReconciler(("director",))
+        assert reconciler.reconcile("director", "John Woo", "Ang Lee") is None
+
+    def test_case_insensitive(self):
+        reconciler = CaseInsensitiveReconciler()
+        assert reconciler.reconcile("genre", "Action", "ACTION") == "Action"
+        assert reconciler.reconcile("genre", "Action", "Horror") is None
+
+    def test_scoping(self):
+        reconciler = PersonNameReconciler(("director",))
+        assert reconciler.relevant("director")
+        assert not reconciler.relevant("title")

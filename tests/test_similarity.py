@@ -1,0 +1,147 @@
+"""Tests for string similarity measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.similarity import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    normalize_person_name,
+    person_name_similarity,
+    title_similarity,
+    token_jaccard,
+    tokens,
+)
+
+text = st.text(alphabet="abcdefgh 123:", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("jaws", "jaws 2", 2),
+            ("abc", "abc", 0),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(text, text, text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(text, text)
+    def test_similarity_bounds(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestJaro:
+    def test_equal_strings(self):
+        assert jaro("abc", "abc") == 1.0
+
+    def test_disjoint_strings(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_boosts_prefix(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    @given(text, text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+
+class TestTokens:
+    def test_lowercase_words(self):
+        assert tokens("Die Hard 2") == ["die", "hard", "2"]
+
+    def test_punctuation_dropped(self):
+        assert tokens("Mission: Impossible") == ["mission", "impossible"]
+
+    def test_roman_numerals_normalised(self):
+        assert tokens("Mission: Impossible II") == ["mission", "impossible", "2"]
+
+    def test_jaccard_identical(self):
+        assert token_jaccard("Die Hard", "die hard") == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert token_jaccard("Die Hard", "Jaws") == 0.0
+
+    def test_jaccard_empty_both(self):
+        assert token_jaccard("", "") == 1.0
+
+    def test_jaccard_empty_one(self):
+        assert token_jaccard("", "Jaws") == 0.0
+
+
+class TestTitleSimilarity:
+    def test_equal_titles(self):
+        assert title_similarity("Jaws", "Jaws") == 1.0
+
+    def test_roman_vs_arabic_sequels(self):
+        assert title_similarity("Mission: Impossible II", "Mission Impossible 2") > 0.9
+
+    def test_franchise_containment_is_confusable(self):
+        assert title_similarity("Jaws", "Jaws: The Revenge") >= 0.65
+        assert title_similarity("Die Hard", "Die Hard 2") >= 0.65
+
+    def test_cross_franchise_dissimilar(self):
+        assert title_similarity("Die Hard", "Jaws") < 0.2
+        assert title_similarity("Die Hard 2", "Jaws 2") < 0.65
+
+    def test_long_extension_still_confusable(self):
+        assert title_similarity("Die Hard", "Die Hard: With a Vengeance") >= 0.65
+
+    def test_sequel_vs_long_sequel_not_confusable(self):
+        assert title_similarity("Die Hard 2", "Die Hard: With a Vengeance") < 0.65
+
+    @given(text, text)
+    def test_bounds_and_symmetry(self, a, b):
+        value = title_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(title_similarity(b, a))
+
+
+class TestPersonNames:
+    def test_family_first_normalised(self):
+        assert normalize_person_name("McTiernan, John") == "john mctiernan"
+
+    def test_whitespace_collapsed(self):
+        assert normalize_person_name("  John   McTiernan ") == "john mctiernan"
+
+    def test_convention_equivalence(self):
+        assert person_name_similarity("John McTiernan", "McTiernan, John") == 1.0
+
+    def test_different_people_dissimilar(self):
+        assert person_name_similarity("John Woo", "Brian De Palma") < 0.7
+
+    def test_single_token_name(self):
+        assert normalize_person_name("Cher") == "cher"
+
+    @given(text, text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= person_name_similarity(a, b) <= 1.0

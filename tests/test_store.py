@@ -1,0 +1,103 @@
+"""Tests for the document store."""
+
+import pytest
+
+from repro.dbms.store import DocumentStore
+from repro.errors import StoreError
+from repro.pxml.build import certain_document
+from repro.pxml.model import PXDocument, px_deep_equal
+from repro.xmlkit.nodes import XDocument, deep_equal, element
+from repro.xmlkit.parser import parse_document
+
+
+@pytest.fixture
+def plain_doc():
+    return parse_document("<movies><movie><title>Jaws</title></movie></movies>")
+
+
+class TestInMemory:
+    def test_put_get(self, plain_doc):
+        store = DocumentStore()
+        store.put("movies", plain_doc)
+        assert store.get("movies") is plain_doc
+
+    def test_missing_raises(self):
+        with pytest.raises(StoreError):
+            DocumentStore().get("nope")
+
+    def test_contains(self, plain_doc):
+        store = DocumentStore()
+        store.put("movies", plain_doc)
+        assert "movies" in store
+        assert "other" not in store
+
+    def test_list_sorted(self, plain_doc):
+        store = DocumentStore()
+        store.put("zeta", plain_doc)
+        store.put("alpha", plain_doc.copy())
+        assert store.list() == ["alpha", "zeta"]
+
+    def test_delete(self, plain_doc):
+        store = DocumentStore()
+        store.put("movies", plain_doc)
+        store.delete("movies")
+        assert "movies" not in store
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(StoreError):
+            DocumentStore().delete("nope")
+
+    def test_kind(self, plain_doc):
+        store = DocumentStore()
+        store.put("plain", plain_doc)
+        store.put("prob", certain_document(plain_doc))
+        assert store.kind("plain") == "xml"
+        assert store.kind("prob") == "pxml"
+
+    @pytest.mark.parametrize("name", ["", "a b", "../etc", "x" * 200, ".hidden"])
+    def test_invalid_names_rejected(self, name, plain_doc):
+        with pytest.raises(StoreError):
+            DocumentStore().put(name, plain_doc)
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(StoreError):
+            DocumentStore().put("x", "<not-a-document/>")
+
+
+class TestPersistence:
+    def test_plain_roundtrip(self, tmp_path, plain_doc):
+        DocumentStore(tmp_path).put("movies", plain_doc)
+        loaded = DocumentStore(tmp_path).get("movies")
+        assert isinstance(loaded, XDocument)
+        assert deep_equal(loaded.root, plain_doc.root)
+
+    def test_pxml_roundtrip(self, tmp_path, plain_doc):
+        document = certain_document(plain_doc)
+        DocumentStore(tmp_path).put("movies", document)
+        loaded = DocumentStore(tmp_path).get("movies")
+        assert isinstance(loaded, PXDocument)
+        assert px_deep_equal(loaded.root, document.root)
+
+    def test_files_on_disk(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path)
+        store.put("plain", plain_doc)
+        store.put("prob", certain_document(plain_doc))
+        assert (tmp_path / "plain.xml").exists()
+        assert (tmp_path / "prob.pxml").exists()
+
+    def test_overwrite_changes_kind(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path)
+        store.put("doc", plain_doc)
+        store.put("doc", certain_document(plain_doc))
+        assert not (tmp_path / "doc.xml").exists()
+        assert DocumentStore(tmp_path).kind("doc") == "pxml"
+
+    def test_list_sees_disk(self, tmp_path, plain_doc):
+        DocumentStore(tmp_path).put("movies", plain_doc)
+        assert DocumentStore(tmp_path).list() == ["movies"]
+
+    def test_delete_removes_file(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path)
+        store.put("movies", plain_doc)
+        store.delete("movies")
+        assert not (tmp_path / "movies.xml").exists()

@@ -1,0 +1,146 @@
+"""Tests for the plain XML node model."""
+
+import pytest
+from hypothesis import given
+
+from repro.xmlkit.nodes import (
+    XDocument,
+    XElement,
+    XText,
+    canonical_key,
+    deep_equal,
+    element,
+)
+from .conftest import xml_elements
+
+
+class TestXText:
+    def test_holds_value(self):
+        assert XText("hi").value == "hi"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            XText(42)
+
+    def test_node_count(self):
+        assert XText("x").node_count() == 1
+
+    def test_copy_is_independent(self):
+        original = XText("x")
+        clone = original.copy()
+        assert clone.value == "x"
+        assert clone is not original
+
+
+class TestXElement:
+    def test_string_children_become_text(self):
+        node = XElement("a", children=["hello"])
+        assert isinstance(node.children[0], XText)
+
+    def test_rejects_bad_tag(self):
+        with pytest.raises(ValueError):
+            XElement("")
+
+    def test_rejects_bad_child(self):
+        with pytest.raises(TypeError):
+            XElement("a").append(42)
+
+    def test_parent_links(self):
+        parent = XElement("a")
+        child = parent.append(XElement("b"))
+        assert child.parent is parent
+
+    def test_find_returns_first(self):
+        node = element("r", element("x", "1"), element("x", "2"))
+        assert node.find("x").text() == "1"
+
+    def test_find_missing_returns_none(self):
+        assert element("r").find("x") is None
+
+    def test_child_elements_filters_by_tag(self):
+        node = element("r", element("x"), element("y"), element("x"))
+        assert len(node.child_elements("x")) == 2
+        assert len(node.child_elements()) == 3
+
+    def test_text_concatenates_descendants(self):
+        node = element("r", element("a", "foo"), XText("-"), element("b", "bar"))
+        assert node.text() == "foo-bar"
+
+    def test_node_count_counts_subtree(self):
+        node = element("r", element("a", "x"), element("b"))
+        # r + a + text + b
+        assert node.node_count() == 4
+
+    def test_iter_preorder(self):
+        node = element("r", element("a", "x"), element("b"))
+        tags = [n.tag for n in node.iter() if isinstance(n, XElement)]
+        assert tags == ["r", "a", "b"]
+
+    def test_iter_elements_by_tag(self):
+        node = element("r", element("a"), element("b", element("a")))
+        assert len(list(node.iter_elements("a"))) == 2
+
+    def test_copy_deep_and_unparented(self):
+        node = element("r", element("a", "x"))
+        clone = node.copy()
+        assert deep_equal(node, clone)
+        assert clone is not node
+        assert clone.children[0] is not node.children[0]
+        assert clone.parent is None
+
+    def test_ancestors(self):
+        root = element("r", element("a", element("b")))
+        leaf = root.find("a").find("b")
+        assert [n.tag for n in leaf.ancestors()] == ["a", "r"]
+
+
+class TestXDocument:
+    def test_requires_element_root(self):
+        with pytest.raises(TypeError):
+            XDocument("nope")
+
+    def test_node_count_delegates(self):
+        doc = XDocument(element("r", element("a")))
+        assert doc.node_count() == 2
+
+    def test_copy(self):
+        doc = XDocument(element("r", "x"))
+        assert deep_equal(doc.copy().root, doc.root)
+
+
+class TestDeepEqual:
+    def test_equal_ignoring_order(self):
+        a = element("m", element("t", "Jaws"), element("g", "Horror"))
+        b = element("m", element("g", "Horror"), element("t", "Jaws"))
+        assert deep_equal(a, b)
+        assert not deep_equal(a, b, ignore_order=False)
+
+    def test_whitespace_only_text_ignored(self):
+        a = element("m", XText("  "), element("t", "x"))
+        b = element("m", element("t", "x"))
+        assert deep_equal(a, b)
+
+    def test_adjacent_text_merged(self):
+        a = element("m", XText("ab"))
+        b = element("m", XText("a"), XText("b"))
+        assert deep_equal(a, b)
+
+    def test_attributes_matter(self):
+        assert not deep_equal(element("a", k="1"), element("a", k="2"))
+
+    def test_different_multiplicity_not_equal(self):
+        a = element("r", element("x", "1"), element("x", "1"))
+        b = element("r", element("x", "1"))
+        assert not deep_equal(a, b)
+
+    @given(xml_elements())
+    def test_reflexive(self, tree):
+        assert deep_equal(tree, tree)
+
+    @given(xml_elements())
+    def test_copy_is_deep_equal(self, tree):
+        assert deep_equal(tree, tree.copy())
+
+    @given(xml_elements())
+    def test_canonical_key_matches_deep_equal_on_copy(self, tree):
+        assert canonical_key(tree) == canonical_key(tree.copy())

@@ -1,0 +1,226 @@
+"""Tests for XPath evaluation over plain XML."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.xpath import XPath, evaluate_xpath
+
+DOC = parse_document(
+    """
+    <movies>
+      <movie id="m1">
+        <title>Jaws</title><year>1975</year>
+        <genre>Horror</genre><genre>Thriller</genre>
+        <director>Steven Spielberg</director>
+      </movie>
+      <movie id="m2">
+        <title>Die Hard</title><year>1988</year>
+        <genre>Action</genre>
+        <director>John McTiernan</director>
+      </movie>
+      <movie id="m3">
+        <title>Mission: Impossible II</title><year>2000</year>
+        <genre>Action</genre>
+        <director>John Woo</director>
+      </movie>
+    </movies>
+    """
+)
+
+
+def titles(expression, doc=DOC, **variables):
+    result = XPath(expression).select(doc, variables or None)
+    return [node.text() if hasattr(node, "text") else node.value for node in result]
+
+
+class TestNavigation:
+    def test_descendant_all(self):
+        assert len(XPath("//movie").select(DOC)) == 3
+
+    def test_absolute_child(self):
+        assert len(XPath("/movies/movie").select(DOC)) == 3
+
+    def test_root_element_matched_by_descendant(self):
+        assert len(XPath("//movies").select(DOC)) == 1
+
+    def test_child_then_child(self):
+        assert titles("/movies/movie/title") == [
+            "Jaws", "Die Hard", "Mission: Impossible II",
+        ]
+
+    def test_wildcard(self):
+        assert len(XPath("/movies/*").select(DOC)) == 3
+
+    def test_parent_axis(self):
+        result = XPath("//title/..").select(DOC)
+        assert all(node.tag == "movie" for node in result)
+
+    def test_self_axis(self):
+        movie = XPath("//movie").select(DOC)[0]
+        assert XPath(".").select(movie) == [movie]
+
+    def test_text_nodes(self):
+        values = [n.value for n in XPath("//title/text()").select(DOC)]
+        assert "Jaws" in values
+
+    def test_attribute_axis(self):
+        values = [a.value for a in XPath("//movie/@id").select(DOC)]
+        assert values == ["m1", "m2", "m3"]
+
+    def test_document_order_and_dedup(self):
+        # Both arms select overlapping nodes; result must be unique, in order.
+        result = XPath("//movie | /movies/movie").select(DOC)
+        assert len(result) == 3
+
+    def test_descendant_from_inner(self):
+        movie = XPath("//movie").select(DOC)[0]
+        assert len(XPath(".//genre").select(movie)) == 2
+
+
+class TestPredicates:
+    def test_value_comparison(self):
+        assert titles('//movie[year="1988"]/title') == ["Die Hard"]
+
+    def test_numeric_comparison(self):
+        assert titles("//movie[year > 1980]/title") == [
+            "Die Hard", "Mission: Impossible II",
+        ]
+
+    def test_existence_predicate(self):
+        assert len(XPath("//movie[genre]").select(DOC)) == 3
+
+    def test_positional_predicate(self):
+        assert titles("//movie[2]/title") == ["Die Hard"]
+
+    def test_position_function(self):
+        assert titles("//movie[position()=3]/title") == ["Mission: Impossible II"]
+
+    def test_last_function(self):
+        assert titles("//movie[last()]/title") == ["Mission: Impossible II"]
+
+    def test_paper_query_1(self):
+        assert titles('//movie[.//genre="Horror"]/title') == ["Jaws"]
+
+    def test_paper_query_2(self):
+        result = titles(
+            '//movie[some $d in .//director satisfies contains($d,"John")]/title'
+        )
+        assert result == ["Die Hard", "Mission: Impossible II"]
+
+    def test_every_quantifier(self):
+        result = titles('//movie[every $g in genre satisfies $g="Action"]/title')
+        assert result == ["Die Hard", "Mission: Impossible II"]
+
+    def test_and_or(self):
+        assert titles('//movie[genre="Action" and year="1988"]/title') == ["Die Hard"]
+        assert titles('//movie[year="1975" or year="2000"]/title') == [
+            "Jaws", "Mission: Impossible II",
+        ]
+
+    def test_not(self):
+        assert titles('//movie[not(genre="Action")]/title') == ["Jaws"]
+
+    def test_attribute_predicate(self):
+        assert titles('//movie[@id="m2"]/title') == ["Die Hard"]
+
+    def test_nodeset_comparison_is_existential(self):
+        # movie m1 has two genres; = matches if ANY equals.
+        assert titles('//movie[genre="Thriller"]/title') == ["Jaws"]
+
+
+class TestValues:
+    def test_string_function(self):
+        assert XPath("string(//movie[1]/title)").evaluate(DOC) == "Jaws"
+
+    def test_count(self):
+        assert XPath("count(//genre)").evaluate(DOC) == 4.0
+
+    def test_sum(self):
+        assert XPath("sum(//year)").evaluate(DOC) == 1975 + 1988 + 2000
+
+    def test_concat(self):
+        assert XPath('concat("a", "b", "c")').evaluate(DOC) == "abc"
+
+    def test_contains(self):
+        assert XPath('contains("hello", "ell")').evaluate(DOC) is True
+
+    def test_starts_ends_with(self):
+        assert XPath('starts-with("abc", "ab")').evaluate(DOC) is True
+        assert XPath('ends-with("abc", "bc")').evaluate(DOC) is True
+
+    def test_substring(self):
+        assert XPath('substring("12345", 2, 3)').evaluate(DOC) == "234"
+
+    def test_substring_before_after(self):
+        assert XPath('substring-before("a-b", "-")').evaluate(DOC) == "a"
+        assert XPath('substring-after("a-b", "-")').evaluate(DOC) == "b"
+
+    def test_normalize_space(self):
+        assert XPath('normalize-space("  a   b ")').evaluate(DOC) == "a b"
+
+    def test_translate(self):
+        assert XPath('translate("abc", "abc", "xyz")').evaluate(DOC) == "xyz"
+
+    def test_translate_removes_unmapped(self):
+        assert XPath('translate("abc", "b", "")').evaluate(DOC) == "ac"
+
+    def test_case_functions(self):
+        assert XPath('upper-case("ab")').evaluate(DOC) == "AB"
+        assert XPath('lower-case("AB")').evaluate(DOC) == "ab"
+
+    def test_string_length(self):
+        assert XPath('string-length("abcd")').evaluate(DOC) == 4.0
+
+    def test_boolean_and_not(self):
+        assert XPath("not(false())").evaluate(DOC) is True
+        assert XPath('boolean("")').evaluate(DOC) is False
+
+    def test_number_conversion(self):
+        assert XPath('number("42")').evaluate(DOC) == 42.0
+        assert math.isnan(XPath('number("x")').evaluate(DOC))
+
+    def test_arithmetic(self):
+        assert XPath("2 + 3 * 4").evaluate(DOC) == 14.0
+        assert XPath("10 div 4").evaluate(DOC) == 2.5
+        assert XPath("10 mod 4").evaluate(DOC) == 2.0
+
+    def test_division_by_zero(self):
+        assert XPath("1 div 0").evaluate(DOC) == math.inf
+        assert math.isnan(XPath("0 div 0").evaluate(DOC))
+
+    def test_floor_ceiling_round(self):
+        assert XPath("floor(1.7)").evaluate(DOC) == 1.0
+        assert XPath("ceiling(1.2)").evaluate(DOC) == 2.0
+        assert XPath("round(2.5)").evaluate(DOC) == 3.0
+
+    def test_name_function(self):
+        assert XPath("name(//movie[1])").evaluate(DOC) == "movie"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XPathEvaluationError):
+            XPath("frobnicate()").evaluate(DOC)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(XPathEvaluationError):
+            XPath('contains("a")').evaluate(DOC)
+
+
+class TestVariables:
+    def test_bound_variable(self):
+        movie = XPath("//movie").select(DOC)[1]
+        assert evaluate_xpath(DOC, "$m/title", {"m": [movie]})[0].text() == "Die Hard"
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(XPathEvaluationError):
+            XPath("$nope").evaluate(DOC)
+
+    def test_select_requires_nodeset(self):
+        with pytest.raises(XPathEvaluationError):
+            XPath("count(//movie)").select(DOC)
+
+    def test_matches_ebv(self):
+        assert XPath("//movie").matches(DOC)
+        assert not XPath("//tvshow").matches(DOC)

@@ -1,0 +1,199 @@
+"""Tests for the XPath parser (AST construction)."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xmlkit.xpath.ast import (
+    AXIS_ATTRIBUTE,
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    AXIS_PARENT,
+    AXIS_SELF,
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    NameTest,
+    NodeTest,
+    Number,
+    Path,
+    Quantified,
+    Step,
+    TextTest,
+    Union,
+    VarRef,
+)
+from repro.xmlkit.xpath.parser import compile_xpath
+
+
+class TestPaths:
+    def test_absolute_root(self):
+        path = compile_xpath("/")
+        assert isinstance(path, Path) and path.absolute and path.steps == ()
+
+    def test_absolute_child(self):
+        path = compile_xpath("/movies")
+        assert path.absolute
+        assert path.steps[0].axis == AXIS_CHILD
+        assert path.steps[0].test == NameTest("movies")
+
+    def test_descendant_shorthand(self):
+        path = compile_xpath("//movie")
+        assert path.steps[0].axis == AXIS_DESCENDANT
+
+    def test_relative_path(self):
+        path = compile_xpath("a/b")
+        assert not path.absolute
+        assert [step.test.name for step in path.steps] == ["a", "b"]
+
+    def test_nested_descendant(self):
+        path = compile_xpath("a//b")
+        assert path.steps[1].axis == AXIS_DESCENDANT
+
+    def test_self_step(self):
+        assert compile_xpath(".").steps[0].axis == AXIS_SELF
+
+    def test_parent_step(self):
+        assert compile_xpath("..").steps[0].axis == AXIS_PARENT
+
+    def test_dot_slash_descendant(self):
+        path = compile_xpath(".//genre")
+        assert path.steps[0].axis == AXIS_SELF
+        assert path.steps[1].axis == AXIS_DESCENDANT
+
+    def test_attribute_step(self):
+        step = compile_xpath("@id").steps[0]
+        assert step.axis == AXIS_ATTRIBUTE and step.test == NameTest("id")
+
+    def test_attribute_wildcard(self):
+        assert compile_xpath("@*").steps[0].test == NameTest("*")
+
+    def test_wildcard_step(self):
+        assert compile_xpath("*").steps[0].test == NameTest("*")
+
+    def test_text_test(self):
+        assert isinstance(compile_xpath("text()").steps[0].test, TextTest)
+
+    def test_node_test(self):
+        assert isinstance(compile_xpath("node()").steps[0].test, NodeTest)
+
+
+class TestPredicates:
+    def test_single_predicate(self):
+        step = compile_xpath("movie[year]").steps[0]
+        assert len(step.predicates) == 1
+
+    def test_stacked_predicates(self):
+        step = compile_xpath("movie[year][title]").steps[0]
+        assert len(step.predicates) == 2
+
+    def test_comparison_predicate(self):
+        predicate = compile_xpath('movie[year="1975"]').steps[0].predicates[0]
+        assert isinstance(predicate, BinaryOp) and predicate.op == "="
+
+    def test_paper_query_1(self):
+        path = compile_xpath('//movie[.//genre="Horror"]/title')
+        assert path.steps[0].test == NameTest("movie")
+        assert path.steps[1].test == NameTest("title")
+        inner = path.steps[0].predicates[0]
+        assert isinstance(inner, BinaryOp)
+        assert isinstance(inner.left, Path)
+        assert inner.right == Literal("Horror")
+
+    def test_paper_query_2(self):
+        path = compile_xpath(
+            '//movie[some $d in .//director satisfies contains($d,"John")]/title'
+        )
+        quantified = path.steps[0].predicates[0]
+        assert isinstance(quantified, Quantified)
+        assert quantified.kind == "some"
+        assert quantified.variable == "d"
+        assert isinstance(quantified.condition, FunctionCall)
+
+    def test_every_quantifier(self):
+        expr = compile_xpath('every $g in genre satisfies $g="Horror"')
+        assert isinstance(expr, Quantified) and expr.kind == "every"
+
+
+class TestExpressions:
+    def test_or_and_precedence(self):
+        expr = compile_xpath("a or b and c")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_comparison_chain(self):
+        expr = compile_xpath("1 < 2")
+        assert isinstance(expr, BinaryOp) and expr.op == "<"
+
+    def test_arithmetic_precedence(self):
+        expr = compile_xpath("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_star_is_multiply_in_operand_position(self):
+        expr = compile_xpath("2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_union(self):
+        expr = compile_xpath("a | b")
+        assert isinstance(expr, Union)
+
+    def test_function_call(self):
+        expr = compile_xpath('contains("abc", "b")')
+        assert expr == FunctionCall("contains", (Literal("abc"), Literal("b")))
+
+    def test_variable_reference(self):
+        assert compile_xpath("$x") == VarRef("x")
+
+    def test_variable_with_path(self):
+        expr = compile_xpath("$m/title")
+        assert isinstance(expr, Path) and expr.base == VarRef("m")
+
+    def test_parenthesized_filter_with_path(self):
+        expr = compile_xpath("(a | b)/c")
+        assert isinstance(expr, Path) and isinstance(expr.base, Union)
+
+    def test_number_literal(self):
+        assert compile_xpath("42") == Number(42.0)
+
+    def test_decimal_literal(self):
+        assert compile_xpath("4.5") == Number(4.5)
+
+    def test_string_both_quotes(self):
+        assert compile_xpath("'x'") == Literal("x")
+        assert compile_xpath('"x"') == Literal("x")
+
+    def test_unary_minus(self):
+        expr = compile_xpath("-1")
+        from repro.xmlkit.xpath.ast import Negate
+        assert isinstance(expr, Negate)
+
+    def test_keyword_as_element_name(self):
+        # 'div' in step position is an element name, not the operator.
+        path = compile_xpath("div")
+        assert path.steps[0].test == NameTest("div")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "movie[",
+            "movie]",
+            "//",
+            "a/",
+            "some $x in y",
+            "contains(",
+            "$",
+            "a = ",
+            "(a",
+            "a ~ b",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(XPathSyntaxError):
+            compile_xpath(text)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_xpath("a b")

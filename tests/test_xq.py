@@ -1,0 +1,125 @@
+"""Tests for the FLWOR-lite layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.engine import integrate
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.xq import evaluate_flwor, evaluate_flwor_ranked, parse_flwor
+from repro.errors import XPathSyntaxError
+from repro.xmlkit.parser import parse_document
+
+DOC = parse_document(
+    """
+    <movies>
+      <movie><title>Jaws</title><year>1975</year></movie>
+      <movie><title>Heat</title><year>1995</year></movie>
+      <movie><title>Casino</title><year>1995</year></movie>
+    </movies>
+    """
+)
+
+
+def texts(values):
+    return [v.text() if hasattr(v, "text") else v for v in values]
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        query = parse_flwor("for $m in //movie return $m/title")
+        assert [clause.kind for clause in query.clauses] == ["for"]
+
+    def test_all_clauses(self):
+        query = parse_flwor(
+            'for $m in //movie let $t := $m/title where $m/year = "1995"'
+            " order by $t descending return $t"
+        )
+        assert [c.kind for c in query.clauses] == ["for", "let", "where", "order-by"]
+        assert query.clauses[3].descending
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "return 1",                       # no for clause
+            "for $m in //movie",              # no return
+            "for m in //movie return $m",     # missing $
+            "let $x := 1 return $x",          # no for
+            "junk for $m in //movie return $m",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_flwor(text)
+
+    def test_keyword_inside_string_not_a_clause(self):
+        query = parse_flwor(
+            'for $m in //movie where contains($m/title, "for") return $m/title'
+        )
+        assert [c.kind for c in query.clauses] == ["for", "where"]
+
+
+class TestEvaluation:
+    def test_for_return(self):
+        result = evaluate_flwor(DOC, "for $m in //movie return $m/title")
+        assert texts(result) == ["Jaws", "Heat", "Casino"]
+
+    def test_where_filters(self):
+        result = evaluate_flwor(
+            DOC, 'for $m in //movie where $m/year = "1995" return $m/title'
+        )
+        assert texts(result) == ["Heat", "Casino"]
+
+    def test_let_binds(self):
+        result = evaluate_flwor(
+            DOC,
+            'for $m in //movie let $t := $m/title where $t = "Jaws" return $t',
+        )
+        assert texts(result) == ["Jaws"]
+
+    def test_order_by(self):
+        result = evaluate_flwor(
+            DOC, "for $m in //movie order by $m/title return $m/title"
+        )
+        assert texts(result) == ["Casino", "Heat", "Jaws"]
+
+    def test_order_by_descending(self):
+        result = evaluate_flwor(
+            DOC, "for $m in //movie order by $m/title descending return $m/title"
+        )
+        assert texts(result) == ["Jaws", "Heat", "Casino"]
+
+    def test_numeric_order(self):
+        result = evaluate_flwor(
+            DOC, "for $m in //movie order by $m/year return $m/year"
+        )
+        assert texts(result) == ["1975", "1995", "1995"]
+
+    def test_nested_for_cross_product(self):
+        result = evaluate_flwor(
+            DOC,
+            "for $m in //movie for $y in $m/year return $y",
+        )
+        assert len(result) == 3
+
+    def test_atomic_return(self):
+        result = evaluate_flwor(DOC, "for $m in //movie return string($m/year)")
+        assert result == ["1975", "1995", "1995"]
+
+
+class TestProbabilisticFLWOR:
+    def test_ranked_over_worlds(self):
+        book_a, book_b = addressbook_documents()
+        result = integrate(
+            book_a, book_b,
+            rules=[DeepEqualRule(), LeafValueRule()],
+            dtd=ADDRESSBOOK_DTD,
+        )
+        answer = evaluate_flwor_ranked(
+            result.document,
+            'for $p in //person where $p/nm = "John" return $p/tel',
+        )
+        assert answer.probability_of("1111") == Fraction(3, 4)
+        assert answer.probability_of("2222") == Fraction(3, 4)
