@@ -18,12 +18,16 @@ record per source (the pair of probabilities is complementary); we record
 the measured values.
 """
 
+import os
+import time
+
 import pytest
 
 from repro.experiments import QUERY_HORROR, QUERY_JOHN, section6_document
 from repro.probability import format_percent
+from repro.pxml.events_cache import EventProbabilityCache
 from repro.pxml.stats import tree_stats
-from repro.query.engine import ProbQueryEngine, query_enumeration
+from repro.query.engine import ProbQueryEngine, QueryEngine, query_enumeration
 
 from .conftest import format_table, write_result
 
@@ -99,8 +103,55 @@ def test_sec6_query(benchmark, document, name, query):
 def test_sec6_event_engine_vs_enumeration(benchmark, document):
     """Both engines must agree; the benchmark times the event-based one
     against a document whose world count makes enumeration painful."""
-    event_based = benchmark(ProbQueryEngine(document).query, QUERY_JOHN)
+    engine = ProbQueryEngine(document, use_cache=False)
+    event_based = benchmark(engine.query, QUERY_JOHN)
     enumerated = query_enumeration(document, QUERY_JOHN)
     assert {i.value: i.probability for i in event_based} == {
         i.value: i.probability for i in enumerated
     }
+
+
+def test_sec6_batch_vs_loop(document):
+    """The §VI workload as a batch: ``run_batch`` over both paper queries
+    (repeated, as a client would poll them) vs a fresh-engine loop —
+    identical Fraction answers, batch at least as fast."""
+    workload = [QUERY_HORROR, QUERY_JOHN] * 10
+
+    start = time.perf_counter()
+    loop_answers = [
+        QueryEngine(document, use_cache=False).run(query) for query in workload
+    ]
+    loop_time = time.perf_counter() - start
+
+    cache = EventProbabilityCache()
+    engine = QueryEngine(document, cache=cache)
+    start = time.perf_counter()
+    batch_answers = engine.run_batch(workload)
+    batch_time = time.perf_counter() - start
+
+    for loop_answer, batch_answer in zip(loop_answers, batch_answers):
+        assert {i.value: i.probability for i in loop_answer} == {
+            i.value: i.probability for i in batch_answer
+        }
+
+    speedup = loop_time / batch_time if batch_time else float("inf")
+    write_result(
+        "sec6_batch_vs_loop",
+        f"§VI workload ({len(workload)} queries) — per-query loop vs run_batch\n"
+        + format_table(
+            ["mode", "total time", "speedup"],
+            [
+                ["loop (fresh engines)", f"{loop_time * 1e3:7.1f} ms", "1.0×"],
+                ["run_batch (shared cache)", f"{batch_time * 1e3:7.1f} ms",
+                 f"{speedup:.1f}×"],
+            ],
+        )
+        + f"\ncache stats: {cache.stats()}",
+    )
+    # Same noisy-runner escape hatch as BENCH_SPEEDUP_FLOOR in the
+    # ablation bench: CI sets a sub-1 sanity floor so one scheduler
+    # stall inside the short batch section cannot fail the build.
+    floor = float(os.environ.get("BENCH_BATCH_SPEEDUP_FLOOR", "1"))
+    assert speedup >= floor, (
+        f"batch speedup {speedup:.2f}× below the {floor}× floor"
+    )

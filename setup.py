@@ -1,3 +1,18 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="imprecise-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of IMPrECISE: good-is-good-enough probabilistic XML"
+        " data integration (ICDE 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["imprecise=repro.cli:main"]},
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+)

@@ -73,7 +73,16 @@ from .core import (
     estimate_integration,
     integrate,
 )
-from .query import ProbQueryEngine, RankedAnswer, answer_quality, query_enumeration
+from .pxml import EventProbabilityCache, cache_for
+from .query import (
+    ProbQueryEngine,
+    QueryEngine,
+    QueryPlan,
+    RankedAnswer,
+    answer_quality,
+    compile_plan,
+    query_enumeration,
+)
 from .feedback import FeedbackSession
 from .dbms import DocumentStore, ImpreciseModule
 
@@ -123,6 +132,11 @@ __all__ = [
     "estimate_integration",
     # query / feedback / dbms
     "ProbQueryEngine",
+    "QueryEngine",
+    "QueryPlan",
+    "compile_plan",
+    "EventProbabilityCache",
+    "cache_for",
     "RankedAnswer",
     "query_enumeration",
     "answer_quality",

@@ -4,6 +4,8 @@ Subcommands::
 
     imprecise integrate a.xml b.xml -o out.pxml --rules genre,title,year
     imprecise query out.pxml '//movie[.//genre="Horror"]/title'
+    imprecise query out.pxml --batch '//movie/title' '//movie/year'
+    imprecise query out.pxml --queries-file workload.txt --cache-stats
     imprecise stats out.pxml
     imprecise worlds out.pxml --limit 20
     imprecise feedback out.pxml '//movie/title' 'Jaws' --correct -o out.pxml
@@ -31,7 +33,7 @@ from .pxml.model import PXDocument
 from .pxml.serialize import parse_pxml, pxml_to_text
 from .pxml.stats import tree_stats
 from .pxml.worlds import iter_worlds
-from .query.engine import ProbQueryEngine
+from .query.engine import ProbQueryEngine, QueryEngine
 from .xmlkit.dtd import parse_dtd
 from .xmlkit.parser import parse_document
 from .xmlkit.serializer import serialize
@@ -89,8 +91,30 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     document = _load_pxml(args.document)
-    answer = ProbQueryEngine(document).query(args.xpath)
-    print(answer.as_table())
+    queries = list(args.xpath)
+    if args.queries_file:
+        lines = Path(args.queries_file).read_text(encoding="utf-8").splitlines()
+        queries.extend(
+            line.strip() for line in lines if line.strip() and not line.lstrip().startswith("#")
+        )
+    if not queries:
+        print("error: no queries given", file=sys.stderr)
+        return 1
+    engine = QueryEngine(document, use_cache=not args.no_cache)
+    if args.batch or len(queries) > 1:
+        answers = engine.run_batch(queries)
+        for query_text, answer in zip(queries, answers):
+            print(f"== {query_text}")
+            print(answer.as_table())
+    else:
+        print(engine.run(queries[0]).as_table())
+    if args.cache_stats:
+        stats = engine.cache_stats()
+        print(
+            f"cache: {stats.get('entries', 0):,} entries,"
+            f" {stats.get('hits', 0):,} hits, {stats.get('misses', 0):,} misses",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -161,7 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = sub.add_parser("query", help="ranked probabilistic XPath query")
     p_query.add_argument("document", help=".pxml file")
-    p_query.add_argument("xpath")
+    p_query.add_argument("xpath", nargs="*", help="one or more XPath queries")
+    p_query.add_argument("--batch", action="store_true",
+                         help="evaluate all queries as one batch (shared"
+                              " event-probability cache, bulk pricing)")
+    p_query.add_argument("--queries-file", default=None,
+                         help="file with one XPath per line ('#' comments)")
+    p_query.add_argument("--no-cache", action="store_true",
+                         help="disable the per-document probability cache")
+    p_query.add_argument("--cache-stats", action="store_true",
+                         help="print cache counters to stderr")
     p_query.set_defaults(handler=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="uncertainty statistics of a .pxml file")
@@ -189,7 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # parse_known_args so `query doc --batch //a //b` works: argparse
+    # refuses positionals after an optional when the positional list was
+    # already (greedily, possibly emptily) matched; fold the leftovers
+    # back into the query list for the one command where that's meaningful.
+    args, extra = parser.parse_known_args(argv)
+    if extra:
+        if getattr(args, "command", None) == "query" and all(
+            not token.startswith("-") for token in extra
+        ):
+            args.xpath = list(args.xpath) + extra
+        else:
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
     try:
         return args.handler(args)
     except (ImpreciseError, OSError) as error:

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from ..errors import IntegrationError
 from ..probability import HALF, ONE, ProbLike, as_probability
+from ..probability import normalize as pnormalize
 from ..pxml.build import certain_element, certain_prob, choice_prob
 from ..pxml.model import PXDocument, PXElement, PXText, Possibility, ProbNode
 from ..pxml.stats import tree_stats
@@ -54,13 +55,24 @@ class IntegrationConfig:
     source_names: tuple[str, str] = ("a", "b")
     reconcilers: tuple[TextReconciler, ...] = ()
 
+    #: Float weights are coerced through ``as_probability`` (decimal
+    #: reading, denominator-capped), which can leave an exact sum a hair
+    #: off 1 even when the floats summed to exactly 1.0 — e.g. the common
+    #: ``(w, 1 - w)`` pattern with a high-precision ``w``.  Deviations
+    #: within this slack are renormalized exactly; larger ones are real
+    #: user errors and raise.
+    _WEIGHT_SLACK = Fraction(1, 10**6)
+
     def __post_init__(self):
         weight_a = as_probability(self.source_weights[0], allow_zero=False)
         weight_b = as_probability(self.source_weights[1], allow_zero=False)
-        if weight_a + weight_b != 1:
-            raise IntegrationError(
-                f"source weights must sum to 1, got {weight_a} + {weight_b}"
-            )
+        total = weight_a + weight_b
+        if total != 1:
+            if abs(total - 1) > self._WEIGHT_SLACK:
+                raise IntegrationError(
+                    f"source weights must sum to 1, got {weight_a} + {weight_b}"
+                )
+            weight_a, weight_b = pnormalize([weight_a, weight_b])
         self.source_weights = (weight_a, weight_b)
 
 

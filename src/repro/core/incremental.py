@@ -104,6 +104,8 @@ class IncrementalIntegrator:
         document = PXDocument(mixture)
         if self.compact:
             document, _ = simplify_fixpoint(document)
+        # The superseded document's cache dies with it (weak registry);
+        # the replacement starts with a fresh, empty cache.
         self.document = document
         report = IncrementalReport(
             worlds_considered=considered,

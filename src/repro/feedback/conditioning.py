@@ -263,6 +263,9 @@ def condition_on_event(
         conditioned = PXDocument(
             _rebuild_conditioned(document.root, var_uids, branches, total)
         )
+    # Conditioning is functional: the posterior is built from copies with
+    # fresh uids, so the input document's cache stays valid — no
+    # invalidation needed (see repro.pxml.events_cache).
     if compact:
         conditioned, _ = simplify_fixpoint(conditioned)
     return conditioned

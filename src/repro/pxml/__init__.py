@@ -43,6 +43,7 @@ from .events import (
     lit,
     none_of,
 )
+from .events_cache import EventProbabilityCache, cache_for, invalidate
 from .stats import NodeStats, expected_world_size, node_count, tree_stats
 from .simplify import SimplifyReport, simplify, simplify_fixpoint
 from .serialize import parse_pxml, pxml_to_text, pxml_to_xml, xml_to_pxml
@@ -75,6 +76,9 @@ __all__ = [
     "any_of",
     "none_of",
     "event_probability",
+    "EventProbabilityCache",
+    "cache_for",
+    "invalidate",
     "NodeStats",
     "node_count",
     "tree_stats",

@@ -1,0 +1,213 @@
+"""Memoized event-probability computation, shared per document.
+
+The query engine prices every answer as the probability of an
+OR-of-occurrences event (:func:`repro.pxml.events.event_probability`).
+Distinct queries over one document keep re-deriving the same sub-events —
+the same persons, the same choice points, the same guarded conjunctions —
+so recomputing each query from scratch throws away almost all of the
+Shannon-expansion work.  This module provides the shared memo table that
+amortizes it:
+
+* :class:`EventProbabilityCache` — a keyed memo over ``event_probability``.
+  Keys are the *canonical forms* of events (``Event.key()`` — operand-
+  sorted, deduplicated, constant-folded by the simplifying constructors),
+  so structurally equal events built by different queries hash to the same
+  entry.  The memo is threaded straight into the Shannon expansion, which
+  means every **sub**-event conditioned along the way lands in the table
+  too; a later query whose events overlap resolves from the cache without
+  expanding at all.
+* :meth:`EventProbabilityCache.probabilities_of` — the bulk entry point
+  for query batches.  Events are processed smallest-variable-set first so
+  shared sub-events are expanded exactly once and every larger event's
+  expansion terminates at already-cached frontiers.
+* a per-document registry (:func:`cache_for`) so independent engines,
+  aggregates and rankers over the same :class:`~repro.pxml.model.PXDocument`
+  share one table, and
+* :func:`invalidate` — the invalidation hook.
+
+**Invalidation rules.** Cache entries are keyed by choice-variable uids
+(and, for answer/aggregate side tables, the document's root uid) and
+fold in the possibility probabilities at expansion time, so they are
+valid exactly as long as the document's probability nodes keep their
+possibility lists and probabilities.  The library's document
+transformations — :func:`repro.pxml.simplify.simplify`, feedback
+conditioning (:func:`repro.feedback.conditioning.condition_on_event`),
+incremental re-integration — are *functional*: they copy with fresh
+uids and return fresh documents whose caches start empty, so the input
+document's cache stays valid and nothing needs invalidating; a
+superseded document's cache is reclaimed with the document itself (the
+registry holds it weakly).  :func:`invalidate` is the hook for the one
+case the library cannot see: code that mutates a document's probability
+nodes *in place* (appending possibilities, editing probs) after
+querying it must call it, or stale probabilities will be served.  Plain
+queries never mutate and never invalidate.
+"""
+
+from __future__ import annotations
+
+import weakref
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from .events import Event, FALSE_EVENT, TRUE_EVENT, event_probability
+from .model import PXDocument
+
+__all__ = [
+    "EventProbabilityCache",
+    "cache_for",
+    "invalidate",
+]
+
+
+class EventProbabilityCache:
+    """A keyed memo table over :func:`event_probability`.
+
+    One instance serves one probabilistic document (or one lifetime of
+    it — see the invalidation rules in the module docstring).  The table
+    is also the batch evaluator: :meth:`probabilities_of` orders a batch
+    so shared sub-events are factored out and computed once.
+
+    >>> from repro.pxml.build import certain_document
+    >>> from repro.xmlkit.parser import parse_document
+    >>> doc = certain_document(parse_document("<r><a/></r>"))
+    >>> cache = cache_for(doc)
+    >>> cache is cache_for(doc)  # one shared table per document
+    True
+    """
+
+    __slots__ = ("_memo", "_answers", "_aggregates", "hits", "misses")
+
+    def __init__(self) -> None:
+        #: canonical event key -> exact probability; shared with (and
+        #: populated by) the Shannon expansion itself.
+        self._memo: dict[tuple, Fraction] = {}
+        #: plan fingerprint -> answer-event map (see ProbQueryEngine).
+        self._answers: dict[tuple, dict] = {}
+        #: auxiliary memo for aggregate distributions (see aggregates.py).
+        self._aggregates: dict[tuple, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- probabilities ------------------------------------------------------
+
+    def probability(self, event: Event) -> Fraction:
+        """Exact probability of ``event``, memoized on its canonical key."""
+        if event is TRUE_EVENT:
+            return Fraction(1)
+        if event is FALSE_EVENT:
+            return Fraction(0)
+        key = event.key()
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        return event_probability(event, _memo=self._memo)
+
+    def probabilities_of(self, events: Sequence[Event]) -> list[Fraction]:
+        """Bulk probabilities, aligned with ``events``.
+
+        The batch is expanded smallest-variable-set first: small events
+        are typically the shared sub-events of larger ones (an occurrence
+        conjunction is a sub-event of every OR it participates in), so
+        seeding the memo with them lets every later expansion terminate
+        at an already-priced frontier instead of re-deriving it.
+        """
+        order = sorted(
+            range(len(events)),
+            key=lambda i: len(events[i].variables()),
+        )
+        results: list[Optional[Fraction]] = [None] * len(events)
+        for i in order:
+            results[i] = self.probability(events[i])
+        return results  # type: ignore[return-value]
+
+    # -- side tables --------------------------------------------------------
+
+    # Unlike the event memo (safe across documents: literal keys carry
+    # globally-unique choice uids), answer maps and aggregates are keyed
+    # by *query* structure, which is document-independent — so their keys
+    # are qualified with the document's root uid (also globally unique,
+    # never reused, unlike ``id()``).  A cache instance explicitly shared
+    # across documents then keeps each document's answers separate.
+
+    @staticmethod
+    def _doc_key(document: PXDocument) -> int:
+        return document.root.uid
+
+    def answer_events(
+        self, document: PXDocument, fingerprint: tuple
+    ) -> Optional[dict]:
+        """Cached answer-event map of ``document`` for a compiled plan."""
+        return self._answers.get((self._doc_key(document), fingerprint))
+
+    def store_answer_events(
+        self, document: PXDocument, fingerprint: tuple, events: dict
+    ) -> None:
+        self._answers[(self._doc_key(document), fingerprint)] = events
+
+    def aggregate(self, document: PXDocument, key: tuple) -> Optional[dict]:
+        """Cached aggregate distribution (e.g. a count distribution)."""
+        return self._aggregates.get((self._doc_key(document), key))
+
+    def store_aggregate(
+        self, document: PXDocument, key: tuple, distribution: dict
+    ) -> None:
+        self._aggregates[(self._doc_key(document), key)] = distribution
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (memo, answer maps, aggregates)."""
+        self._memo.clear()
+        self._answers.clear()
+        self._aggregates.clear()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def stats(self) -> dict:
+        """Counters for benchmarks and diagnostics."""
+        return {
+            "entries": len(self._memo),
+            "answers": len(self._answers),
+            "aggregates": len(self._aggregates),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EventProbabilityCache(entries={len(self._memo)},"
+            f" hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: document -> its shared cache; weak keys so caches die with documents.
+_REGISTRY: "weakref.WeakKeyDictionary[PXDocument, EventProbabilityCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cache_for(document: PXDocument) -> EventProbabilityCache:
+    """The shared :class:`EventProbabilityCache` of ``document``
+    (created on first use)."""
+    cache = _REGISTRY.get(document)
+    if cache is None:
+        cache = EventProbabilityCache()
+        _REGISTRY[document] = cache
+    return cache
+
+
+def invalidate(document: PXDocument) -> None:
+    """Drop ``document``'s cached probabilities.
+
+    Required after mutating the document's probability nodes in place
+    (the library's own transformations are functional and never need
+    it — see the module docstring).  Clears the cache object (so engines
+    already holding it recompute) and unregisters it.  A no-op when the
+    document has no cache yet.
+    """
+    cache = _REGISTRY.pop(document, None)
+    if cache is not None:
+        cache.clear()

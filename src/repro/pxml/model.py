@@ -193,9 +193,12 @@ class PXDocument:
     In strict form (enforced by :func:`validate_document` with
     ``as_document=True``) every root possibility holds exactly one element,
     so that each possible world is a well-formed XML document.
+
+    Documents are weak-referenceable so that per-document caches (see
+    :mod:`repro.pxml.events_cache`) can be garbage-collected with them.
     """
 
-    __slots__ = ("root",)
+    __slots__ = ("root", "__weakref__")
 
     def __init__(self, root: ProbNode):
         if not isinstance(root, ProbNode):

@@ -12,10 +12,17 @@ Two implementations with identical semantics (cross-checked by tests):
 * :class:`ProbQueryEngine` — compile the query over the probabilistic
   tree into event expressions and compute exact probabilities without
   enumerating worlds.
+
+The hot path is amortized twice: queries compile once into reusable
+:class:`QueryPlan` objects (:func:`compile_plan`), and all probability
+computation rides the per-document memo of
+:mod:`repro.pxml.events_cache`.  :class:`QueryEngine` adds the batch API
+(``run_batch``) that prices a whole workload through one bulk cache pass.
 """
 
-from .ranking import RankedAnswer, RankedItem
-from .engine import ProbQueryEngine, query_enumeration
+from .ranking import RankedAnswer, RankedItem, ranked_from_events
+from .plan import QueryPlan, compile_plan
+from .engine import ProbQueryEngine, QueryEngine, query_enumeration
 from .quality import AnswerQuality, answer_quality, precision_recall_at
 from .aggregates import (
     count_distribution,
@@ -28,7 +35,11 @@ from .approximate import ApproximateAnswer, ApproximateItem, approximate_query
 __all__ = [
     "RankedItem",
     "RankedAnswer",
+    "ranked_from_events",
+    "QueryPlan",
+    "compile_plan",
     "ProbQueryEngine",
+    "QueryEngine",
     "query_enumeration",
     "AnswerQuality",
     "answer_quality",

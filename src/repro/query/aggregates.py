@@ -24,6 +24,7 @@ from typing import Optional, Union
 
 from ..errors import QueryError
 from ..probability import ONE, ZERO
+from ..pxml.events_cache import EventProbabilityCache, cache_for
 from ..pxml.model import PXDocument, PXElement, PXText, Possibility, ProbNode
 from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
 from ..xmlkit.xpath import XPath
@@ -129,9 +130,18 @@ def count_distribution(
     tag: str,
     *,
     text: Optional[str] = None,
+    cache: Optional[EventProbabilityCache] = None,
+    use_cache: bool = True,
 ) -> CountDistribution:
     """Exact distribution of ``count(//tag)`` (optionally of elements whose
     text equals ``text``), computed by tree convolution.
+
+    Results are memoized in the document's shared
+    :class:`~repro.pxml.events_cache.EventProbabilityCache` (same table
+    the query engine uses, same invalidation rules), so repeated
+    aggregate queries — dashboards polling the same counts — cost one
+    convolution per document lifetime.  Pass ``use_cache=False`` to
+    force recomputation.
 
     >>> from repro.pxml import certain_document
     >>> from repro.xmlkit import parse_document
@@ -139,9 +149,18 @@ def count_distribution(
     >>> count_distribution(doc, "m")
     {2: Fraction(1, 1)}
     """
+    if cache is None and use_cache:
+        cache = cache_for(document)
+    key = ("count", tag, text)
+    if cache is not None:
+        cached = cache.aggregate(document, key)
+        if cached is not None:
+            return dict(cached)
     counter = _StructuralCounter(tag, text)
-    distribution = counter.count_prob(document.root)
-    return dict(sorted(distribution.items()))
+    distribution = dict(sorted(counter.count_prob(document.root).items()))
+    if cache is not None:
+        cache.store_aggregate(document, key, distribution)
+    return dict(distribution)
 
 
 def count_distribution_enumerated(

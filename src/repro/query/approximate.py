@@ -6,6 +6,12 @@ document, the query runs on it with the ordinary XPath engine, and value
 frequencies estimate the answer probabilities.  Estimates carry a
 standard-error column so callers can decide whether the sample suffices
 — "good is good enough" applies to evaluation effort too.
+
+The hybrid mode (``exact_top=k``) re-prices the top-k estimated values
+exactly through the document's shared event-probability cache
+(:mod:`repro.pxml.events_cache`): head-of-ranking answers — the ones
+users actually read — get exact probabilities at the cost of one cached
+event evaluation, while the long tail keeps its cheap sampled estimate.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..errors import QueryError
+from ..pxml.events_cache import EventProbabilityCache
 from ..pxml.model import PXDocument
 from ..pxml.sampling import sample_worlds
 from ..xmlkit.nodes import XElement, XText
@@ -31,8 +38,11 @@ class ApproximateItem:
     estimate: float
     standard_error: float
     hits: int
+    exact: bool = False  # True when re-priced exactly via the event cache
 
     def __str__(self) -> str:
+        if self.exact:
+            return f"{self.estimate * 100:5.1f}% (exact)  {self.value}"
         return (
             f"{self.estimate * 100:5.1f}% ±{self.standard_error * 100:4.1f}%"
             f"  {self.value}"
@@ -80,15 +90,24 @@ def approximate_query(
     *,
     samples: int = 1000,
     seed: Optional[int] = None,
+    exact_top: int = 0,
+    cache: Optional[EventProbabilityCache] = None,
 ) -> ApproximateAnswer:
     """Estimate the ranked answer from ``samples`` sampled worlds.
 
     The standard error per value is the binomial one,
     ``sqrt(p̂(1−p̂)/n)`` — exact enough for ranking decisions at a few
     hundred samples.
+
+    With ``exact_top=k`` the k highest-estimate values are re-priced
+    *exactly* through the event engine and the document's shared
+    probability cache (``cache`` overrides which one; repeated calls on
+    the same document reuse the cached answer events).
     """
     if samples <= 0:
         raise QueryError("sample count must be positive")
+    if exact_top < 0:
+        raise QueryError("exact_top must be non-negative")
     xpath = XPath(expression)
     hits: dict[str, int] = {}
     for world in sample_worlds(document, samples, seed=seed):
@@ -114,4 +133,21 @@ def approximate_query(
         error = math.sqrt(estimate * (1.0 - estimate) / samples)
         items.append(ApproximateItem(value, estimate, error, count))
     items.sort(key=lambda item: (-item.estimate, item.value))
+
+    if exact_top and items:
+        from .engine import ProbQueryEngine  # deferred: engine imports ranking
+
+        engine = ProbQueryEngine(document, cache=cache)
+        events = engine.answer_events(expression)
+        refined = []
+        for rank, item in enumerate(items):
+            if rank < exact_top and item.value in events:
+                exact = engine.answer_probability(expression, item.value)
+                refined.append(
+                    ApproximateItem(item.value, float(exact), 0.0, item.hits, True)
+                )
+            else:
+                refined.append(item)
+        refined.sort(key=lambda item: (-item.estimate, item.value))
+        items = refined
     return ApproximateAnswer(items, samples)

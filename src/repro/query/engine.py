@@ -1,6 +1,6 @@
 """Query evaluation over probabilistic XML.
 
-The engine reuses the XPath AST (:mod:`repro.xmlkit.xpath`) but walks the
+The engine executes compiled plans (:mod:`repro.query.plan`) against the
 probabilistic tree: every navigation through a probability node conjoins
 the corresponding choice literal, so each visited node carries the *event*
 of its existence.  Predicates compile to events too; the probability that
@@ -15,7 +15,23 @@ child/descendant/self/parent/attribute axes, name/text()/node() tests,
 ``true()/false()``.  Value comparisons treat an element's value as the set
 of its descendant text realisations — exact for leaf-structured data (see
 DESIGN.md).  Positional predicates and arithmetic inside predicates have
-no possible-worlds compilation here and raise :class:`QueryError`.
+no possible-worlds compilation here and raise :class:`QueryError` — at
+*compile* time, before any document is touched.
+
+Two layers of amortization (both per document, both exact):
+
+* queries compile once into a :class:`~repro.query.plan.QueryPlan`; the
+  per-document answer-event map is cached under the plan's structural
+  fingerprint, so re-running a query skips the tree walk entirely;
+* every event probability goes through the document's shared
+  :class:`~repro.pxml.events_cache.EventProbabilityCache`, so sub-events
+  common across queries (and across engines over the same document) are
+  Shannon-expanded once.
+
+Construct with ``use_cache=False`` for the uncached reference behaviour
+(``cache=None`` is the default and means "use the document's shared
+cache") — benchmarks compare the two and the test suite asserts they are
+Fraction-equal.
 
 ``query_enumeration`` provides the literal per-world semantics as the
 reference implementation (exponential; guarded by a world limit).
@@ -23,9 +39,8 @@ reference implementation (exponential; guarded by a world limit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterator, Optional, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..errors import QueryError
 from ..pxml.events import (
@@ -38,6 +53,7 @@ from ..pxml.events import (
     lit,
     negate,
 )
+from ..pxml.events_cache import EventProbabilityCache, cache_for
 from ..pxml.model import PXDocument, PXElement, PXText
 from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
 from ..xmlkit.nodes import XDocument, XElement, XText
@@ -51,40 +67,39 @@ from ..xmlkit.xpath.ast import (
     BinaryOp,
     FunctionCall,
     Literal,
-    NameTest,
     Negate,
-    NodeTest,
     Number,
     Path,
     Quantified,
     Step,
-    TextTest,
     Union as UnionExpr,
     VarRef,
     XPathNode,
 )
-from ..xmlkit.xpath.parser import compile_xpath
-from .ranking import RankedAnswer, RankedItem, merge_ranked
+from .plan import PAttr, QueryPlan, compile_plan
+from .ranking import (
+    RankedAnswer,
+    RankedItem,
+    merge_ranked,
+    ranked_from_events,
+    ranked_from_probabilities,
+)
 
 _DOC = object()  # sentinel for the virtual document node
 
-
-@dataclass(frozen=True)
-class PAttr:
-    """Attribute pseudo-node of a probabilistic element."""
-
-    owner: PXElement
-    name: str
-    value: str
+#: Accepted query forms: source text, parsed AST, or compiled plan.
+QueryLike = Union[str, XPathNode, QueryPlan]
 
 
-@dataclass(frozen=True)
 class PContext:
     """A visited node together with its existence event and parent link."""
 
-    node: object  # _DOC | PXElement | PXText | PAttr
-    event: Event
-    parent: Optional["PContext"]
+    __slots__ = ("node", "event", "parent")
+
+    def __init__(self, node: object, event: Event, parent: Optional["PContext"]):
+        self.node = node  # _DOC | PXElement | PXText | PAttr
+        self.event = event
+        self.parent = parent
 
     def child_contexts(self) -> Iterator["PContext"]:
         node = self.node
@@ -102,7 +117,12 @@ class PContext:
 
 
 class ProbQueryEngine:
-    """Compiled-event query evaluation over one probabilistic document.
+    """Compiled-plan query evaluation over one probabilistic document.
+
+    By default the engine shares the document's event-probability cache
+    (:func:`repro.pxml.events_cache.cache_for`); pass ``use_cache=False``
+    for fully uncached evaluation, or ``cache=`` to share an explicit
+    cache instance.
 
     >>> from repro.xmlkit import parse_document
     >>> from repro.pxml import certain_document
@@ -111,33 +131,91 @@ class ProbQueryEngine:
     ['Jaws']
     """
 
-    def __init__(self, document: PXDocument):
+    def __init__(
+        self,
+        document: PXDocument,
+        *,
+        cache: Optional[EventProbabilityCache] = None,
+        use_cache: bool = True,
+    ):
         self.document = document
+        self.cache: Optional[EventProbabilityCache]
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = cache_for(document)
+        else:
+            self.cache = None
         self._root_context = PContext(_DOC, TRUE_EVENT, None)
+        self._plans: dict[str, QueryPlan] = {}
 
     # -- public API ---------------------------------------------------------
 
-    def query(self, expression: Union[str, XPathNode]) -> RankedAnswer:
+    def compile(self, expression: QueryLike) -> QueryPlan:
+        """Compile (and memoize, for strings) a query into a reusable plan."""
+        if isinstance(expression, QueryPlan):
+            return expression
+        if isinstance(expression, str):
+            plan = self._plans.get(expression)
+            if plan is None:
+                plan = compile_plan(expression)
+                self._plans[expression] = plan
+            return plan
+        return compile_plan(expression)
+
+    def query(self, expression: QueryLike) -> RankedAnswer:
         """Evaluate a node-selecting XPath; returns the amalgamated ranked
         answer over the value realisations of the selected nodes."""
         contributions = self.answer_events(expression)
-        items = []
-        for value, (event, occurrences) in contributions.items():
-            probability = event_probability(event)
-            if probability > 0:
-                items.append(RankedItem(value, probability, occurrences))
-        return RankedAnswer(items)
+        return ranked_from_events(contributions, self._probabilities)
 
-    def answer_events(
-        self, expression: Union[str, XPathNode]
-    ) -> dict[str, tuple[Event, int]]:
+    def answer_events(self, expression: QueryLike) -> dict[str, tuple[Event, int]]:
         """For each distinct answer value: (event that it appears, number
         of contributing occurrences).  The building block for querying,
-        feedback conditioning, and quality measures."""
-        ast = (
-            compile_xpath(expression) if isinstance(expression, str) else expression
-        )
-        results = self._eval_nodeset(ast, self._root_context, {})
+        feedback conditioning, and quality measures.
+
+        The result is cached per document under the plan's fingerprint;
+        treat it as shared and read-only.
+        """
+        plan = self.compile(expression)
+        if self.cache is not None:
+            cached = self.cache.answer_events(self.document, plan.fingerprint)
+            if cached is not None:
+                return cached
+        events = self._compute_answer_events(plan)
+        if self.cache is not None:
+            self.cache.store_answer_events(self.document, plan.fingerprint, events)
+        return events
+
+    def answer_probability(self, expression: QueryLike, value: str) -> Fraction:
+        """P(value ∈ answer)."""
+        events = self.answer_events(expression)
+        if value not in events:
+            return Fraction(0)
+        return self._probability(events[value][0])
+
+    def exists_probability(self, expression: QueryLike) -> Fraction:
+        """P(the query selects at least one node)."""
+        plan = self.compile(expression)
+        results = self._eval_nodeset(plan, plan.ast, self._root_context, {})
+        return self._probability(any_of(ctx.event for ctx in results))
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _probability(self, event: Event) -> Fraction:
+        if self.cache is not None:
+            return self.cache.probability(event)
+        return event_probability(event)
+
+    def _probabilities(self, events: Sequence[Event]) -> list[Fraction]:
+        if self.cache is not None:
+            return self.cache.probabilities_of(events)
+        return [event_probability(event) for event in events]
+
+    def _compute_answer_events(
+        self, plan: QueryPlan
+    ) -> dict[str, tuple[Event, int]]:
+        results = self._eval_nodeset(plan, plan.ast, self._root_context, {})
         contributions: dict[str, list[Event]] = {}
         counts: dict[str, int] = {}
         for context in results:
@@ -150,23 +228,6 @@ class ProbQueryEngine:
             value: (any_of(events), counts[value])
             for value, events in contributions.items()
         }
-
-    def answer_probability(
-        self, expression: Union[str, XPathNode], value: str
-    ) -> Fraction:
-        """P(value ∈ answer)."""
-        events = self.answer_events(expression)
-        if value not in events:
-            return Fraction(0)
-        return event_probability(events[value][0])
-
-    def exists_probability(self, expression: Union[str, XPathNode]) -> Fraction:
-        """P(the query selects at least one node)."""
-        ast = (
-            compile_xpath(expression) if isinstance(expression, str) else expression
-        )
-        results = self._eval_nodeset(ast, self._root_context, {})
-        return event_probability(any_of(ctx.event for ctx in results))
 
     # -- navigation -----------------------------------------------------------
 
@@ -213,42 +274,29 @@ class ProbQueryEngine:
             return
         raise QueryError(f"unsupported axis {axis!r} over probabilistic XML")
 
-    @staticmethod
-    def _matches_test(node: object, test: object) -> bool:
-        if isinstance(test, NodeTest):
-            return not isinstance(node, PAttr)
-        if isinstance(test, TextTest):
-            return isinstance(node, PXText)
-        if isinstance(test, NameTest):
-            if isinstance(node, PXElement):
-                return test.is_wildcard or node.tag == test.name
-            if isinstance(node, PAttr):
-                return test.is_wildcard or node.name == test.name
-            return False
-        raise QueryError(f"unknown node test {test!r}")
-
     # -- path evaluation --------------------------------------------------------
 
     def _eval_nodeset(
         self,
+        plan: QueryPlan,
         ast: XPathNode,
         context: PContext,
         variables: dict[str, PContext],
     ) -> list[PContext]:
         if isinstance(ast, Path):
             if ast.base is not None:
-                starts = self._eval_nodeset(ast.base, context, variables)
+                starts = self._eval_nodeset(plan, ast.base, context, variables)
             elif ast.absolute:
                 starts = [self._root_context]
             else:
                 starts = [context]
             current = starts
             for step in ast.steps:
-                current = self._eval_step(step, current, variables)
+                current = self._eval_step(plan, step, current, variables)
             return self._dedupe(current)
         if isinstance(ast, UnionExpr):
-            left = self._eval_nodeset(ast.left, context, variables)
-            right = self._eval_nodeset(ast.right, context, variables)
+            left = self._eval_nodeset(plan, ast.left, context, variables)
+            right = self._eval_nodeset(plan, ast.right, context, variables)
             return self._dedupe(left + right)
         if isinstance(ast, VarRef):
             if ast.name not in variables:
@@ -281,20 +329,23 @@ class ProbQueryEngine:
 
     def _eval_step(
         self,
+        plan: QueryPlan,
         step: Step,
         contexts: list[PContext],
         variables: dict[str, PContext],
     ) -> list[PContext]:
+        step_plan = plan.step(step)
+        matches = step_plan.matches
         results: list[PContext] = []
         for context in contexts:
-            for candidate in self._axis(context, step.axis):
-                if not self._matches_test(candidate.node, step.test):
+            for candidate in self._axis(context, step_plan.axis):
+                if not matches(candidate.node):
                     continue
                 event = candidate.event
                 failed = False
-                for predicate in step.predicates:
+                for predicate in step_plan.predicates:
                     predicate_event = self._predicate_event(
-                        predicate, candidate, variables
+                        plan, predicate, candidate, variables
                     )
                     event = all_of([event, predicate_event])
                     if event is FALSE_EVENT:
@@ -310,13 +361,14 @@ class ProbQueryEngine:
 
     def _predicate_event(
         self,
+        plan: QueryPlan,
         ast: XPathNode,
         context: PContext,
         variables: dict[str, PContext],
     ) -> Event:
         if isinstance(ast, (Path, UnionExpr, VarRef)):
             # Existence test.
-            nodes = self._eval_nodeset(ast, context, variables)
+            nodes = self._eval_nodeset(plan, ast, context, variables)
             return any_of(node.event for node in nodes)
         if isinstance(ast, Literal):
             return TRUE_EVENT if ast.value else FALSE_EVENT
@@ -330,40 +382,41 @@ class ProbQueryEngine:
             if ast.op == "and":
                 return all_of(
                     [
-                        self._predicate_event(ast.left, context, variables),
-                        self._predicate_event(ast.right, context, variables),
+                        self._predicate_event(plan, ast.left, context, variables),
+                        self._predicate_event(plan, ast.right, context, variables),
                     ]
                 )
             if ast.op == "or":
                 return any_of(
                     [
-                        self._predicate_event(ast.left, context, variables),
-                        self._predicate_event(ast.right, context, variables),
+                        self._predicate_event(plan, ast.left, context, variables),
+                        self._predicate_event(plan, ast.right, context, variables),
                     ]
                 )
             if ast.op in ("=", "!=", "<", "<=", ">", ">="):
-                return self._comparison_event(ast, context, variables)
+                return self._comparison_event(plan, ast, context, variables)
             raise QueryError(
                 f"operator {ast.op!r} is not supported in probabilistic queries"
             )
         if isinstance(ast, FunctionCall):
-            return self._function_event(ast, context, variables)
+            return self._function_event(plan, ast, context, variables)
         if isinstance(ast, Quantified):
-            return self._quantified_event(ast, context, variables)
+            return self._quantified_event(plan, ast, context, variables)
         raise QueryError(f"unsupported predicate {type(ast).__name__}")
 
     def _quantified_event(
         self,
+        plan: QueryPlan,
         ast: Quantified,
         context: PContext,
         variables: dict[str, PContext],
     ) -> Event:
-        items = self._eval_nodeset(ast.sequence, context, variables)
+        items = self._eval_nodeset(plan, ast.sequence, context, variables)
         branch_events = []
         for item in items:
             bound = dict(variables)
             bound[ast.variable] = item
-            condition = self._predicate_event(ast.condition, context, bound)
+            condition = self._predicate_event(plan, ast.condition, context, bound)
             if ast.kind == "some":
                 branch_events.append(all_of([item.event, condition]))
             else:
@@ -447,6 +500,7 @@ class ProbQueryEngine:
 
     def _operand_alternatives(
         self,
+        plan: QueryPlan,
         ast: XPathNode,
         context: PContext,
         variables: dict[str, PContext],
@@ -459,7 +513,7 @@ class ProbQueryEngine:
             return [(text, TRUE_EVENT)]
         if isinstance(ast, (Path, UnionExpr, VarRef)):
             alternatives: list[tuple[str, Event]] = []
-            for node_context in self._eval_nodeset(ast, context, variables):
+            for node_context in self._eval_nodeset(plan, ast, context, variables):
                 alternatives.extend(self._value_alternatives(node_context))
             return alternatives
         raise QueryError(
@@ -488,12 +542,13 @@ class ProbQueryEngine:
 
     def _comparison_event(
         self,
+        plan: QueryPlan,
         ast: BinaryOp,
         context: PContext,
         variables: dict[str, PContext],
     ) -> Event:
-        left = self._operand_alternatives(ast.left, context, variables)
-        right = self._operand_alternatives(ast.right, context, variables)
+        left = self._operand_alternatives(plan, ast.left, context, variables)
+        right = self._operand_alternatives(plan, ast.right, context, variables)
         matches = []
         for left_value, left_event in left:
             for right_value, right_event in right:
@@ -503,6 +558,7 @@ class ProbQueryEngine:
 
     def _function_event(
         self,
+        plan: QueryPlan,
         ast: FunctionCall,
         context: PContext,
         variables: dict[str, PContext],
@@ -510,7 +566,9 @@ class ProbQueryEngine:
         if ast.name == "not":
             if len(ast.args) != 1:
                 raise QueryError("not() takes exactly one argument")
-            return negate(self._predicate_event(ast.args[0], context, variables))
+            return negate(
+                self._predicate_event(plan, ast.args[0], context, variables)
+            )
         if ast.name == "true":
             return TRUE_EVENT
         if ast.name == "false":
@@ -518,8 +576,8 @@ class ProbQueryEngine:
         if ast.name in ("contains", "starts-with", "ends-with"):
             if len(ast.args) != 2:
                 raise QueryError(f"{ast.name}() takes exactly two arguments")
-            left = self._operand_alternatives(ast.args[0], context, variables)
-            right = self._operand_alternatives(ast.args[1], context, variables)
+            left = self._operand_alternatives(plan, ast.args[0], context, variables)
+            right = self._operand_alternatives(plan, ast.args[1], context, variables)
             checks = {
                 "contains": lambda a, b: b in a,
                 "starts-with": lambda a, b: a.startswith(b),
@@ -536,6 +594,57 @@ class ProbQueryEngine:
         raise QueryError(
             f"function {ast.name}() is not supported in probabilistic queries"
         )
+
+
+class QueryEngine(ProbQueryEngine):
+    """The batch-capable query façade over one probabilistic document.
+
+    Extends :class:`ProbQueryEngine` with the amortized entry points the
+    workload benchmarks exercise:
+
+    * :meth:`run` — evaluate one query (alias of :meth:`query`);
+    * :meth:`run_batch` — evaluate many queries through one bulk
+      probability pass, so sub-events shared *across* the batch are
+      Shannon-expanded once;
+    * :meth:`cache_stats` — the shared cache's counters.
+
+    >>> from repro.xmlkit import parse_document
+    >>> from repro.pxml import certain_document
+    >>> doc = certain_document(parse_document("<r><m><t>Jaws</t></m></r>"))
+    >>> [a.values() for a in QueryEngine(doc).run_batch(["//m/t", "//m"])]
+    [['Jaws'], ['Jaws']]
+    """
+
+    def run(self, expression: QueryLike) -> RankedAnswer:
+        """Evaluate one query; identical to :meth:`query`."""
+        return self.query(expression)
+
+    def run_batch(self, expressions: Iterable[QueryLike]) -> list[RankedAnswer]:
+        """Evaluate ``expressions`` in order; answers align with inputs.
+
+        Matches per-query :meth:`run` results exactly (Fraction-equal) —
+        the batch path only changes *when* probabilities are computed:
+        all answer events across the batch are collected first, then
+        priced in one bulk :meth:`EventProbabilityCache.probabilities_of`
+        call that factors shared sub-events.
+        """
+        batch = [self.answer_events(expression) for expression in expressions]
+        flat_events: list[Event] = []
+        for contributions in batch:
+            for event, _ in contributions.values():
+                flat_events.append(event)
+        flat_probs = self._probabilities(flat_events)
+        answers = []
+        offset = 0
+        for contributions in batch:
+            span = flat_probs[offset : offset + len(contributions)]
+            offset += len(contributions)
+            answers.append(ranked_from_probabilities(contributions, span))
+        return answers
+
+    def cache_stats(self) -> dict:
+        """Counters of the shared cache ({} when caching is disabled)."""
+        return self.cache.stats() if self.cache is not None else {}
 
 
 def query_enumeration(

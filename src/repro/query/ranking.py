@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..probability import format_percent
 
@@ -67,6 +67,40 @@ class RankedAnswer:
         if not self.items:
             return "(empty answer)"
         return "\n".join(str(item) for item in self.items)
+
+
+def ranked_from_probabilities(
+    contributions: Mapping[str, tuple[object, int]],
+    probabilities: Sequence[Fraction],
+) -> RankedAnswer:
+    """Build a ranked answer from an answer-event map and its already
+    computed probabilities (aligned with the map's iteration order).
+
+    The single place where answer items are materialized — the
+    zero-probability drop (a value priced at 0 occurs in no world and is
+    not an answer) lives here so single-query and batch paths cannot
+    diverge."""
+    items = [
+        RankedItem(value, probability, contributions[value][1])
+        for value, probability in zip(contributions, probabilities)
+        if probability > 0
+    ]
+    return RankedAnswer(items)
+
+
+def ranked_from_events(
+    contributions: Mapping[str, tuple[object, int]],
+    probabilities_of: Callable[[Sequence[object]], Sequence[Fraction]],
+) -> RankedAnswer:
+    """Build a ranked answer from an answer-event map.
+
+    ``contributions`` maps each answer value to ``(event, occurrences)``
+    (the shape of ``ProbQueryEngine.answer_events``); ``probabilities_of``
+    prices all events in one bulk call — engines pass their document's
+    shared :class:`~repro.pxml.events_cache.EventProbabilityCache` here so
+    ranking rides the same memo as every other consumer."""
+    events = [event for event, _ in contributions.values()]
+    return ranked_from_probabilities(contributions, probabilities_of(events))
 
 
 def merge_ranked(items: Iterable[RankedItem]) -> RankedAnswer:

@@ -91,6 +91,41 @@ class TestQueryAndStats:
         assert run(["query", integrated, "//person["]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_batch_query_output(self, integrated, capsys):
+        assert run([
+            "query", integrated, "--batch", "//person/tel", "//person/nm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== //person/tel" in out
+        assert "== //person/nm" in out
+        assert "75% 1111" in out
+
+    def test_multiple_queries_imply_batch(self, integrated, capsys):
+        assert run(["query", integrated, "//person/tel", "//person/nm"]) == 0
+        assert "== //person/tel" in capsys.readouterr().out
+
+    def test_queries_file(self, integrated, workspace, capsys):
+        (workspace / "workload.txt").write_text(
+            "# the workload\n//person/tel\n\n//person/nm\n", encoding="utf-8"
+        )
+        assert run([
+            "query", integrated, "--queries-file", workspace / "workload.txt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== //person/tel" in out and "== //person/nm" in out
+
+    def test_no_queries_fails_cleanly(self, integrated, capsys):
+        assert run(["query", integrated]) == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_no_cache_and_stats_flags(self, integrated, capsys):
+        assert run([
+            "query", integrated, "//person/tel", "--no-cache", "--cache-stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "75% 1111" in captured.out
+        assert "cache:" in captured.err
+
 
 class TestEstimate:
     def test_estimate_output(self, workspace, capsys):
