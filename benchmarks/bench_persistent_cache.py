@@ -1,0 +1,185 @@
+"""Persistent dataspace-service benchmark: warm start vs cold start, and
+concurrent serving correctness.
+
+The cold service prices a workload from scratch (tree walks + Shannon
+expansions).  The warm service is a *fresh* :class:`DataspaceService`
+over the same store and cache directories — the restart shape — and must
+serve the entire workload from the persisted answer table: exact
+Fractions, no engine, no document materialization.
+
+Acceptance (ISSUE 2):
+
+* warm workload ≥ 3× faster than cold, Fraction-equal answers;
+* concurrent queries from ≥ 4 threads return results identical to
+  serial execution.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.rules import Decision, DeepEqualRule, LeafValueRule, PredicateRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.service import DataspaceService
+
+from .conftest import format_table, write_result
+
+#: Acceptance floor for warm (persisted-cache) vs cold start.  Locally
+#: the measured ratio is orders of magnitude above 3× (SQLite lookups vs
+#: Shannon expansion); CI shared runners set a lower sanity floor via
+#: this env var rather than flaking on scheduler noise.
+WARM_SPEEDUP_FLOOR = float(os.environ.get("BENCH_WARM_SPEEDUP_FLOOR", "3"))
+
+#: Repetitions of the workload per timing run — a restarted dashboard or
+#: API replays the same queries, so the warm path serves every one.
+ROUNDS = 5
+
+
+def _different_names_differ(a, b, context):
+    """Different names ⇒ different people; same name stays uncertain."""
+    name_a, name_b = a.find("nm"), b.find("nm")
+    if name_a is None or name_b is None:
+        return None
+    if name_a.text() != name_b.text():
+        return Decision.NO_MATCH
+    return None
+
+
+RULES = [
+    DeepEqualRule(),
+    PredicateRule("name-discriminates", _different_names_differ, tags=("person",)),
+    LeafValueRule(),
+]
+
+WORKLOAD = [
+    '//person[some $t in tel satisfies contains($t, "1")]/nm',
+    "//person/nm",
+    "//person/tel",
+    '//person[contains(nm, "p1")]/tel',
+    "//person[not(tel)]/nm",
+    '//person[nm="p0"]/tel',
+]
+
+PERSON_COUNT = 6  # 3^6 possible worlds
+
+
+def _populate(store_dir, cache_dir):
+    """Integrate the uncertain addressbook into a persistent store."""
+    entries_a = [(f"p{i}", f"1{i}1") for i in range(PERSON_COUNT)]
+    entries_b = [(f"p{i}", f"2{i}2") for i in range(PERSON_COUNT)]
+    book_a, book_b = addressbook_documents(entries_a, entries_b)
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        service.load_document("a", book_a)
+        service.load_document("b", book_b)
+        service.integrate("a", "b", "ab", rules=RULES, dtd=ADDRESSBOOK_DTD)
+
+
+def _run_workload(service):
+    answers = []
+    for _ in range(ROUNDS):
+        answers.append(
+            [service.query("ab", query) for query in WORKLOAD]
+        )
+    return answers
+
+
+def _shapes(rounds):
+    return [
+        [
+            [(item.value, item.probability, item.occurrences) for item in answer]
+            for answer in round_answers
+        ]
+        for round_answers in rounds
+    ]
+
+
+def test_warm_start_vs_cold_start(tmp_path):
+    """Acceptance: a restarted service over the persisted cache serves
+    the workload ≥ 3× faster than the cold service that priced it, with
+    Fraction-identical answers."""
+    store_dir, cache_dir = tmp_path / "store", tmp_path / "cache"
+    _populate(store_dir, cache_dir)
+
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as cold:
+        start = time.perf_counter()
+        cold_answers = _run_workload(cold)
+        cold_time = time.perf_counter() - start
+        cold_stats = cold.cache_stats()
+
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as warm:
+        start = time.perf_counter()
+        warm_answers = _run_workload(warm)
+        warm_time = time.perf_counter() - start
+        warm_stats = warm.cache_stats()
+
+    # Exact agreement, Fraction by Fraction.
+    assert _shapes(warm_answers) == _shapes(cold_answers)
+    # The warm service never built an engine: pure persistent hits.
+    assert warm_stats["engines"] == 0
+    assert warm_stats["persistent_hits"] == ROUNDS * len(WORKLOAD)
+
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    write_result(
+        "persistent_cache",
+        f"Persistent dataspace service — cold start vs warm restart"
+        f" ({len(WORKLOAD)} queries × {ROUNDS} rounds,"
+        f" 3^{PERSON_COUNT}-world document)\n"
+        + format_table(
+            ["mode", "total time", "per query", "speedup"],
+            [
+                ["cold (evaluate + persist)", f"{cold_time * 1e3:8.1f} ms",
+                 f"{cold_time / (ROUNDS * len(WORKLOAD)) * 1e3:6.2f} ms",
+                 "1.0×"],
+                ["warm (persisted cache)", f"{warm_time * 1e3:8.1f} ms",
+                 f"{warm_time / (ROUNDS * len(WORKLOAD)) * 1e3:6.2f} ms",
+                 f"{speedup:.1f}×"],
+            ],
+        )
+        + f"\ncold stats: {cold_stats}\nwarm stats: {warm_stats}",
+    )
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm-start speedup {speedup:.1f}× below the"
+        f" {WARM_SPEEDUP_FLOOR}× acceptance floor"
+        f" (cold {cold_time:.3f}s vs warm {warm_time:.3f}s)"
+    )
+
+
+@pytest.mark.parametrize("threads", [4, 8])
+def test_concurrent_service_matches_serial(tmp_path, threads):
+    """Acceptance: ≥4 threads hammering one service return exactly the
+    serial answers — cold (evaluating) and warm (persistent hits) alike."""
+    store_dir = tmp_path / "store"
+    cache_dir = tmp_path / "cache"
+    _populate(store_dir, cache_dir)
+
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        serial = _shapes([[service.query("ab", q) for q in WORKLOAD]])[0]
+        service.cache.clear()  # next round re-evaluates under contention
+        with service._mu:
+            service._engines.clear()
+
+        def worker(index):
+            # Rotate the starting offset so threads collide on different
+            # queries at different times.
+            ordered = WORKLOAD[index % len(WORKLOAD):] + WORKLOAD[: index % len(WORKLOAD)]
+            return {q: service.query("ab", q) for q in ordered}
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            results = list(pool.map(worker, range(threads * 2)))
+        elapsed = time.perf_counter() - start
+
+        expected = dict(zip(WORKLOAD, serial))
+        for result in results:
+            for query, answer in result.items():
+                assert [
+                    (i.value, i.probability, i.occurrences) for i in answer
+                ] == expected[query]
+
+    write_result(
+        f"persistent_cache_concurrent_{threads}",
+        f"{threads} threads × {len(WORKLOAD)} queries, {threads * 2} workers:"
+        f" identical to serial in {elapsed * 1e3:.1f} ms",
+    )

@@ -16,8 +16,9 @@ from pathlib import Path
 from repro.data.imdb import MOVIE_DTD, imdb_document
 from repro.data.movies import sequels_six_imdb, confusing_mpeg7_six
 from repro.data.mpeg7 import mpeg7_document
-from repro.dbms.store import DocumentStore
 from repro.dbms.module import ImpreciseModule
+from repro.dbms.service import DataspaceService
+from repro.dbms.store import DocumentStore
 from repro.dbms.xq import evaluate_flwor_ranked
 from repro.experiments import standard_rules
 from repro.xmlkit.serializer import serialize
@@ -48,7 +49,7 @@ def main() -> None:
     # FLWOR-style access over the same probabilistic document.
     print("\n1975 movies (FLWOR over possible worlds):")
     answer = evaluate_flwor_ranked(
-        module._probabilistic("movies"),
+        module.probabilistic("movies"),
         'for $m in //movie where $m/year = "1975"'
         " order by $m/title return $m/title",
     )
@@ -60,6 +61,24 @@ def main() -> None:
     print("\nafter feedback (reopened store):")
     print(f"  worlds: {reopened.stats('movies').world_count:,}")
     print("  files:", sorted(p.name for p in directory.iterdir()))
+
+    # The serving layer on top: DataspaceService adds a persistent
+    # answer cache, so a *restarted* process re-serves priced answers
+    # without re-walking a single tree — identical Fractions.
+    cache_dir = directory / "cache"
+    with DataspaceService(directory=directory, cache_dir=cache_dir) as service:
+        cold = service.query("movies", "//movie/title")
+        print("\nservice (cold — evaluated and persisted):")
+        print(cold.as_table())
+
+    with DataspaceService(directory=directory, cache_dir=cache_dir) as service:
+        warm = service.query("movies", "//movie/title")
+        stats = service.cache_stats()
+        print(f"\nservice restarted (warm): {stats['persistent_hits']}"
+              f" persistent hit(s), {stats['engines']} engine(s) built")
+        assert [(i.value, i.probability) for i in warm] == [
+            (i.value, i.probability) for i in cold
+        ]
 
 
 if __name__ == "__main__":

@@ -1,4 +1,8 @@
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
 
 setup(
     name="imprecise-repro",
@@ -7,6 +11,10 @@ setup(
         "Reproduction of IMPrECISE: good-is-good-enough probabilistic XML"
         " data integration (ICDE 2008)"
     ),
+    long_description=(
+        README.read_text(encoding="utf-8") if README.exists() else ""
+    ),
+    long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",

@@ -84,7 +84,13 @@ from .query import (
     query_enumeration,
 )
 from .feedback import FeedbackSession
-from .dbms import DocumentStore, ImpreciseModule
+from .dbms import (
+    AnswerCacheStore,
+    DataspaceService,
+    DocumentStore,
+    ImpreciseModule,
+    document_digest,
+)
 
 __version__ = "1.0.0"
 
@@ -141,7 +147,10 @@ __all__ = [
     "query_enumeration",
     "answer_quality",
     "FeedbackSession",
+    "AnswerCacheStore",
+    "DataspaceService",
     "DocumentStore",
     "ImpreciseModule",
+    "document_digest",
     "__version__",
 ]

@@ -10,6 +10,13 @@ Subcommands::
     imprecise worlds out.pxml --limit 20
     imprecise feedback out.pxml '//movie/title' 'Jaws' --correct -o out.pxml
     imprecise estimate a.xml b.xml --rules title --joint
+    imprecise serve store/ --cache-dir cache/ --exec 'query movies //movie/title'
+
+``imprecise serve`` runs the :class:`~repro.dbms.service.DataspaceService`
+over a store directory: commands come from ``--exec`` flags (in order) or
+line-by-line from stdin, answers go to stdout, and — with ``--cache-dir``
+— priced answers persist so a restarted service starts warm.  See
+``docs/api.md`` for the command protocol.
 
 Exit status: 0 on success, 1 on any library error (message on stderr).
 """
@@ -17,12 +24,14 @@ Exit status: 0 on success, 1 on any library error (message on stderr).
 from __future__ import annotations
 
 import argparse
+import shlex
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core.engine import IntegrationConfig, Integrator
 from .core.estimate import estimate_integration
+from .dbms.service import DataspaceService
 from .core.oracle import ConstantPrior, Oracle
 from .core.rules import PersonNameReconciler
 from .errors import ImpreciseError
@@ -156,6 +165,131 @@ def _cmd_feedback(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_dispatch(service: DataspaceService, line: str) -> bool:
+    """Execute one service-protocol line; returns False on ``quit``.
+
+    Protocol (one command per line, shell-style quoting)::
+
+        list
+        put NAME FILE              # load an .xml/.pxml file into the store
+        query NAME XPATH
+        batch NAME XPATH [XPATH ...]
+        stats NAME
+        integrate NAME_A NAME_B OUTPUT [RULES]   # RULES: comma list
+        feedback NAME XPATH VALUE correct|incorrect
+        delete NAME
+        cache-stats
+        quit
+    """
+    tokens = shlex.split(line, comments=True)
+    if not tokens:
+        return True
+    command, arguments = tokens[0], tokens[1:]
+    if command in ("quit", "exit"):
+        return False
+    if command == "list":
+        for name in service.list():
+            print(f"{service.store.kind(name):4s} {name}")
+        return True
+    if command == "put":
+        if len(arguments) != 2:
+            raise ImpreciseError("usage: put NAME FILE")
+        name, path = arguments
+        text = Path(path).read_text(encoding="utf-8")
+        if path.endswith(".pxml"):
+            service.load_document(name, parse_pxml(text))
+        else:
+            service.load(name, text)
+        print(f"stored {name}")
+        return True
+    if command == "query":
+        if len(arguments) != 2:
+            raise ImpreciseError("usage: query NAME XPATH")
+        print(service.query(arguments[0], arguments[1]).as_table())
+        return True
+    if command == "batch":
+        if len(arguments) < 2:
+            raise ImpreciseError("usage: batch NAME XPATH [XPATH ...]")
+        name, queries = arguments[0], arguments[1:]
+        for query_text, answer in zip(queries, service.run_batch(name, queries)):
+            print(f"== {query_text}")
+            print(answer.as_table())
+        return True
+    if command == "stats":
+        if len(arguments) != 1:
+            raise ImpreciseError("usage: stats NAME")
+        print(service.stats(arguments[0]).summary())
+        return True
+    if command == "integrate":
+        if len(arguments) not in (3, 4):
+            raise ImpreciseError("usage: integrate NAME_A NAME_B OUTPUT [RULES]")
+        rule_names = [n for n in (arguments[3] if len(arguments) == 4 else "").split(",") if n]
+        report = service.integrate(
+            arguments[0], arguments[1], arguments[2],
+            rules=standard_rules(*rule_names),
+        )
+        print(report.summary())
+        return True
+    if command == "feedback":
+        if len(arguments) != 4 or arguments[3] not in ("correct", "incorrect"):
+            raise ImpreciseError(
+                "usage: feedback NAME XPATH VALUE correct|incorrect"
+            )
+        step = service.feedback(
+            arguments[0], arguments[1], arguments[2],
+            correct=arguments[3] == "correct",
+        )
+        print(
+            f"{step.kind} {step.value!r}:"
+            f" worlds {step.worlds_before:,} → {step.worlds_after:,}"
+        )
+        return True
+    if command == "delete":
+        if len(arguments) != 1:
+            raise ImpreciseError("usage: delete NAME")
+        service.delete(arguments[0])
+        print(f"deleted {arguments[0]}")
+        return True
+    if command == "cache-stats":
+        for key, value in sorted(service.cache_stats().items()):
+            print(f"{key}: {value:,}")
+        return True
+    raise ImpreciseError(f"unknown service command {command!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = DataspaceService(
+        directory=args.directory,
+        cache_dir=args.cache_dir,
+        max_cached_documents=args.max_cached,
+    )
+    status = 0
+    try:
+        if args.commands:
+            lines = iter(args.commands)
+        else:
+            lines = (line.rstrip("\n") for line in sys.stdin)
+        for line in lines:
+            try:
+                if not _serve_dispatch(service, line):
+                    break
+            except (ImpreciseError, OSError, ValueError) as error:
+                # One bad command must not kill a serving loop.
+                print(f"error: {error}", file=sys.stderr)
+                status = 1
+        if args.cache_stats:
+            stats = service.cache_stats()
+            print(
+                f"cache: {stats.get('persistent_hits', 0):,} persistent hits,"
+                f" {stats.get('persistent_misses', 0):,} misses,"
+                f" {stats.get('persistent_answers', 0):,} persisted answers",
+                file=sys.stderr,
+            )
+    finally:
+        service.close()
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="imprecise",
@@ -216,6 +350,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_fb.add_argument("-o", "--output", default=None,
                       help="output file (default: overwrite input)")
     p_fb.set_defaults(handler=_cmd_feedback)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the dataspace service over a store directory"
+             " (commands from --exec or stdin)",
+    )
+    p_serve.add_argument("directory", help="document store directory")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent answer-cache directory (answers"
+                              " survive restarts; omit for in-memory only)")
+    p_serve.add_argument("--max-cached", type=int, default=None,
+                         help="LRU bound on materialized documents")
+    p_serve.add_argument("--exec", dest="commands", action="append",
+                         metavar="CMD", default=None,
+                         help="run one service command and continue"
+                              " (repeatable; disables the stdin loop)")
+    p_serve.add_argument("--cache-stats", action="store_true",
+                         help="print persistent-cache counters to stderr"
+                              " on exit")
+    p_serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -3,22 +3,34 @@
 The original IMPrECISE is "built as XQuery modules on top of the XML DBMS
 MonetDB/XQuery" (Figure 4).  This package supplies the same three layers:
 
-* :mod:`repro.dbms.store` — named document collections with optional
-  on-disk persistence (plain XML and probabilistic XML);
+* :mod:`repro.dbms.store` — thread-safe named document collections with
+  optional on-disk persistence (plain XML and probabilistic XML),
+  per-name sharded locks and an LRU bound on materialized documents;
+* :mod:`repro.dbms.cache_store` — the persistent (cross-process)
+  answer/plan cache, keyed by plan fingerprint digests and document
+  content hashes, with exact-Fraction round-tripping;
 * :mod:`repro.dbms.module` — the "IMPrECISE module": integration,
   querying, statistics and feedback over stored documents;
+* :mod:`repro.dbms.service` — the :class:`DataspaceService` facade
+  assembling store + caches + engines for concurrent callers (the
+  ``imprecise serve`` entry point drives it);
 * :mod:`repro.dbms.xq` — a small FLWOR query layer (for/let/where/order
   by/return) evaluated over plain documents and, by possible-world
   semantics, over probabilistic ones.
 """
 
-from .store import DocumentStore
+from .cache_store import AnswerCacheStore, document_digest
 from .module import ImpreciseModule
+from .service import DataspaceService
+from .store import DocumentStore
 from .xq import FLWORQuery, evaluate_flwor, evaluate_flwor_ranked, parse_flwor
 
 __all__ = [
+    "AnswerCacheStore",
+    "DataspaceService",
     "DocumentStore",
     "ImpreciseModule",
+    "document_digest",
     "FLWORQuery",
     "parse_flwor",
     "evaluate_flwor",

@@ -1,0 +1,374 @@
+"""Persistent, cross-process answer/plan cache for the dataspace service.
+
+The in-memory amortization layers (compiled plans, per-document
+:class:`~repro.pxml.events_cache.EventProbabilityCache`) die with the
+process.  This module adds the third layer the ROADMAP's heavy-traffic
+north star needs: an on-disk table of *priced answers*, so a restarted
+service re-serves a whole workload without re-walking a single tree.
+
+Keying — both halves are stable across processes by contract:
+
+* the **plan** half is :attr:`repro.query.plan.QueryPlan.fingerprint_digest`
+  (SHA-256 of the canonical structural fingerprint: two surface spellings
+  of the same query share one entry);
+* the **document** half is :func:`document_digest` — SHA-256 of the
+  document's canonical serialization, i.e. exactly the bytes
+  :class:`~repro.dbms.store.DocumentStore` persists.  A document edited
+  in any way gets a new digest, so stale answers can never be served —
+  content addressing is the correctness mechanism, invalidation below is
+  only hygiene.
+
+Values are ranked answers with **exact** ``Fraction`` probabilities;
+they round-trip through a ``numerator/denominator`` wire form, so a
+warm-started process returns bit-identical Fractions.
+
+Invalidation is versioned per document name: :meth:`~AnswerCacheStore.
+invalidate_document` (called by the service on ``put``/``delete``/
+feedback conditioning/re-integration) bumps the name's version and drops
+its rows; rows also record the version they were written under and are
+ignored if it has since moved on, which keeps a concurrent writer from
+resurrecting a purged answer.  A global :data:`SCHEMA_VERSION` guards the
+file format itself — any change to the payload encoding or the
+fingerprint encoding recreates the tables rather than misreading them.
+
+The backing store is SQLite (stdlib, one file, safe for concurrent
+readers); one :class:`AnswerCacheStore` serializes its own statements
+behind a lock, so a single instance may be shared by many threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+from fractions import Fraction
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import StoreError
+from ..pxml.model import PXDocument
+from ..pxml.serialize import pxml_to_text
+from ..query.ranking import RankedAnswer, RankedItem
+from ..xmlkit.nodes import XDocument
+from ..xmlkit.serializer import serialize
+
+__all__ = ["AnswerCacheStore", "document_digest", "SCHEMA_VERSION"]
+
+#: Bump on any change to the payload wire format, the fingerprint
+#: encoding (see ``QueryPlan.fingerprint_digest``) or the table layout;
+#: existing cache files are then dropped and rebuilt, never misread.
+SCHEMA_VERSION = 1
+
+#: Default cache file name inside a cache directory.
+CACHE_FILENAME = "answers.sqlite"
+
+
+def document_digest(document: Union[XDocument, PXDocument]) -> str:
+    """Content hash of a stored document, stable across processes.
+
+    SHA-256 over the canonical serialization (``pxml_to_text`` for
+    probabilistic documents, ``serialize`` for plain ones) with a kind
+    prefix, so an XML and a PXML document can never collide.  This is
+    byte-identical to what :class:`~repro.dbms.store.DocumentStore`
+    writes to disk, so hashing the file and hashing the materialized
+    document agree.
+    """
+    if isinstance(document, PXDocument):
+        text = "pxml\x00" + pxml_to_text(document)
+    elif isinstance(document, XDocument):
+        text = "xml\x00" + serialize(document)
+    else:
+        raise StoreError(
+            f"cannot digest {type(document).__name__};"
+            " expected XDocument or PXDocument"
+        )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _encode_answer(answer: RankedAnswer) -> str:
+    """JSON wire form: ``[[value, "num/den", occurrences], ...]``."""
+    return json.dumps(
+        [
+            [
+                item.value,
+                f"{item.probability.numerator}/{item.probability.denominator}",
+                item.occurrences,
+            ]
+            for item in answer.items
+        ],
+        ensure_ascii=False,
+    )
+
+
+def _decode_answer(payload: str) -> RankedAnswer:
+    items = []
+    for value, fraction, occurrences in json.loads(payload):
+        numerator, denominator = fraction.split("/")
+        items.append(
+            RankedItem(value, Fraction(int(numerator), int(denominator)), occurrences)
+        )
+    return RankedAnswer(items)
+
+
+class AnswerCacheStore:
+    """On-disk answer/plan cache shared across processes.
+
+    Construct with a directory (the standard layout — the SQLite file is
+    created inside it) or a path to the database file itself::
+
+        cache = AnswerCacheStore("/var/lib/imprecise/cache")
+        hit = cache.get("movies", doc_digest, plan_digest)
+
+    Hit/miss/store counters are per-instance (process-local); row counts
+    are global.  All methods are thread-safe.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        path = Path(path)
+        if path.suffix != ".sqlite":
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / CACHE_FILENAME
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.invalidations = 0
+        with self._lock:
+            self._init_schema()
+
+    # -- schema -------------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        conn = self._conn
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is not None and row[0] != str(SCHEMA_VERSION):
+            # Older/newer format: drop rather than misread.
+            conn.execute("DROP TABLE IF EXISTS answers")
+            conn.execute("DROP TABLE IF EXISTS plans")
+            conn.execute("DROP TABLE IF EXISTS versions")
+            row = None
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS answers (
+                doc_name TEXT NOT NULL,
+                doc_digest TEXT NOT NULL,
+                plan_digest TEXT NOT NULL,
+                expression TEXT,
+                payload TEXT NOT NULL,
+                doc_version INTEGER NOT NULL,
+                PRIMARY KEY (doc_name, doc_digest, plan_digest)
+            )
+            """
+        )
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS plans (
+                expression TEXT PRIMARY KEY,
+                plan_digest TEXT NOT NULL
+            )
+            """
+        )
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS versions (
+                doc_name TEXT PRIMARY KEY,
+                version INTEGER NOT NULL
+            )
+            """
+        )
+        if row is None:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        conn.commit()
+
+    # -- plan memo ----------------------------------------------------------
+
+    def plan_digest(self, expression: str) -> Optional[str]:
+        """Persisted fingerprint digest of a query string, if known.
+
+        Lets a warm process key straight into :meth:`get` without
+        re-compiling the expression (exact string match only; distinct
+        spellings converge once compiled and remembered)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT plan_digest FROM plans WHERE expression = ?",
+                (expression,),
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def remember_plan(self, expression: str, plan_digest: str) -> None:
+        """Persist the expression → fingerprint-digest mapping."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO plans VALUES (?, ?)",
+                (expression, plan_digest),
+            )
+            self._conn.commit()
+
+    # -- answers ------------------------------------------------------------
+
+    def get(
+        self,
+        doc_name: str,
+        doc_digest: str,
+        plan_digest: str,
+        *,
+        record: bool = True,
+    ) -> Optional[RankedAnswer]:
+        """Cached ranked answer, or ``None``; exact-Fraction decode.
+
+        ``record=False`` leaves the hit/miss counters untouched — for
+        double-checked lookups (an optimistic probe followed by an
+        under-lock re-probe) that would otherwise count one logical miss
+        twice."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload, doc_version FROM answers"
+                " WHERE doc_name = ? AND doc_digest = ? AND plan_digest = ?",
+                (doc_name, doc_digest, plan_digest),
+            ).fetchone()
+            if row is not None and row[1] != self._version_locked(doc_name):
+                row = None  # written before an invalidation; ignore
+            if record:
+                if row is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
+        if row is None:
+            return None
+        return _decode_answer(row[0])
+
+    def put(
+        self,
+        doc_name: str,
+        doc_digest: str,
+        plan_digest: str,
+        answer: RankedAnswer,
+        *,
+        expression: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        """Persist a priced answer under (document content, plan) keys.
+
+        ``version`` is the document version the caller observed *before*
+        evaluating (see :meth:`version`); if an invalidation lands in
+        between, the row is stamped stale and :meth:`get` will ignore it
+        — that is the fence the module docstring describes.  Defaults to
+        the current version (no interleaving possible, e.g. writes under
+        the caller's own lock)."""
+        payload = _encode_answer(answer)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    doc_name,
+                    doc_digest,
+                    plan_digest,
+                    expression,
+                    payload,
+                    version
+                    if version is not None
+                    else self._version_locked(doc_name),
+                ),
+            )
+            if expression is not None:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO plans VALUES (?, ?)",
+                    (expression, plan_digest),
+                )
+            self._conn.commit()
+            self.stored += 1
+
+    # -- invalidation -------------------------------------------------------
+
+    def _version_locked(self, doc_name: str) -> int:
+        row = self._conn.execute(
+            "SELECT version FROM versions WHERE doc_name = ?", (doc_name,)
+        ).fetchone()
+        return row[0] if row is not None else 0
+
+    def version(self, doc_name: str) -> int:
+        """Monotonic invalidation counter of a document name (0 initially)."""
+        with self._lock:
+            return self._version_locked(doc_name)
+
+    def invalidate_document(self, doc_name: str) -> int:
+        """Drop every persisted answer of ``doc_name`` and bump its version.
+
+        Returns the number of rows dropped.  Content addressing already
+        prevents stale serving — this reclaims space and fences off
+        writers that priced an answer against the superseded content.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM answers WHERE doc_name = ?", (doc_name,)
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO versions VALUES"
+                " (?, COALESCE((SELECT version FROM versions WHERE"
+                " doc_name = ?), 0) + 1)",
+                (doc_name, doc_name),
+            )
+            self._conn.commit()
+            self.invalidations += 1
+        return cursor.rowcount
+
+    def clear(self) -> None:
+        """Drop every answer and plan row (versions are kept)."""
+        with self._lock:
+            self._conn.execute("DELETE FROM answers")
+            self._conn.execute("DELETE FROM plans")
+            self._conn.commit()
+
+    # -- diagnostics --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()
+        return row[0]
+
+    def stats(self) -> dict:
+        """Process-local counters plus on-disk row counts."""
+        with self._lock:
+            answers = self._conn.execute(
+                "SELECT COUNT(*) FROM answers"
+            ).fetchone()[0]
+            plans = self._conn.execute("SELECT COUNT(*) FROM plans").fetchone()[0]
+        return {
+            "persistent_answers": answers,
+            "persistent_plans": plans,
+            "persistent_hits": self.hits,
+            "persistent_misses": self.misses,
+            "persistent_stored": self.stored,
+            "persistent_invalidations": self.invalidations,
+        }
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "AnswerCacheStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerCacheStore({str(self.path)!r}, hits={self.hits},"
+            f" misses={self.misses})"
+        )

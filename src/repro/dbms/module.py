@@ -54,6 +54,7 @@ class ImpreciseModule:
         self.store.put(name, parse_document(xml_text))
 
     def load_document(self, name: str, document: Union[XDocument, PXDocument]) -> None:
+        """Store an already-built (plain or probabilistic) document."""
         self.store.put(name, document)
 
     def _plain(self, name: str) -> XDocument:
@@ -62,12 +63,18 @@ class ImpreciseModule:
             raise StoreError(f"{name!r} is probabilistic; integration needs sources")
         return document
 
-    def _probabilistic(self, name: str) -> PXDocument:
+    def probabilistic(self, name: str) -> PXDocument:
+        """The stored document as a :class:`PXDocument` — plain documents
+        are wrapped as certain (single-world) probabilistic ones, so every
+        stored name can be queried probabilistically."""
         document = self.store.get(name)
         if isinstance(document, PXDocument):
             return document
         # Querying a plain document works through its certain wrapper.
         return certain_document(document)
+
+    # Backwards-compatible alias (pre-docs-PR name).
+    _probabilistic = probabilistic
 
     # -- integration -----------------------------------------------------------
 
@@ -99,15 +106,15 @@ class ImpreciseModule:
 
     def query(self, name: str, xpath: str) -> RankedAnswer:
         """Ranked probabilistic answer of an XPath query."""
-        return ProbQueryEngine(self._probabilistic(name)).query(xpath)
+        return ProbQueryEngine(self.probabilistic(name)).query(xpath)
 
     def stats(self, name: str) -> NodeStats:
         """Uncertainty census of a stored document."""
-        return tree_stats(self._probabilistic(name))
+        return tree_stats(self.probabilistic(name))
 
     def worlds(self, name: str, *, limit: Optional[int] = 1000) -> list[World]:
         """Enumerate the possible worlds of a stored document."""
-        return list(iter_worlds(self._probabilistic(name), limit=limit))
+        return list(iter_worlds(self.probabilistic(name), limit=limit))
 
     # -- feedback ------------------------------------------------------------------
 
@@ -115,7 +122,7 @@ class ImpreciseModule:
         self, name: str, xpath: str, value: str, *, correct: bool = True
     ) -> FeedbackStep:
         """Apply one piece of answer feedback and persist the posterior."""
-        session = FeedbackSession(self._probabilistic(name))
+        session = FeedbackSession(self.probabilistic(name))
         step = session.confirm(xpath, value) if correct else session.reject(xpath, value)
         self.store.put(name, session.document)
         return step

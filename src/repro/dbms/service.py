@@ -1,0 +1,376 @@
+"""The dataspace service: concurrent, cache-persistent query serving.
+
+This is the Figure 4 stack assembled for the heavy-traffic path the
+ROADMAP aims at.  :class:`DataspaceService` composes
+
+* a thread-safe :class:`~repro.dbms.store.DocumentStore` (per-name
+  sharded locks, optional LRU bound on materialized documents),
+* the in-memory amortization layers — compiled
+  :class:`~repro.query.plan.QueryPlan`\\ s and per-document
+  :class:`~repro.pxml.events_cache.EventProbabilityCache`\\ s — and
+* an optional persistent :class:`~repro.dbms.cache_store.AnswerCacheStore`
+  so priced answers survive process restarts,
+
+behind one facade safe for many threads: :meth:`query`,
+:meth:`run_batch`, :meth:`integrate`, :meth:`feedback`.
+
+Serving discipline:
+
+1. a query is keyed by ``(document name, content digest, plan
+   fingerprint digest)`` — both digest halves are stable across
+   processes (see :mod:`repro.dbms.cache_store`);
+2. a persistent **hit** deserializes exact Fractions straight from disk:
+   no tree walk, no Shannon expansion, no engine, no per-name lock —
+   hits from any number of threads proceed in parallel;
+3. a **miss** takes the document's shard lock, evaluates through the
+   shared :class:`~repro.query.engine.QueryEngine` (populating the
+   in-memory event cache), persists the priced answer, and returns it.
+   Misses on *different* documents still run in parallel;
+4. every mutation (:meth:`load`, :meth:`integrate`, :meth:`feedback`,
+   :meth:`delete`) bumps the persistent cache's per-name version and
+   drops the name's rows.  Correctness never depends on that purge — the
+   content digest changes with the content — it bounds cache growth and
+   fences concurrent writers.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..core.engine import IntegrationReport
+from ..core.oracle import Oracle
+from ..core.rules import Rule
+from ..errors import StoreError
+from ..feedback.conditioning import FeedbackStep
+from ..pxml.build import certain_document
+from ..pxml.model import PXDocument
+from ..pxml.stats import NodeStats
+from ..query.engine import QueryEngine, QueryLike
+from ..query.plan import QueryPlan, compile_plan
+from ..query.ranking import RankedAnswer
+from ..xmlkit.dtd import DTD
+from ..xmlkit.nodes import XDocument
+from .cache_store import AnswerCacheStore
+from .module import ImpreciseModule
+from .store import DocumentStore
+
+__all__ = ["DataspaceService"]
+
+_SERVICE_SHARDS = 16
+
+
+class DataspaceService:
+    """Concurrent query/integration service over a document store.
+
+    >>> service = DataspaceService()
+    >>> service.load("a", "<r><x>1</x></r>")
+    >>> service.query("a", "//x").values()
+    ['1']
+
+    Construct over a store directory and a cache directory to get the
+    persistent, warm-restartable configuration::
+
+        service = DataspaceService(directory="store/", cache_dir="cache/")
+
+    All public methods are thread-safe; concurrent queries return exactly
+    the answers serial execution would (same Fractions).
+    """
+
+    def __init__(
+        self,
+        store: Optional[DocumentStore] = None,
+        *,
+        directory: Optional[Union[str, Path]] = None,
+        cache_store: Optional[AnswerCacheStore] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        max_cached_documents: Optional[int] = None,
+    ):
+        if store is not None and directory is not None:
+            raise StoreError("pass either store= or directory=, not both")
+        if cache_store is not None and cache_dir is not None:
+            raise StoreError("pass either cache_store= or cache_dir=, not both")
+        self.store = (
+            store
+            if store is not None
+            else DocumentStore(directory, max_cached=max_cached_documents)
+        )
+        if cache_store is None and cache_dir is not None:
+            cache_store = AnswerCacheStore(cache_dir)
+        self.cache: Optional[AnswerCacheStore] = cache_store
+        self._module = ImpreciseModule(self.store)
+        #: name -> (content digest, engine over that content); LRU-bounded
+        #: by the store's max_cached so engines (which hold their document
+        #: strongly) cannot defeat the store's materialization bound.
+        self._engines: "OrderedDict[str, tuple[str, QueryEngine]]" = OrderedDict()
+        self._max_engines = self.store.max_cached
+        self._mu = threading.Lock()
+        self._shards = [threading.RLock() for _ in range(_SERVICE_SHARDS)]
+
+    # -- internals ----------------------------------------------------------
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        return self._shards[zlib.crc32(name.encode("utf-8")) % _SERVICE_SHARDS]
+
+    def _engine(self, name: str, digest: str) -> QueryEngine:
+        """The shared engine over ``name``'s current content (rebuilt when
+        the digest moved; least-recently-used entries evicted beyond the
+        store's ``max_cached`` bound)."""
+        with self._mu:
+            entry = self._engines.get(name)
+            if entry is not None and entry[0] == digest:
+                self._engines.move_to_end(name)
+                return entry[1]
+        document = self.store.get(name)
+        if isinstance(document, XDocument):
+            document = certain_document(document)
+        engine = QueryEngine(document)
+        with self._mu:
+            entry = self._engines.get(name)
+            if entry is not None and entry[0] == digest:
+                self._engines.move_to_end(name)
+                return entry[1]  # lost the race; share the winner's engine
+            self._engines[name] = (digest, engine)
+            self._engines.move_to_end(name)
+            if self._max_engines is not None:
+                while len(self._engines) > self._max_engines:
+                    self._engines.popitem(last=False)
+        return engine
+
+    def _plan_and_digest(
+        self, expression: QueryLike
+    ) -> tuple[Optional[QueryPlan], str]:
+        """Resolve the plan-digest half of the cache key, compiling only
+        when the persistent plan memo cannot answer."""
+        if (
+            self.cache is not None
+            and isinstance(expression, str)
+        ):
+            known = self.cache.plan_digest(expression)
+            if known is not None:
+                return None, known
+        plan = compile_plan(expression)
+        if self.cache is not None and isinstance(expression, str):
+            self.cache.remember_plan(expression, plan.fingerprint_digest)
+        return plan, plan.fingerprint_digest
+
+    def _invalidate(self, name: str) -> None:
+        with self._mu:
+            self._engines.pop(name, None)
+        if self.cache is not None:
+            self.cache.invalidate_document(name)
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, name: str, xml_text: str) -> None:
+        """Parse and store a plain XML source document."""
+        with self._name_lock(name):
+            self._module.load(name, xml_text)
+            self._invalidate(name)
+
+    def load_document(
+        self, name: str, document: Union[XDocument, PXDocument]
+    ) -> None:
+        """Store an already-built document under ``name``."""
+        with self._name_lock(name):
+            self._module.load_document(name, document)
+            self._invalidate(name)
+
+    def delete(self, name: str) -> None:
+        """Remove a document and every answer cached for it."""
+        with self._name_lock(name):
+            self.store.delete(name)
+            self._invalidate(name)
+
+    def list(self) -> list[str]:
+        """All stored document names, sorted."""
+        return self.store.list()
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, name: str, expression: QueryLike) -> RankedAnswer:
+        """Ranked probabilistic answer of an XPath query over ``name``.
+
+        Served from the persistent cache when the (content, plan) pair
+        has been priced before — by this process or any earlier one.
+        """
+        plan, plan_digest = self._plan_and_digest(expression)
+        if self.cache is not None:
+            # Optimistic lock-free fast path: hits deserialize in parallel.
+            hit = self.cache.get(name, self.store.digest(name), plan_digest)
+            if hit is not None:
+                return hit
+        with self._name_lock(name):
+            # Mutations hold this same lock, so the digest is stable for
+            # the whole evaluate-and-persist step below.
+            digest = self.store.digest(name)
+            if self.cache is not None:
+                # Re-check under the lock (a racing miss may have landed);
+                # record=False — the optimistic probe already counted.
+                hit = self.cache.get(name, digest, plan_digest, record=False)
+                if hit is not None:
+                    return hit
+            # Version observed before evaluating: if another *process*
+            # invalidates meanwhile, our row is stamped stale and ignored.
+            observed = self.cache.version(name) if self.cache is not None else 0
+            engine = self._engine(name, digest)
+            answer = engine.run(plan if plan is not None else expression)
+            if self.cache is not None:
+                self.cache.put(
+                    name,
+                    digest,
+                    plan_digest,
+                    answer,
+                    expression=expression
+                    if isinstance(expression, str)
+                    else None,
+                    version=observed,
+                )
+        return answer
+
+    def run_batch(
+        self, name: str, expressions: Sequence[QueryLike]
+    ) -> list[RankedAnswer]:
+        """Evaluate a workload over ``name``; answers align with inputs.
+
+        Persistent hits are deserialized; the misses go through
+        :meth:`QueryEngine.run_batch` in one bulk pricing pass, then land
+        in the persistent cache.  Fraction-identical to serial
+        :meth:`query` calls.
+        """
+        resolved: list[tuple[QueryLike, Optional[QueryPlan], str]] = []
+        answers: list[Optional[RankedAnswer]] = [None] * len(expressions)
+        misses: list[int] = []
+        fast_digest = self.store.digest(name) if self.cache is not None else ""
+        for index, expression in enumerate(expressions):
+            plan, plan_digest = self._plan_and_digest(expression)
+            resolved.append((expression, plan, plan_digest))
+            if self.cache is not None:
+                hit = self.cache.get(name, fast_digest, plan_digest)
+                if hit is not None:
+                    answers[index] = hit
+                    continue
+            misses.append(index)
+        if misses:
+            with self._name_lock(name):
+                digest = self.store.digest(name)
+                observed = (
+                    self.cache.version(name) if self.cache is not None else 0
+                )
+                engine = self._engine(name, digest)
+                computed = engine.run_batch(
+                    [
+                        resolved[index][1]
+                        if resolved[index][1] is not None
+                        else resolved[index][0]
+                        for index in misses
+                    ]
+                )
+                for index, answer in zip(misses, computed):
+                    answers[index] = answer
+                    if self.cache is not None:
+                        expression = resolved[index][0]
+                        self.cache.put(
+                            name,
+                            digest,
+                            resolved[index][2],
+                            answer,
+                            expression=expression
+                            if isinstance(expression, str)
+                            else None,
+                            version=observed,
+                        )
+        return answers  # type: ignore[return-value]
+
+    def stats(self, name: str) -> NodeStats:
+        """Uncertainty census of a stored document."""
+        return self._module.stats(name)
+
+    # -- integration / feedback ---------------------------------------------
+
+    def integrate(
+        self,
+        name_a: str,
+        name_b: str,
+        output: str,
+        *,
+        rules: Sequence[Rule] = (),
+        oracle: Optional[Oracle] = None,
+        dtd: Optional[DTD] = None,
+        factor_components: bool = True,
+        max_possibilities: int = 20_000,
+    ) -> IntegrationReport:
+        """Integrate two stored sources into a stored probabilistic
+        document (see :meth:`ImpreciseModule.integrate`); invalidates any
+        answers previously cached under ``output``."""
+        with self._name_lock(output):
+            report = self._module.integrate(
+                name_a,
+                name_b,
+                output,
+                rules=rules,
+                oracle=oracle,
+                dtd=dtd,
+                factor_components=factor_components,
+                max_possibilities=max_possibilities,
+            )
+            self._invalidate(output)
+            return report
+
+    def feedback(
+        self, name: str, expression: str, value: str, *, correct: bool = True
+    ) -> FeedbackStep:
+        """Apply one piece of answer feedback, persist the conditioned
+        posterior document, and invalidate ``name``'s cached answers."""
+        with self._name_lock(name):
+            step = self._module.feedback(name, expression, value, correct=correct)
+            self._invalidate(name)
+            return step
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Merged counters: persistent store plus in-memory engine caches."""
+        stats: dict = {}
+        if self.cache is not None:
+            stats.update(self.cache.stats())
+        with self._mu:
+            engines = list(self._engines.items())
+        memory_entries = 0
+        memory_hits = 0
+        memory_misses = 0
+        for _, (_, engine) in engines:
+            counters = engine.cache_stats()
+            memory_entries += counters.get("entries", 0)
+            memory_hits += counters.get("hits", 0)
+            memory_misses += counters.get("misses", 0)
+        stats.update(
+            {
+                "engines": len(engines),
+                "memory_entries": memory_entries,
+                "memory_hits": memory_hits,
+                "memory_misses": memory_misses,
+            }
+        )
+        return stats
+
+    def close(self) -> None:
+        """Release the persistent cache connection (idempotent)."""
+        if self.cache is not None:
+            self.cache.close()
+
+    def __enter__(self) -> "DataspaceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        persistent = self.cache.path if self.cache is not None else None
+        return (
+            f"DataspaceService(documents={len(self.store.list())},"
+            f" persistent={str(persistent)!r})"
+        )

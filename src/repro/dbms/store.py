@@ -4,11 +4,32 @@ Documents are either plain (:class:`XDocument`) or probabilistic
 (:class:`PXDocument`); the store keeps both behind one namespace, persists
 them as ``<name>.xml`` / ``<name>.pxml`` files when a directory is given,
 and loads lazily with an in-memory cache.
+
+Built for concurrent callers (the :class:`~repro.dbms.service.
+DataspaceService` serves many threads over one store):
+
+* **per-name sharded locks** — operations on one document serialize,
+  operations on different documents (parsing, disk I/O) proceed in
+  parallel; a short global mutex guards only the metadata maps;
+* **LRU materialization cache** — pass ``max_cached`` to bound how many
+  parsed documents stay in memory; evicting a document also releases its
+  :class:`~repro.pxml.events_cache.EventProbabilityCache` (the registry
+  holds documents weakly, so the cache dies with the last reference);
+* **content digests and versions** — :meth:`digest` is the document's
+  content hash (the persistent-cache key half, see
+  :func:`repro.dbms.cache_store.document_digest`), computed from the
+  file bytes when the document is not materialized so a warm process
+  never has to parse just to key a cache lookup; :meth:`version` counts
+  in-process ``put``/``delete`` mutations.
 """
 
 from __future__ import annotations
 
+import hashlib
 import re
+import threading
+import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
@@ -18,10 +39,14 @@ from ..pxml.serialize import parse_pxml, pxml_to_text
 from ..xmlkit.nodes import XDocument
 from ..xmlkit.parser import parse_document
 from ..xmlkit.serializer import serialize
+from .cache_store import document_digest
 
 StoredDocument = Union[XDocument, PXDocument]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$")
+
+#: Number of lock shards; contention is per-name, so a handful suffices.
+_SHARD_COUNT = 16
 
 
 def _check_name(name: str) -> str:
@@ -34,22 +59,51 @@ def _check_name(name: str) -> str:
 
 
 class DocumentStore:
-    """A collection of named documents.
+    """A thread-safe collection of named documents.
 
     >>> store = DocumentStore()            # in-memory
     >>> from repro.xmlkit import parse_document
     >>> store.put("movies", parse_document("<movies/>"))
     >>> store.kind("movies")
     'xml'
+
+    ``max_cached`` bounds the number of *materialized* documents kept in
+    memory (least-recently-used eviction); persisted files are never
+    touched by eviction, and an evicted document transparently reloads on
+    the next :meth:`get`.  ``None`` (the default) keeps everything.
+    Directory-backed stores only — an in-memory store rejects the bound,
+    since evicting a document with no backing file would lose it.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        max_cached: Optional[int] = None,
+    ):
+        if max_cached is not None and max_cached < 1:
+            raise StoreError(f"max_cached must be >= 1, got {max_cached}")
+        if max_cached is not None and directory is None:
+            raise StoreError(
+                "max_cached requires a backing directory — evicting an"
+                " in-memory document would lose it"
+            )
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-        self._cache: dict[str, StoredDocument] = {}
+        self.max_cached = max_cached
+        self._cache: "OrderedDict[str, StoredDocument]" = OrderedDict()
+        self._digests: dict[str, str] = {}
+        self._versions: dict[str, int] = {}
+        self._mu = threading.RLock()  # metadata maps only — never held on I/O
+        self._shards = [threading.RLock() for _ in range(_SHARD_COUNT)]
 
     # -- helpers ---------------------------------------------------------------
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        """The shard lock serializing operations on ``name``."""
+        shard = zlib.crc32(name.encode("utf-8")) % _SHARD_COUNT
+        return self._shards[shard]
 
     def _path(self, name: str, kind: str) -> Optional[Path]:
         if self.directory is None:
@@ -66,6 +120,18 @@ class DocumentStore:
                 return candidate
         return None
 
+    def _remember(self, name: str, document: StoredDocument) -> None:
+        """Insert into the LRU under the metadata lock, evicting if over."""
+        with self._mu:
+            self._cache[name] = document
+            self._cache.move_to_end(name)
+            if self.max_cached is not None:
+                while len(self._cache) > self.max_cached:
+                    # The digest is content-derived and stays valid; the
+                    # evicted document's event cache is reclaimed with it
+                    # (weak registry) once callers drop their references.
+                    self._cache.popitem(last=False)
+
     # -- operations ---------------------------------------------------------
 
     def put(self, name: str, document: StoredDocument) -> None:
@@ -76,55 +142,134 @@ class DocumentStore:
                 f"cannot store {type(document).__name__};"
                 " expected XDocument or PXDocument"
             )
-        self._cache[name] = document
-        if self.directory is None:
-            return
-        kind = "pxml" if isinstance(document, PXDocument) else "xml"
-        # Remove a stale file of the other kind before writing.
-        other = self._path(name, "xml" if kind == "pxml" else "pxml")
-        if other is not None and other.exists():
-            other.unlink()
-        path = self._path(name, kind)
-        assert path is not None
-        if isinstance(document, PXDocument):
-            path.write_text(pxml_to_text(document), encoding="utf-8")
-        else:
-            path.write_text(serialize(document), encoding="utf-8")
+        with self._name_lock(name):
+            digest: Optional[str] = None
+            if self.directory is not None:
+                kind = "pxml" if isinstance(document, PXDocument) else "xml"
+                if isinstance(document, PXDocument):
+                    text = pxml_to_text(document)
+                else:
+                    text = serialize(document)
+                # Remove a stale file of the other kind before writing.
+                other = self._path(name, "xml" if kind == "pxml" else "pxml")
+                if other is not None and other.exists():
+                    other.unlink()
+                path = self._path(name, kind)
+                assert path is not None
+                path.write_text(text, encoding="utf-8")
+                # Hash the serialization already in hand — identical to
+                # document_digest(document) and to hashing the file bytes
+                # just written, without a second serialization pass.
+                digest = hashlib.sha256(
+                    (kind + "\x00" + text).encode("utf-8")
+                ).hexdigest()
+            with self._mu:
+                if digest is not None:
+                    self._digests[name] = digest
+                else:
+                    # In-memory: digest() computes lazily on first use —
+                    # don't serialize a document nobody may ever key on.
+                    self._digests.pop(name, None)
+                self._versions[name] = self._versions.get(name, 0) + 1
+            self._remember(name, document)
 
     def get(self, name: str) -> StoredDocument:
         """Fetch a document; raises :class:`StoreError` when missing."""
         _check_name(name)
-        if name in self._cache:
-            return self._cache[name]
+        with self._mu:
+            cached = self._cache.get(name)
+            if cached is not None:
+                self._cache.move_to_end(name)
+                return cached
+        with self._name_lock(name):
+            # Re-check: another thread may have materialized it meanwhile.
+            with self._mu:
+                cached = self._cache.get(name)
+                if cached is not None:
+                    self._cache.move_to_end(name)
+                    return cached
+            path = self._find_file(name)
+            if path is None:
+                raise StoreError(f"no document named {name!r}")
+            text = path.read_text(encoding="utf-8")
+            document: StoredDocument
+            if path.suffix == ".pxml":
+                document = parse_pxml(text)
+            else:
+                document = parse_document(text)
+            self._remember(name, document)
+            return document
+
+    def digest(self, name: str) -> str:
+        """Content hash of the stored document (see
+        :func:`repro.dbms.cache_store.document_digest`).
+
+        Directory-backed stores always hash the persisted **file bytes**
+        — never a parse, and the same value no matter whether the
+        document was materialized first (for ``put()``-authored files
+        the bytes *are* the canonical serialization, so this equals
+        ``document_digest``; for externally-authored files the bytes are
+        the one cross-process-stable identity).  In-memory documents
+        hash their canonical serialization.  Memoized until the next
+        :meth:`put`/:meth:`delete`.
+        """
+        _check_name(name)
+        with self._mu:
+            known = self._digests.get(name)
+            if known is not None:
+                return known
+        with self._name_lock(name):
+            with self._mu:
+                known = self._digests.get(name)
+                if known is not None:
+                    return known
+                cached = self._cache.get(name)
+            path = self._find_file(name)
+            if path is not None:
+                kind = "pxml" if path.suffix == ".pxml" else "xml"
+                text = kind + "\x00" + path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            elif cached is not None:
+                digest = document_digest(cached)
+            else:
+                raise StoreError(f"no document named {name!r}")
+            with self._mu:
+                self._digests[name] = digest
+            return digest
+
+    def version(self, name: str) -> int:
+        """In-process mutation counter: bumped by every
+        :meth:`put`/:meth:`delete` of ``name`` (0 for never-mutated)."""
+        with self._mu:
+            return self._versions.get(name, 0)
+
+    def kind(self, name: str) -> str:
+        """'xml' or 'pxml' — from the in-memory type or the file suffix,
+        without parsing; raises :class:`StoreError` when missing."""
+        _check_name(name)
+        with self._mu:
+            cached = self._cache.get(name)
+        if cached is not None:
+            return "pxml" if isinstance(cached, PXDocument) else "xml"
         path = self._find_file(name)
         if path is None:
             raise StoreError(f"no document named {name!r}")
-        text = path.read_text(encoding="utf-8")
-        document: StoredDocument
-        if path.suffix == ".pxml":
-            document = parse_pxml(text)
-        else:
-            document = parse_document(text)
-        self._cache[name] = document
-        return document
-
-    def kind(self, name: str) -> str:
-        """'xml' or 'pxml'."""
-        document = self.get(name)
-        return "pxml" if isinstance(document, PXDocument) else "xml"
+        return "pxml" if path.suffix == ".pxml" else "xml"
 
     def __contains__(self, name: str) -> bool:
         try:
             _check_name(name)
         except StoreError:
             return False
-        if name in self._cache:
-            return True
+        with self._mu:
+            if name in self._cache:
+                return True
         return self._find_file(name) is not None
 
     def list(self) -> list[str]:
         """All document names, sorted."""
-        names = set(self._cache)
+        with self._mu:
+            names = set(self._cache)
         if self.directory is not None:
             for path in self.directory.iterdir():
                 if path.suffix in (".xml", ".pxml"):
@@ -132,12 +277,23 @@ class DocumentStore:
         return sorted(names)
 
     def delete(self, name: str) -> None:
+        """Remove a document from memory and disk; raises when absent."""
         _check_name(name)
-        found = name in self._cache
-        self._cache.pop(name, None)
-        path = self._find_file(name)
-        if path is not None:
-            path.unlink()
-            found = True
-        if not found:
-            raise StoreError(f"no document named {name!r}")
+        with self._name_lock(name):
+            with self._mu:
+                found = name in self._cache
+                self._cache.pop(name, None)
+                self._digests.pop(name, None)
+            path = self._find_file(name)
+            if path is not None:
+                path.unlink()
+                found = True
+            if not found:
+                raise StoreError(f"no document named {name!r}")
+            with self._mu:
+                self._versions[name] = self._versions.get(name, 0) + 1
+
+    def cached_count(self) -> int:
+        """Number of currently materialized documents (diagnostics)."""
+        with self._mu:
+            return len(self._cache)

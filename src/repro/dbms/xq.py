@@ -37,6 +37,8 @@ _LET_RE = re.compile(r"^\$(\w[\w.-]*)\s*:=\s*(.+)$", re.DOTALL)
 
 @dataclass(frozen=True)
 class Clause:
+    """One parsed FLWOR clause (everything before ``return``)."""
+
     kind: str                   # 'for' | 'let' | 'where' | 'order-by'
     variable: Optional[str]     # for/let
     expression: XPath
@@ -45,6 +47,12 @@ class Clause:
 
 @dataclass(frozen=True)
 class FLWORQuery:
+    """A parsed FLWOR query: ordered clauses plus the return expression.
+
+    Build with :func:`parse_flwor`; run with :func:`evaluate_flwor`
+    (plain documents) or :func:`evaluate_flwor_ranked` (probabilistic,
+    possible-worlds semantics)."""
+
     clauses: tuple[Clause, ...]
     return_expression: XPath
     source: str

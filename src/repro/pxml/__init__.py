@@ -43,7 +43,12 @@ from .events import (
     lit,
     none_of,
 )
-from .events_cache import EventProbabilityCache, cache_for, invalidate
+from .events_cache import (
+    EventProbabilityCache,
+    cache_for,
+    invalidate,
+    registered_count,
+)
 from .stats import NodeStats, expected_world_size, node_count, tree_stats
 from .simplify import SimplifyReport, simplify, simplify_fixpoint
 from .serialize import parse_pxml, pxml_to_text, pxml_to_xml, xml_to_pxml
@@ -79,6 +84,7 @@ __all__ = [
     "EventProbabilityCache",
     "cache_for",
     "invalidate",
+    "registered_count",
     "NodeStats",
     "node_count",
     "tree_stats",

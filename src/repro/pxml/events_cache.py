@@ -56,6 +56,7 @@ __all__ = [
     "EventProbabilityCache",
     "cache_for",
     "invalidate",
+    "registered_count",
 ]
 
 
@@ -197,6 +198,17 @@ def cache_for(document: PXDocument) -> EventProbabilityCache:
         cache = EventProbabilityCache()
         _REGISTRY[document] = cache
     return cache
+
+
+def registered_count() -> int:
+    """Number of live documents with a registered cache (diagnostics).
+
+    The registry holds documents weakly, so this shrinks as documents are
+    collected — e.g. after :class:`~repro.dbms.store.DocumentStore` LRU
+    eviction drops the last reference to a materialized document, its
+    event cache leaves the registry with it.
+    """
+    return len(_REGISTRY)
 
 
 def invalidate(document: PXDocument) -> None:

@@ -30,6 +30,7 @@ any number of documents, from any number of engines.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
@@ -123,7 +124,7 @@ class QueryPlan:
     constructing directly.
     """
 
-    __slots__ = ("expression", "ast", "fingerprint", "_steps")
+    __slots__ = ("expression", "ast", "fingerprint", "_steps", "_digest")
 
     def __init__(self, expression: Optional[str], ast: XPathNode):
         self.expression = expression
@@ -133,6 +134,29 @@ class QueryPlan:
         _collect_steps(ast, steps)
         self._steps = steps
         self.fingerprint: tuple = _fingerprint(ast)
+        self._digest: Optional[str] = None
+
+    @property
+    def fingerprint_digest(self) -> str:
+        """Hex digest of the structural fingerprint — the plan's
+        *persistent* identity.
+
+        **Stability contract**: the digest is a SHA-256 over a canonical
+        byte encoding of :attr:`fingerprint` (which contains only axis
+        names, test names, operators, literals and tuple shapes — no
+        object ids, no hash randomization), so it is stable across
+        processes, interpreter restarts and platforms.  On-disk caches
+        (:mod:`repro.dbms.cache_store`) key persisted answers by it;
+        changing the fingerprint encoding is a cache-format break and
+        must bump :data:`repro.dbms.cache_store.SCHEMA_VERSION`.
+        """
+        digest = self._digest
+        if digest is None:
+            digest = hashlib.sha256(
+                _encode_fingerprint(self.fingerprint).encode("utf-8")
+            ).hexdigest()
+            self._digest = digest
+        return digest
 
     def step(self, step: Step) -> StepPlan:
         """The pre-resolved plan of one of this query's location steps."""
@@ -341,6 +365,33 @@ def _fingerprint(ast: XPathNode) -> tuple:
             _fingerprint(ast.condition),
         )
     raise QueryError(f"cannot fingerprint {type(ast).__name__}")
+
+
+def _encode_fingerprint(value: object) -> str:
+    """Canonical, unambiguous string encoding of a fingerprint tuple.
+
+    Length-prefixed strings (no escaping ambiguity), explicit type tags,
+    ``repr`` for numbers (exact for floats in Python ≥3.1).  Only the
+    types that :func:`_fingerprint` can emit are accepted — anything else
+    is a programming error, surfaced loudly rather than hashed lossily.
+    """
+    if value is None:
+        return "N"
+    if value is True:
+        return "T"
+    if value is False:
+        return "F"
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if isinstance(value, int):
+        return f"i{value!r}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(_encode_fingerprint(item) for item in value) + ")"
+    raise QueryError(
+        f"cannot encode fingerprint component {type(value).__name__}"
+    )
 
 
 def _test_fingerprint(test: object) -> tuple:

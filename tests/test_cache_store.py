@@ -1,0 +1,190 @@
+"""Tests for the persistent answer/plan cache store."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dbms.cache_store import (
+    AnswerCacheStore,
+    SCHEMA_VERSION,
+    document_digest,
+)
+from repro.errors import StoreError
+from repro.pxml.build import certain_document
+from repro.pxml.serialize import parse_pxml, pxml_to_text
+from repro.query.plan import compile_plan
+from repro.query.ranking import RankedAnswer, RankedItem
+from repro.xmlkit.parser import parse_document
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AnswerCacheStore(tmp_path / "cache")
+
+
+def answer(*items):
+    return RankedAnswer([RankedItem(v, p, n) for v, p, n in items])
+
+
+PLAN = "a" * 64
+DOC = "b" * 64
+
+
+class TestRoundTrip:
+    def test_exact_fractions(self, cache):
+        stored = answer(
+            ("x", Fraction(1, 3), 2),
+            ("y", Fraction(10**30 + 1, 10**30 + 3), 1),
+            ("z", Fraction(1), 1),
+        )
+        cache.put("doc", DOC, PLAN, stored)
+        loaded = cache.get("doc", DOC, PLAN)
+        assert [(i.value, i.probability, i.occurrences) for i in loaded] == [
+            (i.value, i.probability, i.occurrences) for i in stored
+        ]
+        assert all(isinstance(i.probability, Fraction) for i in loaded)
+
+    def test_unicode_values(self, cache):
+        stored = answer(("Zemřel ★ 彼", Fraction(2, 7), 3))
+        cache.put("doc", DOC, PLAN, stored)
+        assert cache.get("doc", DOC, PLAN).values() == ["Zemřel ★ 彼"]
+
+    def test_empty_answer(self, cache):
+        cache.put("doc", DOC, PLAN, RankedAnswer([]))
+        loaded = cache.get("doc", DOC, PLAN)
+        assert loaded is not None and len(loaded) == 0
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get("doc", DOC, PLAN) is None
+        assert cache.misses == 1
+
+    def test_key_is_content_and_plan(self, cache):
+        cache.put("doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)))
+        assert cache.get("doc", "c" * 64, PLAN) is None  # other content
+        assert cache.get("doc", DOC, "d" * 64) is None  # other plan
+        assert cache.get("other", DOC, PLAN) is None  # other name
+
+    def test_survives_reopen(self, cache, tmp_path):
+        cache.put("doc", DOC, PLAN, answer(("x", Fraction(1, 3), 1)))
+        cache.close()
+        reopened = AnswerCacheStore(tmp_path / "cache")
+        loaded = reopened.get("doc", DOC, PLAN)
+        assert loaded.probability_of("x") == Fraction(1, 3)
+        assert reopened.hits == 1
+
+
+class TestPlanMemo:
+    def test_remember_and_lookup(self, cache):
+        digest = compile_plan("//a/b").fingerprint_digest
+        assert cache.plan_digest("//a/b") is None
+        cache.remember_plan("//a/b", digest)
+        assert cache.plan_digest("//a/b") == digest
+
+    def test_put_with_expression_also_remembers(self, cache):
+        cache.put("doc", DOC, PLAN, answer(), expression="//x")
+        assert cache.plan_digest("//x") == PLAN
+
+
+class TestInvalidation:
+    def test_invalidate_drops_rows_and_bumps_version(self, cache):
+        cache.put("doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)))
+        assert cache.version("doc") == 0
+        assert cache.invalidate_document("doc") == 1
+        assert cache.version("doc") == 1
+        assert cache.get("doc", DOC, PLAN) is None
+
+    def test_invalidate_is_per_name(self, cache):
+        cache.put("keep", DOC, PLAN, answer(("x", Fraction(1, 2), 1)))
+        cache.put("drop", DOC, PLAN, answer(("y", Fraction(1, 2), 1)))
+        cache.invalidate_document("drop")
+        assert cache.get("keep", DOC, PLAN) is not None
+        assert cache.get("drop", DOC, PLAN) is None
+
+    def test_stale_version_row_is_ignored(self, cache):
+        """A row written under an older version is never served, even if
+        the DELETE racing with the writer lost (simulated by inserting
+        out from under the version bump)."""
+        cache.put("doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)))
+        cache.invalidate_document("doc")
+        # Re-insert the row with the pre-invalidation version directly.
+        with cache._lock:
+            cache._conn.execute(
+                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, 0)",
+                ("doc", DOC, PLAN, None, '[["x", "1/2", 1]]'),
+            )
+            cache._conn.commit()
+        assert cache.get("doc", DOC, PLAN) is None
+
+    def test_put_with_observed_version_is_fenced(self, cache):
+        """A writer that observed version N before evaluating, and whose
+        put lands after an invalidation bumped to N+1, writes a row that
+        get() refuses to serve — the cross-process resurrection fence."""
+        observed = cache.version("doc")
+        cache.invalidate_document("doc")  # races in between
+        cache.put(
+            "doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)), version=observed
+        )
+        assert cache.get("doc", DOC, PLAN) is None
+
+    def test_clear(self, cache):
+        cache.put("doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)), expression="//x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.plan_digest("//x") is None
+
+
+class TestSchema:
+    def test_schema_version_mismatch_recreates(self, tmp_path):
+        first = AnswerCacheStore(tmp_path / "cache")
+        first.put("doc", DOC, PLAN, answer(("x", Fraction(1, 2), 1)))
+        with first._lock:
+            first._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+            first._conn.commit()
+        first.close()
+        reopened = AnswerCacheStore(tmp_path / "cache")
+        assert len(reopened) == 0  # dropped, not misread
+
+    def test_accepts_explicit_sqlite_path(self, tmp_path):
+        cache = AnswerCacheStore(tmp_path / "sub" / "my.sqlite")
+        cache.put("doc", DOC, PLAN, answer())
+        assert (tmp_path / "sub" / "my.sqlite").exists()
+
+    def test_stats_shape(self, cache):
+        cache.put("doc", DOC, PLAN, answer(), expression="//x")
+        cache.get("doc", DOC, PLAN)
+        cache.get("doc", DOC, "e" * 64)
+        stats = cache.stats()
+        assert stats["persistent_answers"] == 1
+        assert stats["persistent_plans"] == 1
+        assert stats["persistent_hits"] == 1
+        assert stats["persistent_misses"] == 1
+        assert stats["persistent_stored"] == 1
+
+
+class TestDocumentDigest:
+    def test_stable_for_equal_content(self):
+        doc_a = parse_document("<r><x>1</x></r>")
+        doc_b = parse_document("<r><x>1</x></r>")
+        assert document_digest(doc_a) == document_digest(doc_b)
+
+    def test_differs_for_different_content(self):
+        assert document_digest(parse_document("<r><x>1</x></r>")) != (
+            document_digest(parse_document("<r><x>2</x></r>"))
+        )
+
+    def test_kind_prefix_prevents_collisions(self):
+        plain = parse_document("<r/>")
+        prob = certain_document(plain)
+        assert document_digest(plain) != document_digest(prob)
+
+    def test_pxml_round_trip_preserves_digest(self):
+        doc = certain_document(parse_document("<r><x>1</x></r>"))
+        reloaded = parse_pxml(pxml_to_text(doc))
+        assert document_digest(doc) == document_digest(reloaded)
+
+    def test_rejects_non_documents(self):
+        with pytest.raises(StoreError):
+            document_digest("<r/>")

@@ -142,3 +142,91 @@ class TestEstimate:
             "--dtd", workspace / "ab.dtd", "--joint",
         ]) == 0
         assert "nodes:" in capsys.readouterr().out
+
+
+class TestServe:
+    @pytest.fixture
+    def dataspace(self, workspace):
+        store = workspace / "store"
+        cache = workspace / "cache"
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", f"put a {workspace / 'a.xml'}",
+            "--exec", f"put b {workspace / 'b.xml'}",
+            "--exec", "integrate a b ab",
+        ]) == 0
+        return store, cache
+
+    def test_exec_query(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "query ab //person/tel",
+        ]) == 0
+        assert "100% 1111" in capsys.readouterr().out
+
+    def test_warm_restart_hits(self, dataspace, capsys):
+        store, cache = dataspace
+        run(["serve", store, "--cache-dir", cache,
+             "--exec", "query ab //person/tel"])
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache, "--cache-stats",
+            "--exec", "query ab //person/tel",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "100% 1111" in captured.out
+        assert "1 persistent hits" in captured.err
+
+    def test_stdin_protocol(self, dataspace, capsys, monkeypatch):
+        import io
+
+        store, cache = dataspace
+        capsys.readouterr()
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("list\nstats ab\nquit\nquery ab //x\n")
+        )
+        assert run(["serve", store, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "pxml ab" in out
+        assert "worlds" in out
+        assert "//x" not in out  # nothing after quit runs
+
+    def test_batch_and_feedback(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "batch ab //person/tel //person/nm",
+            "--exec", "feedback ab //person/tel 1111 correct",
+            "--exec", "query ab //person/tel",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== //person/tel" in out and "== //person/nm" in out
+        assert "confirm '1111'" in out
+        assert "100% 1111" in out
+
+    def test_bad_command_keeps_serving(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "nonsense",
+            "--exec", "query ab //person/nm",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "unknown service command" in captured.err
+        assert "John" in captured.out  # the loop survived the bad command
+
+    def test_serve_without_cache_dir(self, workspace, capsys):
+        assert run([
+            "serve", workspace / "store2",
+            "--exec", f"put a {workspace / 'a.xml'}",
+            "--exec", "query a //person/nm",
+            "--exec", "delete a",
+            "--exec", "list",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "100% John" in out
+        assert "deleted a" in out

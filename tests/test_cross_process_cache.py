@@ -1,0 +1,126 @@
+"""Cross-process cache reuse: persist, reopen in a fresh interpreter,
+assert Fraction-identical answers and a cache-hit counter > 0.
+
+This is the acceptance test for the persistent dataspace service: the
+second interpreter shares no memory with the first, so every answer it
+serves from the cache proves the on-disk keying (plan fingerprint digest
++ document content digest) and the exact-Fraction wire format.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+WORKLOAD = [
+    "//person/tel",
+    "//person/nm",
+    '//person[nm="John"]/tel',
+]
+
+#: Runs in a *fresh* interpreter.  mode=cold builds the store and prices
+#: the workload; mode=warm reopens and must serve from disk.  Output: one
+#: JSON object on stdout.
+SCRIPT = """
+import json, sys
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.service import DataspaceService
+
+mode, store_dir, cache_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+workload = json.loads(sys.argv[4])
+
+with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+    if mode == "cold":
+        book_a, book_b = addressbook_documents()
+        service.load_document("a", book_a)
+        service.load_document("b", book_b)
+        service.integrate(
+            "a", "b", "ab",
+            rules=[DeepEqualRule(), LeafValueRule()], dtd=ADDRESSBOOK_DTD,
+        )
+    answers = {
+        query: [
+            [item.value,
+             [item.probability.numerator, item.probability.denominator],
+             item.occurrences]
+            for item in service.query("ab", query)
+        ]
+        for query in workload
+    }
+    print(json.dumps({
+        "answers": answers,
+        "stats": service.cache_stats(),
+        "plan_digests": {
+            q: service.cache.plan_digest(q) for q in workload
+        },
+    }))
+"""
+
+
+def run_interpreter(mode: str, store_dir: Path, cache_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable, "-c", SCRIPT,
+            mode, str(store_dir), str(cache_dir), json.dumps(WORKLOAD),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def test_cross_process_reuse(tmp_path):
+    store_dir, cache_dir = tmp_path / "store", tmp_path / "cache"
+
+    cold = run_interpreter("cold", store_dir, cache_dir)
+    assert cold["stats"]["persistent_stored"] == len(WORKLOAD)
+    assert cold["stats"]["persistent_hits"] == 0
+
+    warm = run_interpreter("warm", store_dir, cache_dir)
+
+    # Fraction-identical answers (numerator/denominator pairs).
+    assert warm["answers"] == cold["answers"]
+    # Every answer was a persistent hit in the fresh interpreter …
+    assert warm["stats"]["persistent_hits"] == len(WORKLOAD)
+    assert warm["stats"]["persistent_stored"] == 0
+    # … without materializing a document or building an engine.
+    assert warm["stats"]["engines"] == 0
+
+    # The plan memo carried the fingerprint digests across processes —
+    # the stability contract of QueryPlan.fingerprint_digest.
+    assert warm["plan_digests"] == cold["plan_digests"]
+    assert all(warm["plan_digests"].values())
+
+
+def test_cross_process_fingerprint_digest_stability(tmp_path):
+    """The digest of a compiled plan is identical in two interpreters
+    (no hash randomization, no object identity in the encoding)."""
+    script = (
+        "from repro.query.plan import compile_plan\n"
+        "for q in ['//a/b', '//person[nm=\"John\"]/tel',"
+        " '//m[some $t in tel satisfies contains($t, \"1\")]']:\n"
+        "    print(compile_plan(q).fingerprint_digest)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    outputs = [
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        for _ in range(2)
+    ]
+    for result in outputs:
+        assert result.returncode == 0, result.stderr
+    assert outputs[0].stdout == outputs[1].stdout
+    digests = outputs[0].stdout.split()
+    assert len(set(digests)) == 3  # distinct queries, distinct digests

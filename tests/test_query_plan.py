@@ -77,6 +77,23 @@ class TestCompilePlan:
     def test_fingerprint_hashable(self):
         {compile_plan(q).fingerprint for q in QUERIES}
 
+    def test_fingerprint_digest_shape(self):
+        digest = compile_plan("//a/b").fingerprint_digest
+        assert len(digest) == 64 and int(digest, 16) >= 0  # sha256 hex
+        assert digest == compile_plan("//a/b").fingerprint_digest
+        assert digest != compile_plan("//a/c").fingerprint_digest
+
+    def test_fingerprint_digest_pinned(self):
+        """The persistent-cache stability contract: this digest keys
+        answers on disk.  If this test fails you changed the fingerprint
+        or its encoding — bump repro.dbms.cache_store.SCHEMA_VERSION so
+        existing cache files are rebuilt, then re-pin."""
+        assert compile_plan("//person/tel").fingerprint_digest == (
+            compile_plan("//person/tel").fingerprint_digest
+        )
+        pinned = "e328e037d7ec5267769cf5c0552e21fc8e7b752f8a5d5627bc10645c3dd15723"
+        assert compile_plan('//a[b="x"]/c').fingerprint_digest == pinned
+
     def test_positional_predicate_rejected_at_compile_time(self):
         with pytest.raises(QueryError):
             compile_plan("//person[1]")

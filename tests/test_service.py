@@ -1,0 +1,245 @@
+"""Tests for the concurrent, cache-persistent dataspace service."""
+
+import gc
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.service import DataspaceService
+from repro.dbms.store import DocumentStore
+from repro.errors import StoreError
+from repro.pxml.events_cache import registered_count
+from repro.query.engine import ProbQueryEngine
+
+RULES = [DeepEqualRule(), LeafValueRule()]
+WORKLOAD = [
+    "//person/tel",
+    "//person/nm",
+    '//person[nm="John"]/tel',
+    "//person",
+]
+
+
+def shape(answer):
+    return [(item.value, item.probability, item.occurrences) for item in answer]
+
+
+@pytest.fixture
+def integrated(tmp_path):
+    """A persistent service with an integrated addressbook stored as 'ab'."""
+    service = DataspaceService(
+        directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+    )
+    book_a, book_b = addressbook_documents()
+    service.load_document("a", book_a)
+    service.load_document("b", book_b)
+    service.integrate("a", "b", "ab", rules=RULES, dtd=ADDRESSBOOK_DTD)
+    yield service, tmp_path
+    service.close()
+
+
+class TestQuerying:
+    def test_matches_direct_engine(self, integrated):
+        service, _ = integrated
+        direct = ProbQueryEngine(service._module.probabilistic("ab"))
+        for query in WORKLOAD:
+            assert shape(service.query("ab", query)) == shape(direct.query(query))
+
+    def test_plain_documents_query_as_certain(self, integrated):
+        service, _ = integrated
+        answer = service.query("a", "//person/nm")
+        assert answer.probability_of("John") == Fraction(1)
+
+    def test_run_batch_matches_serial(self, integrated):
+        service, _ = integrated
+        batch = service.run_batch("ab", WORKLOAD)
+        for query, answer in zip(WORKLOAD, batch):
+            assert shape(answer) == shape(service.query("ab", query))
+
+    def test_missing_document_raises(self, integrated):
+        service, _ = integrated
+        with pytest.raises(StoreError):
+            service.query("nope", "//x")
+
+
+class TestPersistence:
+    def test_warm_restart_serves_identical_fractions(self, integrated):
+        service, tmp_path = integrated
+        cold = [shape(service.query("ab", q)) for q in WORKLOAD]
+        service.close()
+        with DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        ) as warm:
+            warm_answers = [shape(warm.query("ab", q)) for q in WORKLOAD]
+            assert warm_answers == cold
+            stats = warm.cache_stats()
+            assert stats["persistent_hits"] == len(WORKLOAD)
+            # Served straight from disk: no engine was ever built.
+            assert stats["engines"] == 0
+
+    def test_no_cache_dir_still_works(self, tmp_path):
+        with DataspaceService(directory=tmp_path / "store") as service:
+            service.load("doc", "<r><x>1</x></r>")
+            assert service.query("doc", "//x").values() == ["1"]
+            assert "persistent_hits" not in service.cache_stats()
+
+    def test_reload_invalidates(self, integrated):
+        """Replacing a document's content must never serve the old answer."""
+        service, _ = integrated
+        service.load("solo", "<r><x>old</x></r>")
+        assert service.query("solo", "//x").values() == ["old"]
+        service.load("solo", "<r><x>new</x></r>")
+        assert service.query("solo", "//x").values() == ["new"]
+
+    def test_feedback_invalidates_and_conditions(self, integrated):
+        service, _ = integrated
+        before = service.query("ab", "//person/tel")
+        assert before.probability_of("1111") == Fraction(3, 4)
+        service.feedback("ab", "//person/tel", "1111", correct=True)
+        after = service.query("ab", "//person/tel")
+        assert after.probability_of("1111") == Fraction(1)
+
+    def test_delete_removes_answers(self, integrated):
+        service, _ = integrated
+        service.query("ab", "//person/tel")
+        service.delete("ab")
+        assert "ab" not in service.store
+        assert service.cache.version("ab") >= 1
+
+    def test_reintegration_repriced(self, integrated):
+        service, _ = integrated
+        first = service.query("ab", "//person/tel")
+        # Re-integrate over a changed source: same output name, new content.
+        service.load(
+            "b", "<addressbook><person><nm>John</nm><tel>9999</tel></person>"
+            "</addressbook>"
+        )
+        service.integrate("a", "b", "ab", rules=RULES, dtd=ADDRESSBOOK_DTD)
+        second = service.query("ab", "//person/tel")
+        assert shape(first) != shape(second)
+        assert second.probability_of("9999") > 0
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("threads", [4, 8])
+    def test_concurrent_queries_match_serial(self, integrated, threads):
+        service, _ = integrated
+        serial = {query: shape(service.query("ab", query)) for query in WORKLOAD}
+        service.cache.clear()  # force concurrent re-evaluation
+        with service._mu:
+            service._engines.clear()
+
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def worker(_):
+            try:
+                barrier.wait(timeout=30)
+                out = {}
+                for query in WORKLOAD:
+                    out[query] = shape(service.query("ab", query))
+                return out
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+                raise
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            results = list(pool.map(worker, range(threads)))
+        assert not errors
+        for result in results:
+            assert result == serial
+
+    def test_concurrent_mixed_documents(self, integrated):
+        service, _ = integrated
+        service.load("other", "<r><x>1</x><x>2</x></r>")
+        expected = {
+            "ab": shape(service.query("ab", "//person/tel")),
+            "other": shape(service.query("other", "//x")),
+        }
+        service.cache.clear()
+        with service._mu:
+            service._engines.clear()
+
+        def worker(index):
+            name = "ab" if index % 2 == 0 else "other"
+            query = "//person/tel" if name == "ab" else "//x"
+            return name, shape(service.query(name, query))
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for name, result in pool.map(worker, range(12)):
+                assert result == expected[name]
+
+
+class TestStoreLRU:
+    def test_eviction_bounds_materialized_documents(self, tmp_path):
+        store = DocumentStore(tmp_path, max_cached=2)
+        service = DataspaceService(store=store)
+        for index in range(5):
+            service.load(f"doc{index}", f"<r><x>{index}</x></r>")
+        assert store.cached_count() <= 2
+        # Evicted documents transparently reload — and still answer.
+        assert service.query("doc0", "//x").values() == ["0"]
+
+    def test_eviction_releases_event_caches(self, tmp_path):
+        store = DocumentStore(tmp_path, max_cached=1)
+        before = registered_count()
+        for index in range(4):
+            service = DataspaceService(store=store)
+            service.load(f"doc{index}", f"<r><x>{index}</x></r>")
+            service.query(f"doc{index}", "//x")  # registers an event cache
+            del service
+        gc.collect()
+        # All but the one still-materialized document's cache are gone.
+        assert registered_count() <= before + 1
+
+    def test_constructor_rejects_bad_bound(self, tmp_path):
+        with pytest.raises(StoreError):
+            DocumentStore(tmp_path, max_cached=0)
+
+    def test_conflicting_constructor_arguments(self, tmp_path):
+        with pytest.raises(StoreError):
+            DataspaceService(store=DocumentStore(), directory=tmp_path)
+
+
+class TestReviewRegressions:
+    def test_external_file_digest_order_independent(self, tmp_path):
+        """An externally-authored (non-canonically-serialized) file must
+        digest identically whether or not it was materialized first —
+        otherwise warm restarts key the persistent cache differently."""
+        (tmp_path / "ext.xml").write_text(
+            "<r>\n  <x>1</x>\n</r>", encoding="utf-8"
+        )
+        cold = DocumentStore(tmp_path).digest("ext")
+        warm_store = DocumentStore(tmp_path)
+        warm_store.get("ext")  # materialize first
+        assert warm_store.digest("ext") == cold
+
+    def test_kind_does_not_parse(self, tmp_path):
+        store = DocumentStore(tmp_path)
+        store.put("doc", __import__("repro").parse_document("<r/>"))
+        fresh = DocumentStore(tmp_path)
+        assert fresh.kind("doc") == "xml"
+        assert fresh.cached_count() == 0
+
+    def test_engine_map_respects_lru_bound(self, tmp_path):
+        service = DataspaceService(
+            directory=tmp_path / "store", max_cached_documents=2
+        )
+        for index in range(6):
+            service.load(f"doc{index}", f"<r><x>{index}</x></r>")
+            service.query(f"doc{index}", "//x")
+        assert len(service._engines) <= 2
+        assert service.store.cached_count() <= 2
+
+    def test_cold_query_counts_one_miss(self, integrated):
+        service, _ = integrated
+        before = service.cache.misses
+        service.query("ab", "//person/nm")
+        assert service.cache.misses == before + 1
+        before_hits = service.cache.hits
+        service.query("ab", "//person/nm")
+        assert service.cache.hits == before_hits + 1

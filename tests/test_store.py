@@ -101,3 +101,104 @@ class TestPersistence:
         store.put("movies", plain_doc)
         store.delete("movies")
         assert not (tmp_path / "movies.xml").exists()
+
+
+class TestDigestsAndVersions:
+    def test_digest_matches_document_digest(self, plain_doc):
+        from repro.dbms.cache_store import document_digest
+
+        store = DocumentStore()
+        store.put("movies", plain_doc)
+        assert store.digest("movies") == document_digest(plain_doc)
+
+    def test_digest_from_file_without_materializing(self, tmp_path, plain_doc):
+        document = certain_document(plain_doc)
+        DocumentStore(tmp_path).put("movies", document)
+        from repro.dbms.cache_store import document_digest
+
+        fresh = DocumentStore(tmp_path)
+        assert fresh.digest("movies") == document_digest(document)
+        assert fresh.cached_count() == 0  # keyed without parsing
+
+    def test_digest_changes_with_content(self, tmp_path):
+        from repro.xmlkit.parser import parse_document as parse
+
+        store = DocumentStore(tmp_path)
+        store.put("doc", parse("<r><x>1</x></r>"))
+        first = store.digest("doc")
+        store.put("doc", parse("<r><x>2</x></r>"))
+        assert store.digest("doc") != first
+
+    def test_digest_missing_raises(self):
+        with pytest.raises(StoreError):
+            DocumentStore().digest("nope")
+
+    def test_version_counts_mutations(self, plain_doc):
+        store = DocumentStore()
+        assert store.version("movies") == 0
+        store.put("movies", plain_doc)
+        store.put("movies", plain_doc.copy())
+        assert store.version("movies") == 2
+        store.delete("movies")
+        assert store.version("movies") == 3
+
+
+class TestLRU:
+    def test_bound_enforced(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path, max_cached=2)
+        for index in range(5):
+            store.put(f"doc{index}", plain_doc.copy())
+        assert store.cached_count() == 2
+        assert len(store.list()) == 5  # disk unaffected
+
+    def test_recently_used_survives(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path, max_cached=2)
+        store.put("a", plain_doc.copy())
+        store.put("b", plain_doc.copy())
+        kept = store.get("a")  # refresh 'a'
+        store.put("c", plain_doc.copy())  # evicts 'b'
+        assert store.get("a") is kept
+        assert store.get("b") is not None  # reloads from disk
+
+    def test_bound_requires_directory(self):
+        # Evicting from an in-memory store would silently lose documents.
+        with pytest.raises(StoreError):
+            DocumentStore(max_cached=2)
+
+    def test_unbounded_by_default(self, plain_doc):
+        store = DocumentStore()
+        for index in range(10):
+            store.put(f"doc{index}", plain_doc.copy())
+        assert store.cached_count() == 10
+
+
+class TestConcurrency:
+    def test_parallel_readers_share_one_materialization(self, tmp_path, plain_doc):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        DocumentStore(tmp_path).put("movies", certain_document(plain_doc))
+        store = DocumentStore(tmp_path)
+        barrier = threading.Barrier(8)
+
+        def read(_):
+            barrier.wait(timeout=30)
+            return store.get("movies")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(read, range(8)))
+        assert all(result is results[0] for result in results)
+
+    def test_parallel_writers_distinct_names(self, tmp_path, plain_doc):
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = DocumentStore(tmp_path)
+
+        def write(index):
+            store.put(f"doc{index}", plain_doc.copy())
+            return store.digest(f"doc{index}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            digests = list(pool.map(write, range(16)))
+        assert len(store.list()) == 16
+        assert len(set(digests)) == 1  # identical content, identical digest
