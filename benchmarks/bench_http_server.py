@@ -1,0 +1,159 @@
+"""HTTP dataspace front benchmark: warm-cache serving throughput.
+
+The cost model the network front must honor: once a workload is priced
+and persisted, serving it again is SQLite lookup + JSON — so requests/s
+over real HTTP should be bounded by wire overhead, not by probabilistic
+evaluation.  This benchmark measures a warm workload three ways:
+
+* in-process ``service.query`` calls (the no-network ceiling),
+* sequential HTTP requests over one keep-alive connection,
+* concurrent HTTP requests (several client threads, one connection
+  each — the shape a dashboard fan-out produces).
+
+Acceptance (ISSUE 3): warm HTTP throughput ≥ a conservative floor
+(``BENCH_HTTP_RPS_FLOOR``, default 25 req/s — local machines measure
+hundreds to thousands), with every HTTP answer Fraction-identical to
+the in-process answer.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.rules import Decision, DeepEqualRule, LeafValueRule, PredicateRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.service import DataspaceService
+from repro.server.app import ServerApp
+from repro.server.client import DataspaceClient
+from repro.server.http import BackgroundServer
+
+from .conftest import format_table, write_result
+
+#: Conservative floor for shared CI runners; local machines clear it by
+#: one to two orders of magnitude.
+RPS_FLOOR = float(os.environ.get("BENCH_HTTP_RPS_FLOOR", "25"))
+
+ROUNDS = int(os.environ.get("BENCH_HTTP_ROUNDS", "30"))
+CLIENT_THREADS = 4
+
+PERSON_COUNT = 6
+
+WORKLOAD = [
+    "//person/nm",
+    "//person/tel",
+    '//person[contains(nm, "p1")]/tel',
+    '//person[nm="p0"]/tel',
+]
+
+
+def _shape(answer):
+    return [(item.value, item.probability, item.occurrences) for item in answer]
+
+
+def _different_names_differ(a, b, context):
+    """Different names ⇒ different people; same name stays uncertain
+    (keeps the 6-person matching at 3^6 worlds instead of exploding)."""
+    name_a, name_b = a.find("nm"), b.find("nm")
+    if name_a is None or name_b is None:
+        return None
+    if name_a.text() != name_b.text():
+        return Decision.NO_MATCH
+    return None
+
+
+RULES = [
+    DeepEqualRule(),
+    PredicateRule("name-discriminates", _different_names_differ, tags=("person",)),
+    LeafValueRule(),
+]
+
+
+def _populate(store_dir, cache_dir):
+    entries_a = [(f"p{i}", f"1{i}1") for i in range(PERSON_COUNT)]
+    entries_b = [(f"p{i}", f"2{i}2") for i in range(PERSON_COUNT)]
+    book_a, book_b = addressbook_documents(entries_a, entries_b)
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        service.load_document("a", book_a)
+        service.load_document("b", book_b)
+        service.integrate("a", "b", "ab", rules=RULES, dtd=ADDRESSBOOK_DTD)
+        for query in WORKLOAD:
+            service.query("ab", query)  # price once: everything below is warm
+
+
+def test_http_warm_throughput(tmp_path):
+    store_dir, cache_dir = tmp_path / "store", tmp_path / "cache"
+    _populate(store_dir, cache_dir)
+
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        app = ServerApp(service)
+        with BackgroundServer(app) as background:
+            host, port = background.server.host, background.server.port
+
+            # In-process ceiling (same warm persistent cache).
+            start = time.perf_counter()
+            for _ in range(ROUNDS):
+                for query in WORKLOAD:
+                    service.query("ab", query)
+            in_process_time = time.perf_counter() - start
+
+            with DataspaceClient(host, port) as client:
+                # Correctness first: HTTP answers == in-process answers.
+                for query in WORKLOAD:
+                    assert _shape(client.query("ab", query)) == _shape(
+                        service.query("ab", query)
+                    )
+
+                start = time.perf_counter()
+                for _ in range(ROUNDS):
+                    for query in WORKLOAD:
+                        client.query("ab", query)
+                sequential_time = time.perf_counter() - start
+
+            def hammer(thread_index):
+                with DataspaceClient(host, port) as thread_client:
+                    for _ in range(ROUNDS):
+                        for query in WORKLOAD:
+                            thread_client.query("ab", query)
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+                list(pool.map(hammer, range(CLIENT_THREADS)))
+            concurrent_time = time.perf_counter() - start
+        app.close()
+
+    requests = ROUNDS * len(WORKLOAD)
+    in_process_rps = requests / in_process_time if in_process_time else float("inf")
+    sequential_rps = requests / sequential_time if sequential_time else float("inf")
+    concurrent_rps = (
+        requests * CLIENT_THREADS / concurrent_time
+        if concurrent_time
+        else float("inf")
+    )
+
+    write_result(
+        "http_server",
+        f"HTTP dataspace front — warm-cache serving throughput"
+        f" ({len(WORKLOAD)} queries × {ROUNDS} rounds,"
+        f" 3^{PERSON_COUNT}-world document, floor {RPS_FLOOR:g} req/s)\n"
+        + format_table(
+            ["mode", "requests", "total time", "throughput"],
+            [
+                ["in-process (no network)", f"{requests}",
+                 f"{in_process_time * 1e3:8.1f} ms", f"{in_process_rps:10.0f} req/s"],
+                ["http sequential (1 conn)", f"{requests}",
+                 f"{sequential_time * 1e3:8.1f} ms", f"{sequential_rps:10.0f} req/s"],
+                [f"http concurrent ({CLIENT_THREADS} conns)",
+                 f"{requests * CLIENT_THREADS}",
+                 f"{concurrent_time * 1e3:8.1f} ms", f"{concurrent_rps:10.0f} req/s"],
+            ],
+        ),
+    )
+
+    assert sequential_rps >= RPS_FLOOR, (
+        f"warm HTTP throughput {sequential_rps:.0f} req/s below the"
+        f" {RPS_FLOOR:g} req/s acceptance floor"
+    )
+    assert concurrent_rps >= RPS_FLOOR, (
+        f"concurrent warm HTTP throughput {concurrent_rps:.0f} req/s below"
+        f" the {RPS_FLOOR:g} req/s acceptance floor"
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The dataspace service as a network citizen: HTTP quickstart.
+
+Launches ``imprecise serve --http`` as a real subprocess, drives it with
+the blocking :class:`~repro.server.client.DataspaceClient` (load two
+conflicting address books, integrate, query, give feedback), then
+**restarts the server process** over the same ``--cache-dir`` and shows
+the second process serving the identical exact-Fraction answers straight
+from the persistent answer cache — hits > 0, no engine ever built.
+
+This is the zero-to-warm path the CI http-smoke job replays.
+
+Run:  PYTHONPATH=src python examples/http_dataspace.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.data.addressbook import addressbook_documents
+from repro.server.client import DataspaceClient
+from repro.xmlkit.serializer import serialize
+
+SRC = str(Path(repro.__file__).resolve().parent.parent)
+
+QUERIES = ["//person/tel", "//person/nm"]
+
+
+def start_server(store: Path, cache: Path) -> subprocess.Popen:
+    """An `imprecise serve --http` subprocess on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(store),
+            "--cache-dir", str(cache), "--http", "127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()   # "serving on http://HOST:PORT"
+    proc.port = int(line.rsplit(":", 1)[1])
+    print(f"  {line} (pid {proc.pid})")
+    return proc
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)        # graceful: drains in-flight work
+    proc.communicate(timeout=30)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="imprecise-http-"))
+    store, cache = workdir / "store", workdir / "cache"
+    book_a, book_b = addressbook_documents()
+
+    print("== first server process: integrate and price the workload")
+    proc = start_server(store, cache)
+    try:
+        with DataspaceClient("127.0.0.1", proc.port) as client:
+            client.load("a", serialize(book_a))
+            client.load("b", serialize(book_b))
+            report = client.integrate("a", "b", "ab")
+            print(f"  integrated: {report['summary']}")
+            step = client.feedback("ab", "//person/tel", "1111")
+            print(f"  feedback: confirmed '1111' (prior {step['prior']})")
+            # Price the workload over the conditioned document; these
+            # answers land in the persistent cache.
+            cold = {}
+            for query in QUERIES:
+                answer = client.query("ab", query)
+                cold[query] = [(i.value, i.probability) for i in answer]
+                print(f"  {query}\n" + "\n".join(
+                    f"    {line}" for line in answer.as_table().splitlines()))
+    finally:
+        stop_server(proc)
+
+    print("== second server process, same --cache-dir: served from disk")
+    proc = start_server(store, cache)
+    try:
+        with DataspaceClient("127.0.0.1", proc.port) as client:
+            warm = {
+                query: [(i.value, i.probability) for i in client.query("ab", query)]
+                for query in QUERIES
+            }
+            stats = client.stats()
+    finally:
+        stop_server(proc)
+
+    assert warm == cold, "warm answers must be Fraction-identical"
+    assert stats["persistent_hits"] > 0, "second process must hit the cache"
+    assert stats["engines"] == 0, "a pure-hit restart builds no engine"
+    print(f"  persistent hits: {stats['persistent_hits']}"
+          f" (engines built: {stats['engines']})")
+    print("  warm answers Fraction-identical to the first process: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,10 +34,12 @@ from .errors import (
     ImpreciseError,
     IntegrationConflict,
     IntegrationError,
+    MissingDocumentError,
     ModelError,
     ProbabilityError,
     QueryError,
     StoreError,
+    WireFormatError,
     XMLParseError,
     XPathSyntaxError,
 )
@@ -91,6 +93,18 @@ from .dbms import (
     ImpreciseModule,
     document_digest,
 )
+# The HTTP front (repro.server) re-exports lazily via __getattr__ below:
+# an eager import would load asyncio/http.client/the thread-pool stack
+# into every `import repro`, including CLI runs that never serve HTTP.
+_SERVER_EXPORTS = ("DataspaceClient", "ServerApp", "ServerError")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -107,6 +121,8 @@ __all__ = [
     "QueryError",
     "FeedbackError",
     "StoreError",
+    "MissingDocumentError",
+    "WireFormatError",
     # xmlkit
     "XDocument",
     "XElement",
@@ -152,5 +168,9 @@ __all__ = [
     "DocumentStore",
     "ImpreciseModule",
     "document_digest",
+    # server
+    "DataspaceClient",
+    "ServerApp",
+    "ServerError",
     "__version__",
 ]

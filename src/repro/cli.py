@@ -11,12 +11,15 @@ Subcommands::
     imprecise feedback out.pxml '//movie/title' 'Jaws' --correct -o out.pxml
     imprecise estimate a.xml b.xml --rules title --joint
     imprecise serve store/ --cache-dir cache/ --exec 'query movies //movie/title'
+    imprecise serve store/ --cache-dir cache/ --http 127.0.0.1:8080
 
 ``imprecise serve`` runs the :class:`~repro.dbms.service.DataspaceService`
 over a store directory: commands come from ``--exec`` flags (in order) or
 line-by-line from stdin, answers go to stdout, and — with ``--cache-dir``
 — priced answers persist so a restarted service starts warm.  See
-``docs/api.md`` for the command protocol.
+``docs/api.md`` for the command protocol.  With ``--http HOST:PORT`` the
+same service is exposed as a JSON API over a dependency-free asyncio
+HTTP server (see ``docs/http_api.md``); shut down with SIGINT/SIGTERM.
 
 Exit status: 0 on success, 1 on any library error (message on stderr).
 """
@@ -24,14 +27,16 @@ Exit status: 0 on success, 1 on any library error (message on stderr).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import shlex
+import signal
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core.engine import IntegrationConfig, Integrator
 from .core.estimate import estimate_integration
-from .dbms.service import DataspaceService
+from .dbms.service import DataspaceService, format_cache_stats
 from .core.oracle import ConstantPrior, Oracle
 from .core.rules import PersonNameReconciler
 from .errors import ImpreciseError
@@ -188,8 +193,8 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
     if command in ("quit", "exit"):
         return False
     if command == "list":
-        for name in service.list():
-            print(f"{service.store.kind(name):4s} {name}")
+        for entry in service.documents():
+            print(f"{entry['kind']:4s} {entry['name']}")
         return True
     if command == "put":
         if len(arguments) != 2:
@@ -251,40 +256,105 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
         print(f"deleted {arguments[0]}")
         return True
     if command == "cache-stats":
-        for key, value in sorted(service.cache_stats().items()):
-            print(f"{key}: {value:,}")
+        print(format_cache_stats(service.cache_stats()))
         return True
     raise ImpreciseError(f"unknown service command {command!r}")
 
 
+def _parse_http_address(text: str) -> tuple:
+    """``HOST:PORT`` (or bare ``PORT``) → ``(host, port)``; port 0 binds
+    an ephemeral port that the startup line reports.  IPv6 hosts use the
+    usual bracket syntax (``[::1]:8080``); the brackets are stripped —
+    ``getaddrinfo`` wants the bare address."""
+    host, _, port_text = text.rpartition(":")
+    bracketed = host.startswith("[") and host.endswith("]")
+    host = host.strip("[]") or "127.0.0.1"
+    try:
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError
+        if ":" in host and not bracketed:
+            # A bare IPv6 address ("::1") would silently misparse into
+            # host="::"/port=1 and die much later at bind.
+            raise ValueError
+    except ValueError:
+        raise ImpreciseError(
+            f"invalid --http address {text!r}"
+            " (expected HOST:PORT; bracket IPv6 hosts: [::1]:PORT)"
+        ) from None
+    return host, port
+
+
+def _serve_http(service: DataspaceService, host: str, port: int) -> int:
+    """Run the asyncio HTTP front until SIGINT/SIGTERM, then shut down
+    gracefully (in-flight requests finish, idle connections close)."""
+    from .server.app import ServerApp
+    from .server.http import HTTPServer
+
+    app = ServerApp(service)
+
+    async def _run() -> None:
+        server = HTTPServer(app, host, port)
+        bound_host, bound_port = await server.start()
+        # Parsed by clients/tests launching the server as a subprocess;
+        # keep the shape stable (a valid URL — IPv6 hosts re-bracketed).
+        display = f"[{bound_host}]" if ":" in bound_host else bound_host
+        print(f"serving on http://{display}:{bound_port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. Windows event loops; Ctrl-C still raises
+        try:
+            await stop.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            await server.shutdown()
+            app.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http and args.commands:
+        raise ImpreciseError(
+            "--http runs the network front; --exec commands drive the"
+            " line protocol — use one or the other"
+        )
     service = DataspaceService(
         directory=args.directory,
         cache_dir=args.cache_dir,
         max_cached_documents=args.max_cached,
+        cache_max_rows=args.cache_max_rows,
     )
     status = 0
     try:
-        if args.commands:
-            lines = iter(args.commands)
+        if args.http:
+            status = _serve_http(service, *_parse_http_address(args.http))
         else:
-            lines = (line.rstrip("\n") for line in sys.stdin)
-        for line in lines:
-            try:
-                if not _serve_dispatch(service, line):
-                    break
-            except (ImpreciseError, OSError, ValueError) as error:
-                # One bad command must not kill a serving loop.
-                print(f"error: {error}", file=sys.stderr)
-                status = 1
+            if args.commands:
+                lines = iter(args.commands)
+            else:
+                lines = (line.rstrip("\n") for line in sys.stdin)
+            for line in lines:
+                try:
+                    if not _serve_dispatch(service, line):
+                        break
+                except (ImpreciseError, OSError, ValueError) as error:
+                    # One bad command must not kill a serving loop.
+                    print(f"error: {error}", file=sys.stderr)
+                    status = 1
         if args.cache_stats:
-            stats = service.cache_stats()
-            print(
-                f"cache: {stats.get('persistent_hits', 0):,} persistent hits,"
-                f" {stats.get('persistent_misses', 0):,} misses,"
-                f" {stats.get('persistent_answers', 0):,} persisted answers",
-                file=sys.stderr,
-            )
+            # Same counters, same rendering as the `cache-stats` protocol
+            # command and the HTTP front's GET /stats (one code path).
+            print(format_cache_stats(service.cache_stats()), file=sys.stderr)
     finally:
         service.close()
     return status
@@ -362,13 +432,20 @@ def build_parser() -> argparse.ArgumentParser:
                               " survive restarts; omit for in-memory only)")
     p_serve.add_argument("--max-cached", type=int, default=None,
                          help="LRU bound on materialized documents")
+    p_serve.add_argument("--cache-max-rows", type=int, default=None,
+                         help="row bound on the persistent answer cache"
+                              " (least-recently-hit rows evicted beyond it)")
+    p_serve.add_argument("--http", metavar="HOST:PORT", default=None,
+                         help="serve the JSON API over HTTP on this address"
+                              " (PORT 0 binds an ephemeral port; see"
+                              " docs/http_api.md)")
     p_serve.add_argument("--exec", dest="commands", action="append",
                          metavar="CMD", default=None,
                          help="run one service command and continue"
                               " (repeatable; disables the stdin loop)")
     p_serve.add_argument("--cache-stats", action="store_true",
-                         help="print persistent-cache counters to stderr"
-                              " on exit")
+                         help="print cache counters to stderr on exit"
+                              " (same counters GET /stats serves)")
     p_serve.set_defaults(handler=_cmd_serve)
 
     return parser

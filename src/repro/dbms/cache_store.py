@@ -31,6 +31,12 @@ resurrecting a purged answer.  A global :data:`SCHEMA_VERSION` guards the
 file format itself — any change to the payload encoding or the
 fingerprint encoding recreates the tables rather than misreading them.
 
+Growth is bounded two ways: invalidation drops a mutated document's
+rows, and an optional ``max_rows`` bound evicts the least-recently-hit
+rows on overflow (LRU by ``last_hit``, a file-global monotonic stamp) —
+an evicted answer is recomputed and re-stored on its next miss, so the
+bound trades disk for recompute, never correctness.
+
 The backing store is SQLite (stdlib, one file, safe for concurrent
 readers); one :class:`AnswerCacheStore` serializes its own statements
 behind a lock, so a single instance may be shared by many threads.
@@ -40,28 +46,42 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 import sqlite3
 import threading
 from fractions import Fraction
 from pathlib import Path
 from typing import Optional, Union
 
-from ..errors import StoreError
+from ..errors import StoreError, WireFormatError
 from ..pxml.model import PXDocument
 from ..pxml.serialize import pxml_to_text
 from ..query.ranking import RankedAnswer, RankedItem
 from ..xmlkit.nodes import XDocument
 from ..xmlkit.serializer import serialize
 
-__all__ = ["AnswerCacheStore", "document_digest", "SCHEMA_VERSION"]
+__all__ = [
+    "AnswerCacheStore",
+    "document_digest",
+    "SCHEMA_VERSION",
+    "encode_fraction",
+    "decode_fraction",
+    "encode_answer",
+    "decode_answer",
+]
 
 #: Bump on any change to the payload wire format, the fingerprint
 #: encoding (see ``QueryPlan.fingerprint_digest``) or the table layout;
 #: existing cache files are then dropped and rebuilt, never misread.
-SCHEMA_VERSION = 1
+#: 2: ``answers`` gained the ``last_hit`` LRU column (row eviction).
+SCHEMA_VERSION = 2
 
 #: Default cache file name inside a cache directory.
 CACHE_FILENAME = "answers.sqlite"
+
+#: Strict wire shape: optional sign, digits, '/', digits — no whitespace
+#: (``int()`` alone would tolerate ``"1 /2"``), no floats, no hex.
+_FRACTION_RE = re.compile(r"^(-?\d+)/(\d+)$")
 
 
 def document_digest(document: Union[XDocument, PXDocument]) -> str:
@@ -86,29 +106,73 @@ def document_digest(document: Union[XDocument, PXDocument]) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def encode_fraction(value: Fraction) -> str:
+    """Exact wire form of a :class:`~fractions.Fraction`: ``"num/den"``.
+
+    Always carries the denominator (``Fraction(1)`` → ``"1/1"``) so the
+    decoder never guesses; arbitrary-precision integers survive because
+    they travel as decimal strings, never floats.  This is the one
+    Fraction encoding of the repository — the persistent cache rows and
+    the HTTP wire format (:mod:`repro.server.wire`) both use it.
+    """
+    return f"{value.numerator}/{value.denominator}"
+
+
+def decode_fraction(text: str) -> Fraction:
+    """Inverse of :func:`encode_fraction`; strict.
+
+    Raises :class:`~repro.errors.WireFormatError` on anything but
+    ``"<int>/<positive int>"`` — this decodes cache rows and network
+    payloads, so garbage must fail loudly, not half-parse.
+    """
+    if not isinstance(text, str):
+        raise WireFormatError(
+            f"fraction must be a string, got {type(text).__name__}"
+        )
+    match = _FRACTION_RE.match(text)
+    if match is None:
+        raise WireFormatError(f"malformed fraction {text!r}")
+    try:
+        return Fraction(int(match.group(1)), int(match.group(2)))
+    except ZeroDivisionError:
+        raise WireFormatError(f"malformed fraction {text!r}: zero denominator") from None
+
+
+def encode_answer(answer: RankedAnswer) -> list:
+    """Wire form of a ranked answer: ``[[value, "num/den", occurrences],
+    ...]`` — JSON-ready, order-preserving, exact."""
+    return [
+        [item.value, encode_fraction(item.probability), item.occurrences]
+        for item in answer.items
+    ]
+
+
+def decode_answer(payload: object) -> RankedAnswer:
+    """Inverse of :func:`encode_answer`; strict (see
+    :func:`decode_fraction`)."""
+    if not isinstance(payload, list):
+        raise WireFormatError(
+            f"answer payload must be a list, got {type(payload).__name__}"
+        )
+    items = []
+    for entry in payload:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
+            raise WireFormatError(f"malformed answer item {entry!r}")
+        value, fraction, occurrences = entry
+        if not isinstance(value, str) or not isinstance(occurrences, int) \
+                or isinstance(occurrences, bool):
+            raise WireFormatError(f"malformed answer item {entry!r}")
+        items.append(RankedItem(value, decode_fraction(fraction), occurrences))
+    return RankedAnswer(items)
+
+
 def _encode_answer(answer: RankedAnswer) -> str:
-    """JSON wire form: ``[[value, "num/den", occurrences], ...]``."""
-    return json.dumps(
-        [
-            [
-                item.value,
-                f"{item.probability.numerator}/{item.probability.denominator}",
-                item.occurrences,
-            ]
-            for item in answer.items
-        ],
-        ensure_ascii=False,
-    )
+    """JSON row payload: ``[[value, "num/den", occurrences], ...]``."""
+    return json.dumps(encode_answer(answer), ensure_ascii=False)
 
 
 def _decode_answer(payload: str) -> RankedAnswer:
-    items = []
-    for value, fraction, occurrences in json.loads(payload):
-        numerator, denominator = fraction.split("/")
-        items.append(
-            RankedItem(value, Fraction(int(numerator), int(denominator)), occurrences)
-        )
-    return RankedAnswer(items)
+    return decode_answer(json.loads(payload))
 
 
 class AnswerCacheStore:
@@ -120,11 +184,28 @@ class AnswerCacheStore:
         cache = AnswerCacheStore("/var/lib/imprecise/cache")
         hit = cache.get("movies", doc_digest, plan_digest)
 
-    Hit/miss/store counters are per-instance (process-local); row counts
-    are global.  All methods are thread-safe.
+    ``max_rows`` bounds the on-disk answer table: beyond it, the rows
+    whose ``last_hit`` stamp is oldest are evicted on the next
+    :meth:`put` (LRU by last hit — an answer re-served yesterday outlives
+    one never asked for again).  The stamp is a file-global monotonic
+    counter, so the ordering holds across processes sharing the file.
+    Eviction is pure hygiene: an evicted answer is simply re-priced and
+    re-stored on its next miss.  ``None`` (the default) keeps every row
+    *and* keeps hits read-only — bounded stores pay one ``UPDATE`` per
+    hit to maintain recency.
+
+    Hit/miss/store/eviction counters are per-instance (process-local);
+    row counts are global.  All methods are thread-safe.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        max_rows: Optional[int] = None,
+    ):
+        if max_rows is not None and max_rows < 1:
+            raise StoreError(f"max_rows must be >= 1, got {max_rows}")
         path = Path(path)
         if path.suffix != ".sqlite":
             path.mkdir(parents=True, exist_ok=True)
@@ -132,14 +213,26 @@ class AnswerCacheStore:
         else:
             path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
+        self.max_rows = max_rows
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(str(path), check_same_thread=False)
         self.hits = 0
         self.misses = 0
         self.stored = 0
         self.invalidations = 0
+        self.evictions = 0
+        #: Pending recency updates, (name, doc_digest, plan_digest) ->
+        #: stamp.  Bounded stores buffer hit recency here instead of
+        #: writing per hit (the hit path must stay read-only: no UPDATE,
+        #: no commit fsync); flushed before the next put/close, which is
+        #: also when eviction decisions are made.  A crash loses pending
+        #: recency only — eviction *order*, never correctness.
+        self._touches: dict = {}
         with self._lock:
             self._init_schema()
+            self._clock = self._conn.execute(
+                "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
+            ).fetchone()[0]
 
     # -- schema -------------------------------------------------------------
 
@@ -167,9 +260,16 @@ class AnswerCacheStore:
                 expression TEXT,
                 payload TEXT NOT NULL,
                 doc_version INTEGER NOT NULL,
+                last_hit INTEGER NOT NULL DEFAULT 0,
                 PRIMARY KEY (doc_name, doc_digest, plan_digest)
             )
             """
+        )
+        conn.execute(
+            # The LRU clock (MAX) and eviction scan (ORDER BY ... LIMIT)
+            # both walk this index instead of the table.
+            "CREATE INDEX IF NOT EXISTS answers_last_hit"
+            " ON answers (last_hit)"
         )
         conn.execute(
             """
@@ -242,6 +342,11 @@ class AnswerCacheStore:
             ).fetchone()
             if row is not None and row[1] != self._version_locked(doc_name):
                 row = None  # written before an invalidation; ignore
+            if row is not None and self.max_rows is not None:
+                # Bounded stores maintain recency — buffered in memory,
+                # so the hit path stays free of writes and fsyncs.
+                self._clock += 1
+                self._touches[(doc_name, doc_digest, plan_digest)] = self._clock
             if record:
                 if row is None:
                     self.misses += 1
@@ -271,8 +376,9 @@ class AnswerCacheStore:
         the caller's own lock)."""
         payload = _encode_answer(answer)
         with self._lock:
+            self._flush_touches_locked()
             self._conn.execute(
-                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, ?, ?)",
                 (
                     doc_name,
                     doc_digest,
@@ -282,6 +388,7 @@ class AnswerCacheStore:
                     version
                     if version is not None
                     else self._version_locked(doc_name),
+                    self._next_stamp_locked(),
                 ),
             )
             if expression is not None:
@@ -289,8 +396,65 @@ class AnswerCacheStore:
                     "INSERT OR REPLACE INTO plans VALUES (?, ?)",
                     (expression, plan_digest),
                 )
+            self._evict_locked()
             self._conn.commit()
             self.stored += 1
+
+    def _next_stamp_locked(self) -> int:
+        """The next value of the LRU clock: past both this instance's
+        in-memory clock and the file's MAX (an indexed lookup), so the
+        ordering is shared by every process writing this file."""
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
+        ).fetchone()
+        self._clock = max(self._clock, row[0]) + 1
+        return self._clock
+
+    def _flush_touches_locked(self) -> None:
+        """Write buffered hit-recency stamps (caller holds the lock and
+        commits); rows that vanished meanwhile are silent no-ops.
+
+        Stamps are rebased above the file's current MAX at flush time —
+        another process may have advanced the file clock past this
+        instance's buffered values, and flushing stale stamps would rank
+        this instance's hottest rows as the oldest.  Relative order
+        within the buffer is preserved."""
+        if not self._touches:
+            return
+        stamp = max(
+            self._conn.execute(
+                "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
+            ).fetchone()[0],
+            0,
+        )
+        updates = []
+        for key, _ in sorted(self._touches.items(), key=lambda entry: entry[1]):
+            stamp += 1
+            updates.append((stamp, *key))
+        self._clock = max(self._clock, stamp)
+        self._conn.executemany(
+            "UPDATE answers SET last_hit = ? WHERE doc_name = ?"
+            " AND doc_digest = ? AND plan_digest = ?",
+            updates,
+        )
+        self._touches.clear()
+
+    def _evict_locked(self) -> None:
+        """Drop least-recently-hit rows beyond ``max_rows`` (no-op when
+        unbounded); caller holds the lock and commits."""
+        if self.max_rows is None:
+            return
+        count = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()[0]
+        overflow = count - self.max_rows
+        if overflow <= 0:
+            return
+        cursor = self._conn.execute(
+            "DELETE FROM answers WHERE rowid IN"
+            " (SELECT rowid FROM answers ORDER BY last_hit ASC, rowid ASC"
+            " LIMIT ?)",
+            (overflow,),
+        )
+        self.evictions += cursor.rowcount
 
     # -- invalidation -------------------------------------------------------
 
@@ -313,6 +477,8 @@ class AnswerCacheStore:
         writers that priced an answer against the superseded content.
         """
         with self._lock:
+            for key in [k for k in self._touches if k[0] == doc_name]:
+                del self._touches[key]  # never resurrect recency on re-put
             cursor = self._conn.execute(
                 "DELETE FROM answers WHERE doc_name = ?", (doc_name,)
             )
@@ -329,6 +495,7 @@ class AnswerCacheStore:
     def clear(self) -> None:
         """Drop every answer and plan row (versions are kept)."""
         with self._lock:
+            self._touches.clear()
             self._conn.execute("DELETE FROM answers")
             self._conn.execute("DELETE FROM plans")
             self._conn.commit()
@@ -354,11 +521,18 @@ class AnswerCacheStore:
             "persistent_misses": self.misses,
             "persistent_stored": self.stored,
             "persistent_invalidations": self.invalidations,
+            "persistent_evictions": self.evictions,
         }
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
+        """Persist pending recency stamps and close the connection
+        (idempotent)."""
         with self._lock:
+            try:
+                self._flush_touches_locked()
+                self._conn.commit()
+            except sqlite3.ProgrammingError:
+                pass  # already closed
             self._conn.close()
 
     def __enter__(self) -> "AnswerCacheStore":

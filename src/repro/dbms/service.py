@@ -58,9 +58,22 @@ from .cache_store import AnswerCacheStore
 from .module import ImpreciseModule
 from .store import DocumentStore
 
-__all__ = ["DataspaceService"]
+__all__ = ["DataspaceService", "format_cache_stats"]
 
 _SERVICE_SHARDS = 16
+
+
+def format_cache_stats(stats: dict) -> str:
+    """Render a :meth:`DataspaceService.cache_stats` dict, one sorted
+    ``key: value`` line per counter.
+
+    This is the single formatting path for cache diagnostics: the
+    ``imprecise serve`` CLI (``cache-stats`` protocol command and
+    ``--cache-stats`` exit report) prints exactly this, and ``GET
+    /stats`` on the HTTP front serves the same dict as JSON — the two
+    surfaces cannot drift because neither picks its own counters.
+    """
+    return "\n".join(f"{key}: {value:,}" for key, value in sorted(stats.items()))
 
 
 class DataspaceService:
@@ -88,18 +101,26 @@ class DataspaceService:
         cache_store: Optional[AnswerCacheStore] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         max_cached_documents: Optional[int] = None,
+        cache_max_rows: Optional[int] = None,
     ):
         if store is not None and directory is not None:
             raise StoreError("pass either store= or directory=, not both")
         if cache_store is not None and cache_dir is not None:
             raise StoreError("pass either cache_store= or cache_dir=, not both")
+        if cache_max_rows is not None and cache_dir is None:
+            # Silently dropping the bound would leave the caller believing
+            # the cache is bounded (or exists at all).
+            raise StoreError(
+                "cache_max_rows requires cache_dir=; for an explicit"
+                " cache_store=, configure its max_rows directly instead"
+            )
         self.store = (
             store
             if store is not None
             else DocumentStore(directory, max_cached=max_cached_documents)
         )
         if cache_store is None and cache_dir is not None:
-            cache_store = AnswerCacheStore(cache_dir)
+            cache_store = AnswerCacheStore(cache_dir, max_rows=cache_max_rows)
         self.cache: Optional[AnswerCacheStore] = cache_store
         self._module = ImpreciseModule(self.store)
         #: name -> (content digest, engine over that content); LRU-bounded
@@ -188,6 +209,19 @@ class DataspaceService:
     def list(self) -> list[str]:
         """All stored document names, sorted."""
         return self.store.list()
+
+    def documents(self) -> list[dict]:
+        """``[{"name": ..., "kind": "xml" | "pxml"}, ...]``, sorted by
+        name — the listing surface the CLI and the HTTP front share.
+        A name deleted concurrently between the listing and its kind
+        lookup is skipped, not an error."""
+        entries = []
+        for name in self.store.list():
+            try:
+                entries.append({"name": name, "kind": self.store.kind(name)})
+            except StoreError:
+                continue  # deleted mid-listing by another thread
+        return entries
 
     # -- querying -----------------------------------------------------------
 

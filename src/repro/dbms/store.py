@@ -33,7 +33,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
-from ..errors import StoreError
+from ..errors import MissingDocumentError, StoreError
 from ..pxml.model import PXDocument
 from ..pxml.serialize import parse_pxml, pxml_to_text
 from ..xmlkit.nodes import XDocument
@@ -190,7 +190,7 @@ class DocumentStore:
                     return cached
             path = self._find_file(name)
             if path is None:
-                raise StoreError(f"no document named {name!r}")
+                raise MissingDocumentError(f"no document named {name!r}")
             text = path.read_text(encoding="utf-8")
             document: StoredDocument
             if path.suffix == ".pxml":
@@ -232,7 +232,7 @@ class DocumentStore:
             elif cached is not None:
                 digest = document_digest(cached)
             else:
-                raise StoreError(f"no document named {name!r}")
+                raise MissingDocumentError(f"no document named {name!r}")
             with self._mu:
                 self._digests[name] = digest
             return digest
@@ -253,7 +253,7 @@ class DocumentStore:
             return "pxml" if isinstance(cached, PXDocument) else "xml"
         path = self._find_file(name)
         if path is None:
-            raise StoreError(f"no document named {name!r}")
+            raise MissingDocumentError(f"no document named {name!r}")
         return "pxml" if path.suffix == ".pxml" else "xml"
 
     def __contains__(self, name: str) -> bool:
@@ -289,7 +289,7 @@ class DocumentStore:
                 path.unlink()
                 found = True
             if not found:
-                raise StoreError(f"no document named {name!r}")
+                raise MissingDocumentError(f"no document named {name!r}")
             with self._mu:
                 self._versions[name] = self._versions.get(name, 0) + 1
 

@@ -96,4 +96,18 @@ class FeedbackError(ImpreciseError):
 
 
 class StoreError(ImpreciseError):
-    """Raised by the document store for missing documents or I/O issues."""
+    """Raised by the document store for invalid names or I/O issues."""
+
+
+class MissingDocumentError(StoreError):
+    """Raised when a named document does not exist in the store.
+
+    A distinct type (not a message) so callers — the HTTP front maps it
+    to 404 where other store errors are 400 — can classify without
+    string matching."""
+
+
+class WireFormatError(ImpreciseError):
+    """Raised when a serialized payload (persistent-cache row, HTTP
+    request/response body) does not decode to the exact-Fraction wire
+    format — malformed fraction strings, wrong shapes, wrong types."""

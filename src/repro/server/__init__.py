@@ -1,0 +1,25 @@
+"""HTTP network front for the dataspace service.
+
+The ROADMAP's "actual network front (HTTP/asyncio) over
+``DataspaceService``": a dependency-free asyncio HTTP/1.1 server
+(:mod:`repro.server.http`), the JSON API routing layer
+(:mod:`repro.server.app`), the exact-Fraction wire format
+(:mod:`repro.server.wire`) and a blocking stdlib client
+(:mod:`repro.server.client`).  ``imprecise serve --http HOST:PORT`` is
+the command-line entry point; ``docs/http_api.md`` documents the wire
+protocol.
+"""
+
+from .app import ServerApp
+from .client import DataspaceClient, ServerError
+from .http import BackgroundServer, HTTPRequest, HTTPResponse, HTTPServer
+
+__all__ = [
+    "ServerApp",
+    "DataspaceClient",
+    "ServerError",
+    "BackgroundServer",
+    "HTTPServer",
+    "HTTPRequest",
+    "HTTPResponse",
+]

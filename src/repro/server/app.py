@@ -1,0 +1,302 @@
+"""The dataspace JSON API: routing HTTP requests into `DataspaceService`.
+
+:class:`ServerApp` is the handler an :class:`~repro.server.http.
+HTTPServer` drives.  Endpoints (see ``docs/http_api.md`` for the wire
+detail and curl examples):
+
+========  ==========================  =========================================
+method    path                        action
+========  ==========================  =========================================
+GET       ``/healthz``                liveness + document count
+GET       ``/stats``                  merged cache counters (one code path
+                                      with ``imprecise serve --cache-stats``)
+GET       ``/documents``              list stored documents (name, kind)
+PUT       ``/documents/{name}``       load an XML (``?kind=pxml``: PXML) body
+DELETE    ``/documents/{name}``       delete a document + its cached answers
+GET       ``/documents/{name}/stats`` uncertainty census of one document
+POST      ``/query``                  ranked probabilistic answer
+POST      ``/batch``                  one bulk-priced workload
+POST      ``/integrate``              integrate two stored sources
+POST      ``/feedback``               Bayesian answer feedback
+========  ==========================  =========================================
+
+Concurrency discipline — the reason this front scales the way the
+ROADMAP wants:
+
+* every service call runs in a **thread-pool executor**, so the event
+  loop never blocks on SQLite, tree walks, or Shannon expansions and
+  keeps accepting/pipelining requests meanwhile;
+* **reads take no app-level lock**: ``/query`` and ``/batch`` go
+  straight to the pool, where :class:`~repro.dbms.service.
+  DataspaceService` serves persistent cache hits lock-free and
+  serializes misses per name itself;
+* **writes serialize per name on the event loop** (an
+  :class:`asyncio.Lock` per document name): concurrent mutations of one
+  document queue as cheap waiters instead of each occupying a pool
+  thread just to block on the service's shard lock — the pool stays
+  available for cache hits.  Writes to *different* names still run in
+  parallel.
+
+Errors come back as structured JSON, ``{"error": {"type", "message"}}``,
+with 400 for malformed requests, 404 for missing documents/routes, and
+500 for everything unexpected (the HTTP core adds that containment).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager
+from functools import partial
+from typing import Callable, Optional
+
+from ..dbms.service import DataspaceService
+from ..errors import ImpreciseError, MissingDocumentError, WireFormatError
+from ..experiments import standard_rules
+from ..pxml.serialize import parse_pxml
+from .http import HTTPRequest, HTTPResponse, json_response
+from . import wire
+
+__all__ = ["ServerApp"]
+
+
+class _HTTPError(Exception):
+    """An error with a deliberate HTTP status (app-internal)."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+def _error_response(status: int, error_type: str, message: str) -> HTTPResponse:
+    return json_response(
+        {"error": {"type": error_type, "message": message}}, status=status
+    )
+
+
+def _field(body: dict, name: str, kind: type = str) -> object:
+    """A required, typed field of a JSON request body (400 on absence
+    or wrong type)."""
+    if not isinstance(body, dict) or name not in body:
+        raise _HTTPError(400, "bad_request", f"missing field {name!r}")
+    value = body[name]
+    if not isinstance(value, kind) or (kind is not bool and isinstance(value, bool)):
+        raise _HTTPError(
+            400,
+            "bad_request",
+            f"field {name!r} must be {kind.__name__}, got {type(value).__name__}",
+        )
+    return value
+
+
+class ServerApp:
+    """The async request handler over one :class:`DataspaceService`.
+
+    ``max_workers`` sizes the executor the service calls run on; the
+    default mirrors :class:`concurrent.futures.ThreadPoolExecutor`'s
+    I/O-oriented sizing.  :meth:`close` releases the pool (the service
+    itself is owned by the caller).
+    """
+
+    def __init__(
+        self,
+        service: DataspaceService,
+        *,
+        max_workers: Optional[int] = None,
+    ):
+        self.service = service
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or min(32, (os.cpu_count() or 1) + 4),
+            thread_name_prefix="dataspace-worker",
+        )
+        #: name -> [asyncio.Lock, holder/waiter count]; only touched from
+        #: the event loop thread, so the dict itself needs no locking.
+        #: Entries are dropped once uncontended — client-chosen names
+        #: must not grow server memory without bound.
+        self._write_locks: dict = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    async def _call(self, fn: Callable, *args, **kwargs):
+        """Run one blocking service call on the pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, partial(fn, *args, **kwargs))
+
+    @asynccontextmanager
+    async def _write_lock(self, name: str):
+        entry = self._write_locks.get(name)
+        if entry is None:
+            entry = self._write_locks[name] = [asyncio.Lock(), 0]
+        entry[1] += 1
+        try:
+            async with entry[0]:
+                yield
+        finally:
+            entry[1] -= 1
+            if entry[1] == 0 and self._write_locks.get(name) is entry:
+                del self._write_locks[name]
+
+    async def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        try:
+            return await self._dispatch(request)
+        except _HTTPError as error:
+            return _error_response(error.status, error.error_type, str(error))
+        except MissingDocumentError as error:
+            # The caller named something that is not there: 404.  Every
+            # other library error — invalid names, bad XPath/XML, bad
+            # wire payloads — is a bad or unservable request: 400.
+            return _error_response(404, type(error).__name__, str(error))
+        except (WireFormatError, ValueError, ImpreciseError) as error:
+            return _error_response(400, type(error).__name__, str(error))
+
+    async def _dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return await self._healthz()
+        if path == "/stats" and method == "GET":
+            return await self._stats()
+        if path == "/documents" and method == "GET":
+            return await self._documents()
+        if path == "/query" and method == "POST":
+            return await self._query(request)
+        if path == "/batch" and method == "POST":
+            return await self._batch(request)
+        if path == "/integrate" and method == "POST":
+            return await self._integrate(request)
+        if path == "/feedback" and method == "POST":
+            return await self._feedback(request)
+        parts = path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "documents":
+            if method == "PUT":
+                return await self._load(request, parts[1])
+            if method == "DELETE":
+                return await self._delete(parts[1])
+            raise _HTTPError(405, "method_not_allowed", f"{method} {path}")
+        if len(parts) == 3 and parts[0] == "documents" and parts[2] == "stats":
+            if method == "GET":
+                return await self._document_stats(parts[1])
+            raise _HTTPError(405, "method_not_allowed", f"{method} {path}")
+        raise _HTTPError(404, "not_found", f"no route for {method} {path}")
+
+    @staticmethod
+    def _body(request: HTTPRequest) -> dict:
+        try:
+            body = request.json()
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _HTTPError(400, "bad_request", f"invalid JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "bad_request", "request body must be a JSON object")
+        return body
+
+    # -- read endpoints -----------------------------------------------------
+
+    async def _healthz(self) -> HTTPResponse:
+        count = len(await self._call(self.service.list))
+        return json_response({"status": "ok", "documents": count})
+
+    async def _stats(self) -> HTTPResponse:
+        return json_response(await self._call(self.service.cache_stats))
+
+    async def _documents(self) -> HTTPResponse:
+        return json_response({"documents": await self._call(self.service.documents)})
+
+    async def _document_stats(self, name: str) -> HTTPResponse:
+        stats = await self._call(self.service.stats, name)
+        return json_response(
+            {"document": name, "stats": wire.encode_node_stats(stats)}
+        )
+
+    async def _query(self, request: HTTPRequest) -> HTTPResponse:
+        body = self._body(request)
+        name = _field(body, "document")
+        xpath = _field(body, "xpath")
+        answer = await self._call(self.service.query, name, xpath)
+        return json_response(
+            {
+                "document": name,
+                "xpath": xpath,
+                "answer": {"items": wire.encode_answer(answer)},
+            }
+        )
+
+    async def _batch(self, request: HTTPRequest) -> HTTPResponse:
+        body = self._body(request)
+        name = _field(body, "document")
+        xpaths = _field(body, "xpaths", list)
+        if not all(isinstance(xpath, str) for xpath in xpaths):
+            raise _HTTPError(400, "bad_request", "'xpaths' must be strings")
+        answers = await self._call(self.service.run_batch, name, xpaths)
+        return json_response(
+            {
+                "document": name,
+                "answers": [
+                    {"xpath": xpath, "items": wire.encode_answer(answer)}
+                    for xpath, answer in zip(xpaths, answers)
+                ],
+            }
+        )
+
+    # -- write endpoints ----------------------------------------------------
+
+    async def _load(self, request: HTTPRequest, name: str) -> HTTPResponse:
+        kind = request.query.get("kind", "xml")
+        if kind not in ("xml", "pxml"):
+            raise _HTTPError(400, "bad_request", f"unknown document kind {kind!r}")
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise _HTTPError(400, "bad_request", f"body is not UTF-8: {error}") from None
+        async with self._write_lock(name):
+            if kind == "pxml":
+                document = await self._call(parse_pxml, text)
+                await self._call(self.service.load_document, name, document)
+            else:
+                await self._call(self.service.load, name, text)
+        return json_response({"stored": name, "kind": kind}, status=201)
+
+    async def _delete(self, name: str) -> HTTPResponse:
+        async with self._write_lock(name):
+            await self._call(self.service.delete, name)
+        return json_response({"deleted": name})
+
+    async def _integrate(self, request: HTTPRequest) -> HTTPResponse:
+        body = self._body(request)
+        name_a = _field(body, "a")
+        name_b = _field(body, "b")
+        output = _field(body, "output")
+        rule_names = [
+            rule for rule in str(body.get("rules", "")).split(",") if rule
+        ]
+        async with self._write_lock(output):
+            report = await self._call(
+                self.service.integrate,
+                name_a,
+                name_b,
+                output,
+                rules=standard_rules(*rule_names),
+            )
+        return json_response({"output": output, "report": wire.encode_report(report)})
+
+    async def _feedback(self, request: HTTPRequest) -> HTTPResponse:
+        body = self._body(request)
+        name = _field(body, "document")
+        xpath = _field(body, "xpath")
+        value = _field(body, "value")
+        correct = body.get("correct", True)
+        if not isinstance(correct, bool):
+            raise _HTTPError(400, "bad_request", "'correct' must be a boolean")
+        async with self._write_lock(name):
+            step = await self._call(
+                self.service.feedback, name, xpath, value, correct=correct
+            )
+        return json_response(
+            {"document": name, "step": wire.encode_feedback_step(step)}
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (the service stays with its owner)."""
+        self._pool.shutdown(wait=False)

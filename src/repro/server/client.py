@@ -1,0 +1,198 @@
+"""Blocking HTTP client for the dataspace front (stdlib ``http.client``).
+
+The counterpart of :mod:`repro.server.app` used by tests, benchmarks and
+scripts: one persistent keep-alive connection per
+:class:`DataspaceClient`, JSON in, exact Fractions out —
+:meth:`~DataspaceClient.query` returns the same
+:class:`~repro.query.ranking.RankedAnswer` (same Fractions, same order)
+an in-process :class:`~repro.dbms.service.DataspaceService` call would.
+
+Not a connection pool: one instance drives one connection serially, so
+share nothing and give each thread its own client (they are cheap).  A
+server restart surfaces as a transparent single reconnect; structured
+server errors raise :class:`ServerError` carrying the HTTP status and
+the server-side error type.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Optional, Sequence
+
+from ..errors import ImpreciseError, WireFormatError
+from ..query.ranking import RankedAnswer
+from .wire import decode_answer, decode_fraction
+
+__all__ = ["DataspaceClient", "ServerError"]
+
+
+class ServerError(ImpreciseError):
+    """A structured error response from the dataspace server."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = status
+        self.error_type = error_type
+
+
+class DataspaceClient:
+    """Talk to an ``imprecise serve --http`` server.
+
+    >>> client = DataspaceClient("127.0.0.1", 8080)   # doctest: +SKIP
+    >>> client.query("ab", "//person/tel").as_table() # doctest: +SKIP
+
+    Context-manager friendly; :meth:`close` drops the connection.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        raw_body: Optional[bytes] = None,
+    ) -> dict:
+        body = raw_body
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        for attempt in (1, 2):
+            conn = self._connection()
+            sent = False
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                sent = True
+                response = conn.getresponse()
+                text = response.read().decode("utf-8")
+                break
+            except (ConnectionError, HTTPException, OSError):
+                # A dead keep-alive connection (server restarted, idle
+                # timeout): reconnect once — but only when re-sending
+                # cannot double-apply a write.  A failure during send
+                # means the server processed nothing; after the request
+                # went out, only idempotent methods are safe to replay
+                # (POST /feedback applied twice is a different posterior).
+                self.close()
+                if attempt == 2 or (
+                    sent and method not in ("GET", "PUT", "DELETE")
+                ):
+                    raise
+        try:
+            document = json.loads(text) if text else {}
+        except ValueError as error:
+            raise WireFormatError(
+                f"non-JSON response from server ({response.status}): {error}"
+            ) from None
+        if response.status >= 400:
+            error = document.get("error", {}) if isinstance(document, dict) else {}
+            raise ServerError(
+                response.status,
+                error.get("type", "unknown"),
+                error.get("message", text.strip()),
+            )
+        if not isinstance(document, dict):
+            raise WireFormatError("response body must be a JSON object")
+        return document
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "DataspaceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness: ``{"status": "ok", "documents": N}``."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The server's merged cache counters (same dict
+        :meth:`DataspaceService.cache_stats` returns in-process)."""
+        return self._request("GET", "/stats")
+
+    def documents(self) -> list:
+        """``[{"name": ..., "kind": ...}, ...]`` of stored documents."""
+        return self._request("GET", "/documents")["documents"]
+
+    def load(self, name: str, text: str, *, kind: str = "xml") -> dict:
+        """Store a document from its serialized text (``kind='pxml'``
+        for probabilistic XML)."""
+        return self._request(
+            "PUT",
+            f"/documents/{name}" + ("?kind=pxml" if kind == "pxml" else ""),
+            raw_body=text.encode("utf-8"),
+        )
+
+    def delete(self, name: str) -> dict:
+        """Delete a stored document and its cached answers."""
+        return self._request("DELETE", f"/documents/{name}")
+
+    def document_stats(self, name: str) -> dict:
+        """Uncertainty census of one document (integer counters)."""
+        return self._request("GET", f"/documents/{name}/stats")["stats"]
+
+    def query(self, name: str, xpath: str) -> RankedAnswer:
+        """Ranked probabilistic answer — exact Fractions, decoded."""
+        document = self._request(
+            "POST", "/query", {"document": name, "xpath": xpath}
+        )
+        return decode_answer(document["answer"]["items"])
+
+    def batch(self, name: str, xpaths: Sequence[str]) -> list:
+        """One bulk-priced workload; answers align with ``xpaths``."""
+        document = self._request(
+            "POST", "/batch", {"document": name, "xpaths": list(xpaths)}
+        )
+        return [decode_answer(entry["items"]) for entry in document["answers"]]
+
+    def integrate(
+        self, name_a: str, name_b: str, output: str, *, rules: str = ""
+    ) -> dict:
+        """Integrate two stored sources (``rules``: comma list of
+        standard rule names); returns the integration report dict."""
+        document = self._request(
+            "POST",
+            "/integrate",
+            {"a": name_a, "b": name_b, "output": output, "rules": rules},
+        )
+        return document["report"]
+
+    def feedback(
+        self, name: str, xpath: str, value: str, *, correct: bool = True
+    ) -> dict:
+        """Apply answer feedback; the step dict's ``prior`` is decoded
+        back to an exact :class:`~fractions.Fraction`."""
+        document = self._request(
+            "POST",
+            "/feedback",
+            {"document": name, "xpath": xpath, "value": value, "correct": correct},
+        )
+        step = document["step"]
+        step["prior"] = decode_fraction(step["prior"])
+        return step
+
+    def __repr__(self) -> str:
+        return f"DataspaceClient({self.host!r}, {self.port})"

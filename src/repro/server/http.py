@@ -1,0 +1,433 @@
+"""Dependency-free asyncio HTTP/1.1 server core.
+
+The network substrate of the dataspace front: a small, correct subset of
+HTTP/1.1 built directly on :func:`asyncio.start_server` — no third-party
+framework, matching the repository's stdlib-only rule.  The application
+layer (:mod:`repro.server.app`) plugs in as a single async handler.
+
+What it implements, deliberately and nothing more:
+
+* request parsing — request line, headers, ``Content-Length`` bodies —
+  with hard limits on header and body size (``431``/``413`` + close on
+  violation, ``400`` on malformed input);
+* **keep-alive and pipelining**: one read→handle→respond loop per
+  connection, so back-to-back requests already sitting in the socket
+  buffer are answered in order without waiting for new packets (that is
+  HTTP/1.1 pipelining; responses are never reordered);
+* **graceful shutdown**: :meth:`HTTPServer.shutdown` stops accepting,
+  lets in-flight requests finish within a grace period, then cancels
+  idle keep-alive readers — no request that reached a handler is
+  dropped mid-response;
+* ``500`` containment: a handler exception becomes a structured JSON
+  error response, never a wedged connection.
+
+Chunked transfer encoding is rejected with ``501`` (the blocking client
+in :mod:`repro.server.client` never sends it); TLS, HTTP/2 and
+websockets are out of scope — run behind a terminating proxy for those.
+
+:class:`BackgroundServer` runs the same server on a private event loop
+in a daemon thread, which is how the tests and benchmarks host a live
+server inside one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTPServer",
+    "BackgroundServer",
+    "json_response",
+]
+
+#: Reason phrases for the statuses this stack emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Seconds a connection may sit without completing a request head/body
+#: before the server closes it — bounds how long silent or slow-dripping
+#: clients can hold a task and its buffers.
+IDLE_TIMEOUT = 300.0
+
+_SERVER_NAME = "imprecise-dataspace"
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split target, lowercased headers,
+    raw body bytes."""
+
+    method: str
+    target: str                      # the raw request target, e.g. /a?b=c
+    path: str                        # decoded path component
+    query: dict                      # first-wins decoded query parameters
+    headers: dict                    # lowercased header name -> value
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises ``ValueError`` on garbage —
+        the app layer maps that to a 400)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class HTTPResponse:
+    """One response: status, body bytes, extra headers."""
+
+    status: int = 200
+    body: bytes = b""
+    headers: dict = field(default_factory=dict)
+    content_type: str = "application/json; charset=utf-8"
+
+
+def json_response(payload: object, status: int = 200) -> HTTPResponse:
+    """An :class:`HTTPResponse` carrying a JSON document."""
+    return HTTPResponse(
+        status=status,
+        body=(json.dumps(payload, ensure_ascii=False) + "\n").encode("utf-8"),
+    )
+
+
+class _ProtocolError(Exception):
+    """Unparseable or over-limit request; carries the response status.
+    The connection closes after the error response (request framing can
+    no longer be trusted)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+Handler = Callable[[HTTPRequest], Awaitable[HTTPResponse]]
+
+
+class HTTPServer:
+    """Asyncio HTTP/1.1 server around a single async ``handler``.
+
+    >>> async def handler(request):
+    ...     return json_response({"path": request.path})
+    >>> server = HTTPServer(handler)        # doctest: +SKIP
+    >>> host, port = await server.start()   # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns the actual
+    address.  Call :meth:`shutdown` (same loop) to stop.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_header_bytes: int = MAX_HEADER_BYTES,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        idle_timeout: float = IDLE_TIMEOUT,
+    ):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self.idle_timeout = idle_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._idle: set = set()     # connections parked between requests
+        self._closing = False
+        #: Requests fully served (diagnostics; read from the loop thread).
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> tuple:
+        """Bind and start accepting; returns ``(host, port)`` actually
+        bound (meaningful with ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=self.max_header_bytes,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def shutdown(self, grace: float = 5.0) -> None:
+        """Stop accepting; close idle keep-alive connections at once;
+        drain in-flight requests for ``grace`` seconds, then cancel
+        whatever is left.  Idempotent."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        # A connection waiting for its *next* request head carries no
+        # work — cancel immediately; only in-flight requests get grace.
+        for task in list(self._idle):
+            task.cancel()
+        tasks = [task for task in self._connections if not task.done()]
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._closing:
+                try:
+                    request = await self._read_request(reader)
+                except _ProtocolError as error:
+                    await self._write_response(
+                        writer,
+                        json_response(
+                            {"error": {"type": "protocol", "message": str(error)}},
+                            status=error.status,
+                        ),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                try:
+                    response = await self.handler(request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 — contain, report, survive
+                    response = json_response(
+                        {
+                            "error": {
+                                "type": type(error).__name__,
+                                "message": str(error),
+                            }
+                        },
+                        status=500,
+                    )
+                keep_alive = self._keep_alive(request) and not self._closing
+                await self._write_response(writer, response, keep_alive=keep_alive)
+                self.requests_served += 1
+                if not keep_alive:
+                    break
+        except (ConnectionError, TimeoutError):
+            pass  # peer went away; nothing to salvage
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled an idle reader
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    def _keep_alive(request: HTTPRequest) -> bool:
+        connection = request.headers.get("connection", "").lower()
+        if "close" in connection:
+            return False
+        return True  # HTTP/1.1 default (1.0 clients must ask, and ours don't)
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[HTTPRequest]:
+        """Parse one request off the stream; ``None`` on clean EOF."""
+        task = asyncio.current_task()
+        self._idle.add(task)
+        try:
+            blob = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.idle_timeout
+            )
+        except asyncio.TimeoutError:
+            # A connection idle *between* requests closes silently — a
+            # keep-alive client would misread a 408 here as the response
+            # to its next request.  Only a partially received head (bytes
+            # already buffered) earns the best-effort 408.
+            if getattr(reader, "_buffer", b""):
+                raise _ProtocolError(408, "idle timeout mid-request") from None
+            return None
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise _ProtocolError(400, "truncated request head") from None
+        except asyncio.LimitOverrunError:
+            raise _ProtocolError(
+                431, f"request head exceeds {self.max_header_bytes} bytes"
+            ) from None
+        finally:
+            self._idle.discard(task)
+        try:
+            head = blob[:-4].decode("latin-1")
+            request_line, *header_lines = head.split("\r\n")
+            method, target, version = request_line.split(" ")
+        except ValueError:
+            raise _ProtocolError(400, "malformed request line") from None
+        if not version.startswith("HTTP/1."):
+            raise _ProtocolError(400, f"unsupported protocol {version!r}")
+        headers: dict = {}
+        for line in header_lines:
+            name, colon, value = line.partition(":")
+            if not colon or not name or name != name.strip():
+                raise _ProtocolError(400, f"malformed header line {line!r}")
+            name = name.lower()
+            if name in ("content-length", "transfer-encoding") and name in headers:
+                # RFC 7230 §3.3.2/§3.3.3: conflicting framing headers
+                # must be rejected — collapsing silently enables request
+                # smuggling through a front proxy honoring the other one.
+                raise _ProtocolError(400, f"duplicate {name} header")
+            headers[name] = value.strip()
+        if "transfer-encoding" in headers:
+            # No TE of any kind: an unread encoded body would desync the
+            # connection (its bytes become the "next" pipelined request).
+            raise _ProtocolError(501, "transfer encodings not supported")
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise _ProtocolError(400, "malformed Content-Length") from None
+            if length > self.max_body_bytes:
+                raise _ProtocolError(
+                    413, f"body exceeds {self.max_body_bytes} bytes"
+                )
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                raise _ProtocolError(408, "body read timeout") from None
+            except asyncio.IncompleteReadError:
+                raise _ProtocolError(400, "truncated request body") from None
+        split = urlsplit(target)
+        query: dict = {}
+        for key, value in parse_qsl(split.query):
+            query.setdefault(key, value)  # first wins, as documented
+        return HTTPRequest(
+            method=method.upper(),
+            target=target,
+            path=unquote(split.path),
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        response: HTTPResponse,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        reason = REASONS.get(response.status, "Unknown")
+        headers = {
+            "content-type": response.content_type,
+            "content-length": str(len(response.body)),
+            "connection": "keep-alive" if keep_alive else "close",
+            "server": _SERVER_NAME,
+        }
+        headers.update({k.lower(): v for k, v in response.headers.items()})
+        head = f"HTTP/1.1 {response.status} {reason}\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        )
+        writer.write(head.encode("latin-1") + b"\r\n" + response.body)
+        await writer.drain()
+
+
+class BackgroundServer:
+    """An :class:`HTTPServer` on a private event loop in a daemon thread.
+
+    The embedding shape used by tests and benchmarks::
+
+        background = BackgroundServer(app)
+        host, port = background.start()
+        ...                         # drive it with the blocking client
+        background.stop()
+
+    ``start`` blocks until the port is bound; ``stop`` runs the graceful
+    shutdown on the loop and joins the thread.  Context-manager friendly.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        self.server = HTTPServer(handler, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> tuple:
+        self._thread = threading.Thread(
+            target=self._run, name="dataspace-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("HTTP server failed to start within timeout")
+        if self._startup_error is not None:
+            raise RuntimeError("HTTP server failed to start") from self._startup_error
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            try:
+                # start_server() begins accepting as soon as it binds;
+                # run_forever() then drives the accepted connections.
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as error:  # bind failure lands in start()
+                self._startup_error = error
+                return
+            finally:
+                self._started.set()
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def stop(self, grace: float = 5.0, timeout: float = 10.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(grace), self._loop
+            )
+            try:
+                # Wait for the graceful drain *before* stopping the loop:
+                # loop.stop() from inside the coroutine would halt the
+                # loop before the result ever propagated back here.
+                future.result(timeout)
+            except Exception:
+                future.cancel()
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

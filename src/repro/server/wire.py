@@ -1,0 +1,194 @@
+"""Exact-Fraction JSON wire format for the HTTP dataspace front.
+
+Probabilities in this repository are exact :class:`~fractions.Fraction`
+values, and the whole serving stack's contract is *bit-identical*
+answers no matter which layer served them (engine, persistent cache,
+network).  JSON has no rational type and its numbers decay to floats, so
+every probability crosses the wire as the ``"numerator/denominator"``
+string the persistent :class:`~repro.dbms.cache_store.AnswerCacheStore`
+already uses — this module reuses that encoding (one code path, one
+on-disk/on-wire format) and layers the remaining payload shapes on top:
+
+* ranked answers — ``[[value, "num/den", occurrences], ...]``
+  (:func:`encode_answer` / :func:`decode_answer`, re-exported from the
+  cache store);
+* aggregate count distributions — ``[[count, "num/den"], ...]`` sorted
+  by count (:func:`encode_distribution` / :func:`decode_distribution`);
+* node statistics, feedback steps and integration reports
+  (:func:`encode_node_stats`, :func:`encode_feedback_step`,
+  :func:`decode_feedback_step`, :func:`encode_report`).
+
+Decoders are **strict**: they validate shapes and types and raise
+:class:`~repro.errors.WireFormatError` on anything off-contract, because
+they face network input.  Every decoder is the exact inverse of its
+encoder — ``decode(encode(x)) == x`` including Fraction exactness — and
+``tests/test_wire.py`` checks that property over thousands of seeded
+random payloads.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..core.engine import IntegrationReport
+from ..dbms.cache_store import (
+    decode_answer,
+    decode_fraction,
+    encode_answer,
+    encode_fraction,
+)
+from ..errors import WireFormatError
+from ..feedback.conditioning import FeedbackStep
+from ..pxml.stats import NodeStats
+
+__all__ = [
+    "encode_fraction",
+    "decode_fraction",
+    "encode_answer",
+    "decode_answer",
+    "encode_distribution",
+    "decode_distribution",
+    "encode_node_stats",
+    "decode_node_stats",
+    "encode_feedback_step",
+    "decode_feedback_step",
+    "encode_report",
+]
+
+
+def _require_int(value: object, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise WireFormatError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def encode_distribution(distribution: Mapping[int, Fraction]) -> list:
+    """Wire form of an aggregate count distribution
+    (:data:`repro.query.aggregates.CountDistribution`): ``[[count,
+    "num/den"], ...]`` sorted by count.
+
+    A list of pairs rather than a JSON object — object keys are strings,
+    and round-tripping ``{2: p}`` through ``{"2": p}`` is exactly the
+    silent type decay this format exists to prevent."""
+    return [
+        [count, encode_fraction(probability)]
+        for count, probability in sorted(distribution.items())
+    ]
+
+
+def decode_distribution(payload: object) -> dict:
+    """Inverse of :func:`encode_distribution`; strict."""
+    if not isinstance(payload, list):
+        raise WireFormatError(
+            f"distribution must be a list, got {type(payload).__name__}"
+        )
+    distribution: dict = {}
+    for entry in payload:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+            raise WireFormatError(f"malformed distribution entry {entry!r}")
+        count = _require_int(entry[0], "distribution count")
+        if count in distribution:
+            raise WireFormatError(f"duplicate distribution count {count}")
+        distribution[count] = decode_fraction(entry[1])
+    return distribution
+
+
+_NODE_STATS_FIELDS = (
+    "probability_nodes",
+    "possibility_nodes",
+    "element_nodes",
+    "text_nodes",
+    "choice_points",
+    "max_branching",
+    "world_count",
+)
+
+
+def encode_node_stats(stats: NodeStats) -> dict:
+    """Wire form of a :class:`~repro.pxml.stats.NodeStats` census (all
+    counters plus the derived ``total``)."""
+    payload = {field: getattr(stats, field) for field in _NODE_STATS_FIELDS}
+    payload["total"] = stats.total
+    return payload
+
+
+def decode_node_stats(payload: object) -> NodeStats:
+    """Inverse of :func:`encode_node_stats` (``total`` is re-derived)."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"node stats must be an object, got {type(payload).__name__}"
+        )
+    try:
+        fields = {
+            field: _require_int(payload[field], field)
+            for field in _NODE_STATS_FIELDS
+        }
+    except KeyError as missing:
+        raise WireFormatError(f"node stats missing field {missing}") from None
+    return NodeStats(**fields)
+
+
+def encode_feedback_step(step: FeedbackStep) -> dict:
+    """Wire form of a :class:`~repro.feedback.conditioning.FeedbackStep`
+    (the prior stays an exact Fraction)."""
+    return {
+        "kind": step.kind,
+        "expression": step.expression,
+        "value": step.value,
+        "prior": encode_fraction(step.prior),
+        "nodes_before": step.nodes_before,
+        "nodes_after": step.nodes_after,
+        "worlds_before": step.worlds_before,
+        "worlds_after": step.worlds_after,
+    }
+
+
+def decode_feedback_step(payload: object) -> FeedbackStep:
+    """Inverse of :func:`encode_feedback_step`; strict."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"feedback step must be an object, got {type(payload).__name__}"
+        )
+    try:
+        kind = payload["kind"]
+        expression = payload["expression"]
+        value = payload["value"]
+        if not all(isinstance(text, str) for text in (kind, expression, value)):
+            raise WireFormatError(f"malformed feedback step {payload!r}")
+        return FeedbackStep(
+            kind=kind,
+            expression=expression,
+            value=value,
+            prior=decode_fraction(payload["prior"]),
+            nodes_before=_require_int(payload["nodes_before"], "nodes_before"),
+            nodes_after=_require_int(payload["nodes_after"], "nodes_after"),
+            worlds_before=_require_int(payload["worlds_before"], "worlds_before"),
+            worlds_after=_require_int(payload["worlds_after"], "worlds_after"),
+        )
+    except KeyError as missing:
+        raise WireFormatError(f"feedback step missing field {missing}") from None
+
+
+def encode_report(report: IntegrationReport) -> dict:
+    """Wire form of an :class:`~repro.core.engine.IntegrationReport`:
+    the integer counters, the rule-firing histogram, and the rendered
+    summary line (clients that only display the report never need to
+    reassemble it)."""
+    return {
+        "pairs_judged": report.pairs_judged,
+        "certain_matches": report.certain_matches,
+        "certain_non_matches": report.certain_non_matches,
+        "undecided_pairs": report.undecided_pairs,
+        "ambiguous_matches": report.ambiguous_matches,
+        "components": report.components,
+        "choice_points": report.choice_points,
+        "largest_choice": report.largest_choice,
+        "value_conflicts": report.value_conflicts,
+        "attribute_conflicts": report.attribute_conflicts,
+        "dtd_fallbacks": report.dtd_fallbacks,
+        "rule_firings": dict(report.rule_firings),
+        "total_nodes": report.total_nodes,
+        "world_count": report.world_count,
+        "summary": report.summary(),
+    }

@@ -109,7 +109,7 @@ class TestInvalidation:
         # Re-insert the row with the pre-invalidation version directly.
         with cache._lock:
             cache._conn.execute(
-                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, 0)",
+                "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, 0, 0)",
                 ("doc", DOC, PLAN, None, '[["x", "1/2", 1]]'),
             )
             cache._conn.commit()
@@ -188,3 +188,119 @@ class TestDocumentDigest:
     def test_rejects_non_documents(self):
         with pytest.raises(StoreError):
             document_digest("<r/>")
+
+
+class TestRowEviction:
+    """The ROADMAP follow-up: ``max_rows`` bounds the answer table, LRU
+    by last hit, and eviction never costs correctness — an evicted
+    answer is simply recomputed and re-stored on its next miss."""
+
+    def put_n(self, cache, count, name="doc"):
+        for index in range(count):
+            cache.put(
+                name, DOC, f"{index:064d}",
+                answer((f"v{index}", Fraction(1, index + 2), 1)),
+            )
+
+    def test_bound_is_enforced(self, tmp_path):
+        cache = AnswerCacheStore(tmp_path / "cache", max_rows=5)
+        self.put_n(cache, 20)
+        assert len(cache) == 5
+        assert cache.evictions == 15
+        assert cache.stats()["persistent_evictions"] == 15
+        assert cache.max_rows == 5
+
+    def test_unbounded_store_never_evicts(self, cache):
+        self.put_n(cache, 20)
+        assert len(cache) == 20
+        assert cache.evictions == 0
+
+    def test_eviction_is_lru_by_last_hit(self, tmp_path):
+        cache = AnswerCacheStore(tmp_path / "cache", max_rows=3)
+        self.put_n(cache, 3)
+        # Re-hit row 0: it is now the most recently used.
+        assert cache.get("doc", DOC, f"{0:064d}") is not None
+        cache.put("doc", DOC, "f" * 64, answer(("new", Fraction(1, 2), 1)))
+        # Row 1 (oldest last_hit) went; row 0 survived its re-hit.
+        assert cache.get("doc", DOC, f"{0:064d}") is not None
+        assert cache.get("doc", DOC, f"{1:064d}") is None
+        assert cache.get("doc", DOC, "f" * 64) is not None
+
+    def test_recency_stamps_persist_across_instances(self, tmp_path):
+        """The LRU clock is file-global (MAX+1), so a fresh process
+        continues the ordering instead of restarting it."""
+        first = AnswerCacheStore(tmp_path / "cache", max_rows=3)
+        self.put_n(first, 3)
+        assert first.get("doc", DOC, f"{0:064d}") is not None
+        first.close()
+        second = AnswerCacheStore(tmp_path / "cache", max_rows=3)
+        second.put("doc", DOC, "f" * 64, answer(("new", Fraction(1, 2), 1)))
+        assert second.get("doc", DOC, f"{0:064d}") is not None  # survived
+        assert second.get("doc", DOC, f"{1:064d}") is None      # evicted
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(StoreError):
+            AnswerCacheStore(tmp_path / "cache", max_rows=0)
+
+    def test_evicted_answers_are_recomputed_correctly(self, tmp_path):
+        """A service over a 2-row cache cycling through 4 queries keeps
+        returning exact answers; evicted rows come back as misses that
+        re-store, never as wrong or missing results."""
+        from repro.dbms.service import DataspaceService
+
+        workload = ["//person/nm", "//person/tel", "//person", "/addressbook"]
+        with DataspaceService(
+            directory=tmp_path / "store",
+            cache_dir=tmp_path / "rowcache",
+            cache_max_rows=2,
+        ) as service:
+            service.load(
+                "ab",
+                "<addressbook><person><nm>John</nm><tel>1111</tel></person>"
+                "</addressbook>",
+            )
+            baseline = {
+                query: [
+                    (item.value, item.probability, item.occurrences)
+                    for item in service.query("ab", query)
+                ]
+                for query in workload
+            }
+            for _ in range(3):  # keep cycling: every query evicts another
+                for query in workload:
+                    again = [
+                        (item.value, item.probability, item.occurrences)
+                        for item in service.query("ab", query)
+                    ]
+                    assert again == baseline[query]
+            stats = service.cache_stats()
+            assert stats["persistent_evictions"] > 0
+            assert stats["persistent_answers"] <= 2
+            # Eviction caused real re-stores beyond the first pricing.
+            assert stats["persistent_stored"] > len(workload)
+
+    def test_service_rejects_bound_without_cache_dir(self, tmp_path):
+        from repro.dbms.service import DataspaceService
+
+        with pytest.raises(StoreError):
+            DataspaceService(directory=tmp_path / "store", cache_max_rows=10)
+
+    def test_bounded_hits_do_not_write(self, tmp_path):
+        """Recency on hits is buffered in memory (the hit path must stay
+        free of UPDATE/commit); the buffer flushes on the next put."""
+        cache = AnswerCacheStore(tmp_path / "cache", max_rows=3)
+        self.put_n(cache, 2)
+        assert cache.get("doc", DOC, f"{0:064d}") is not None
+        assert len(cache._touches) == 1           # buffered, not written
+        db_stamp = cache._conn.execute(
+            "SELECT last_hit FROM answers WHERE plan_digest = ?",
+            (f"{0:064d}",),
+        ).fetchone()[0]
+        assert db_stamp == 1                      # on-disk stamp untouched
+        cache.put("doc", DOC, "f" * 64, answer(("new", Fraction(1, 2), 1)))
+        assert cache._touches == {}               # flushed with the put
+        db_stamp = cache._conn.execute(
+            "SELECT last_hit FROM answers WHERE plan_digest = ?",
+            (f"{0:064d}",),
+        ).fetchone()[0]
+        assert db_stamp > 2                       # recency persisted

@@ -177,7 +177,9 @@ class TestServe:
         ]) == 0
         captured = capsys.readouterr()
         assert "100% 1111" in captured.out
-        assert "1 persistent hits" in captured.err
+        # --cache-stats renders through the shared format_cache_stats
+        # path: one sorted "key: value" line per counter.
+        assert "persistent_hits: 1" in captured.err
 
     def test_stdin_protocol(self, dataspace, capsys, monkeypatch):
         import io
@@ -230,3 +232,49 @@ class TestServe:
         out = capsys.readouterr().out
         assert "100% John" in out
         assert "deleted a" in out
+
+
+class TestServeHttp:
+    """Flag handling of `imprecise serve --http` (the live-server paths
+    are exercised end-to-end in tests/test_http_server.py)."""
+
+    def test_http_conflicts_with_exec(self, workspace, capsys):
+        status = run([
+            "serve", workspace / "store", "--http", "127.0.0.1:0",
+            "--exec", "list",
+        ])
+        assert status == 1
+        assert "--http" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("address", ["notaport", "1.2.3.4:notaport",
+                                         "1.2.3.4:99999", "::1"])
+    def test_invalid_address_fails_cleanly(self, workspace, capsys, address):
+        status = run(["serve", workspace / "store", "--http", address])
+        assert status == 1
+        assert "invalid --http address" in capsys.readouterr().err
+
+    def test_parse_http_address(self):
+        from repro.cli import _parse_http_address
+
+        assert _parse_http_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _parse_http_address("8080") == ("127.0.0.1", 8080)
+        assert _parse_http_address("[::1]:0") == ("::1", 0)
+
+    def test_cache_max_rows_flag_bounds_the_store(self, workspace, capsys):
+        store, cache2 = workspace / "store", workspace / "cache2"
+        assert run([
+            "serve", store, "--cache-dir", cache2,
+            "--exec", f"put a {workspace / 'a.xml'}",
+            "--exec", f"put b {workspace / 'b.xml'}",
+            "--exec", "integrate a b ab",
+        ]) == 0
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache2, "--cache-max-rows", "1",
+            "--exec", "query ab //person/tel",
+            "--exec", "query ab //person/nm",
+            "--exec", "cache-stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "persistent_answers: 1" in out   # bound enforced
+        assert "persistent_evictions: 1" in out

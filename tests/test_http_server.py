@@ -1,0 +1,557 @@
+"""Tests for the asyncio HTTP dataspace front.
+
+Three layers, increasingly end-to-end:
+
+* endpoint semantics against an in-process :class:`BackgroundServer`
+  (routing, wire decoding, structured errors, keep-alive, pipelining);
+* the **concurrency soak**: N threads × M mixed query/feedback/integrate
+  HTTP requests against one live server must produce Fraction-identical
+  answers to a serial in-process replay of the same schedules, inside a
+  hard timeout (no deadlock) — matrix reduced in CI via ``SOAK_THREADS``
+  / ``SOAK_REQUESTS``;
+* the acceptance end-to-end: two **sequential server processes**
+  (``imprecise serve --http``) sharing a ``--cache-dir`` serve
+  Fraction-identical answers, the second from persistent-cache hits,
+  asserted entirely over HTTP.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.data.addressbook import addressbook_documents
+from repro.dbms.service import DataspaceService, format_cache_stats
+from repro.server.app import ServerApp
+from repro.server.client import DataspaceClient, ServerError
+from repro.server.http import BackgroundServer
+from repro.xmlkit.serializer import serialize
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Soak matrix — CI reduces it, a deep local run can crank it up.
+SOAK_THREADS = int(os.environ.get("SOAK_THREADS", "6"))
+SOAK_REQUESTS = int(os.environ.get("SOAK_REQUESTS", "8"))
+SOAK_TIMEOUT = float(os.environ.get("SOAK_TIMEOUT", "120"))
+
+QUERIES = ["//person/tel", "//person/nm", '//person[nm="John"]/tel']
+
+
+def shape(answer):
+    return [(item.value, item.probability, item.occurrences) for item in answer]
+
+
+@pytest.fixture
+def service(tmp_path):
+    with DataspaceService(
+        directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+    ) as service:
+        yield service
+
+
+@pytest.fixture
+def live(service):
+    """(client, service, app) against a live in-process server."""
+    app = ServerApp(service)
+    with BackgroundServer(app) as background:
+        client = DataspaceClient(background.server.host, background.server.port)
+        try:
+            yield client, service, app
+        finally:
+            client.close()
+    app.close()
+
+
+def load_addressbook(client):
+    book_a, book_b = addressbook_documents()
+    client.load("a", serialize(book_a))
+    client.load("b", serialize(book_b))
+    client.integrate("a", "b", "ab")
+
+
+class TestEndpoints:
+    def test_healthz(self, live):
+        client, _, _ = live
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["documents"] == 0
+
+    def test_load_list_delete(self, live):
+        client, _, _ = live
+        book_a, _ = addressbook_documents()
+        assert client.load("a", serialize(book_a)) == {"stored": "a", "kind": "xml"}
+        assert client.documents() == [{"name": "a", "kind": "xml"}]
+        assert client.healthz()["documents"] == 1
+        assert client.delete("a") == {"deleted": "a"}
+        assert client.documents() == []
+
+    def test_query_matches_in_process_exactly(self, live):
+        client, service, _ = live
+        load_addressbook(client)
+        for query in QUERIES:
+            over_http = client.query("ab", query)
+            in_process = service.query("ab", query)
+            assert shape(over_http) == shape(in_process)
+            assert all(
+                isinstance(item.probability, Fraction) for item in over_http
+            )
+
+    def test_batch_matches_serial_queries(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        answers = client.batch("ab", QUERIES)
+        assert len(answers) == len(QUERIES)
+        for query, batched in zip(QUERIES, answers):
+            assert shape(batched) == shape(client.query("ab", query))
+
+    def test_integrate_reports(self, live):
+        client, _, _ = live
+        book_a, book_b = addressbook_documents()
+        client.load("a", serialize(book_a))
+        client.load("b", serialize(book_b))
+        report = client.integrate("a", "b", "ab")
+        assert report["world_count"] >= 1
+        assert "nodes" in report["summary"]
+        assert client.documents()[0] == {"name": "a", "kind": "xml"}
+        assert {"name": "ab", "kind": "pxml"} in client.documents()
+
+    def test_feedback_conditions_the_answer(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        before = client.query("ab", "//person/tel")
+        step = client.feedback("ab", "//person/tel", "1111", correct=True)
+        assert step["kind"] == "confirm"
+        assert isinstance(step["prior"], Fraction)
+        assert step["prior"] == before.probability_of("1111")
+        after = client.query("ab", "//person/tel")
+        assert after.probability_of("1111") == Fraction(1)
+
+    def test_document_stats(self, live):
+        client, service, _ = live
+        load_addressbook(client)
+        stats = client.document_stats("ab")
+        census = service.stats("ab")
+        assert stats["world_count"] == census.world_count
+        assert stats["total"] == census.total
+
+    def test_pxml_round_trip_load(self, live):
+        from repro.pxml.serialize import pxml_to_text
+
+        client, service, _ = live
+        load_addressbook(client)
+        text = pxml_to_text(service._module.probabilistic("ab"))
+        client.load("ab2", text, kind="pxml")
+        assert shape(client.query("ab2", "//person/tel")) == shape(
+            client.query("ab", "//person/tel")
+        )
+
+    def test_persistent_hits_over_http(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        first = client.query("ab", "//person/tel")
+        before = client.stats()
+        second = client.query("ab", "//person/tel")
+        after = client.stats()
+        assert shape(first) == shape(second)
+        assert after["persistent_hits"] == before["persistent_hits"] + 1
+
+
+class TestErrors:
+    def test_missing_document_is_404(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client.query("ghost", "//x")
+        assert excinfo.value.status == 404
+
+    def test_bad_xpath_is_400(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.query("ab", "//[broken")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "XPathSyntaxError"
+
+    def test_unknown_route_is_404(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/documents/a")
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_body_is_400(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/query", raw_body=b"{not json")
+        assert excinfo.value.status == 400
+
+    def test_missing_field_is_400(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/query", {"document": "ab"})
+        assert excinfo.value.status == 400
+        assert "xpath" in str(excinfo.value)
+
+    def test_invalid_document_name_is_400(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client.load("bad/../name", "<r/>")
+        assert excinfo.value.status in (400, 404)
+
+    def test_error_does_not_kill_the_connection(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError):
+            client.query("ghost", "//x")
+        # Same client, same keep-alive connection, next request fine.
+        assert shape(client.query("ab", "//person/nm"))
+
+
+class TestProtocol:
+    def test_pipelined_requests_answered_in_order(self, live):
+        """Two requests written back-to-back before reading a byte come
+        back in order on one connection — HTTP/1.1 pipelining."""
+        client, _, _ = live
+        load_addressbook(client)
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            request = (
+                "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                "GET /documents HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            )
+            sock.sendall(request.encode())
+            blob = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                blob += chunk
+        text = blob.decode()
+        assert text.count("HTTP/1.1 200") == 2
+        assert text.index('"status"') < text.index('"documents": [')
+
+    def test_oversized_header_rejected(self, live):
+        client, _, _ = live
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\nX-Big: " + b"a" * (80 * 1024))
+            blob = sock.recv(65536)
+        assert b"431" in blob.split(b"\r\n", 1)[0]
+
+    def test_malformed_request_line_rejected(self, live):
+        client, _, _ = live
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            blob = sock.recv(65536)
+        assert b"400" in blob.split(b"\r\n", 1)[0]
+
+    def test_silent_connection_reaped_by_idle_timeout(self, service):
+        """A client that connects and sends nothing (or a header drip)
+        cannot park a server task forever: the idle timeout closes it
+        with a best-effort 408."""
+        app = ServerApp(service)
+        background = BackgroundServer(app)
+        background.server.idle_timeout = 0.3
+        with background:
+            host, port = background.server.host, background.server.port
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\n")  # never finished
+                sock.settimeout(10)
+                blob = sock.recv(65536)
+                assert b"408" in blob.split(b"\r\n", 1)[0]
+                assert sock.recv(65536) == b""  # server closed the socket
+        app.close()
+
+    def test_duplicate_content_length_rejected(self, live):
+        """Conflicting Content-Length headers are a request-smuggling
+        vector (RFC 7230 §3.3.2): 400, never last-wins."""
+        client, _, _ = live
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 10\r\nContent-Length: 0\r\n\r\n"
+                b"0123456789"
+            )
+            blob = sock.recv(65536)
+        assert b"400" in blob.split(b"\r\n", 1)[0]
+
+    @pytest.mark.parametrize(
+        "headers,status",
+        [
+            (b"Transfer-Encoding: chunked\r\n", b"501"),
+            (b"Transfer-Encoding: gzip\r\n", b"501"),
+            (b"Transfer-Encoding: chunked\r\nTransfer-Encoding: identity\r\n",
+             b"400"),
+        ],
+    )
+    def test_transfer_encoding_rejected(self, live, headers, status):
+        """Any Transfer-Encoding is refused outright — an unread encoded
+        body would desync the connection (smuggling vector)."""
+        client, _, _ = live
+        with socket.create_connection((client.host, client.port), timeout=30) as sock:
+            sock.sendall(b"POST /query HTTP/1.1\r\nHost: x\r\n" + headers + b"\r\n")
+            blob = sock.recv(65536)
+        assert status in blob.split(b"\r\n", 1)[0]
+
+    def test_idle_between_requests_closes_silently(self, service):
+        """No 408 lands on a connection idle *between* requests — a
+        keep-alive client would misread it as its next response."""
+        app = ServerApp(service)
+        background = BackgroundServer(app)
+        background.server.idle_timeout = 0.3
+        with background:
+            host, port = background.server.host, background.server.port
+            client = DataspaceClient(host, port)
+            assert client.healthz()["status"] == "ok"
+            time.sleep(1.0)  # idle past the timeout, zero bytes sent
+            # The server closed silently; the client reconnects (GET is
+            # safe to replay) and the request succeeds — no stale 408.
+            assert client.healthz()["status"] == "ok"
+            client.close()
+        app.close()
+
+    def test_duplicate_query_params_first_wins(self, live):
+        client, service, _ = live
+        book_a, _ = addressbook_documents()
+        from repro.pxml.build import certain_document
+        from repro.pxml.serialize import pxml_to_text
+
+        text = pxml_to_text(certain_document(book_a))
+        client._request(
+            "PUT", "/documents/dup?kind=pxml&kind=xml", raw_body=text.encode()
+        )
+        assert {"name": "dup", "kind": "pxml"} in client.documents()
+
+
+class TestStatsSurfacesAgree:
+    def test_http_stats_is_the_service_dict(self, live):
+        """GET /stats must serve exactly DataspaceService.cache_stats()
+        — the shared code path with `imprecise serve --cache-stats`."""
+        client, service, _ = live
+        load_addressbook(client)
+        client.query("ab", "//person/tel")
+        client.query("ab", "//person/tel")
+        over_http = client.stats()
+        in_process = service.cache_stats()
+        assert over_http == in_process
+
+    def test_cli_rendering_parses_back_to_the_same_counters(self, live):
+        """format_cache_stats (what --cache-stats and the `cache-stats`
+        protocol command print) renders the same dict GET /stats serves:
+        parse the lines back and compare key for key."""
+        client, service, _ = live
+        load_addressbook(client)
+        client.query("ab", "//person/nm")
+        over_http = client.stats()
+        rendered = format_cache_stats(service.cache_stats())
+        parsed = {}
+        for line in rendered.splitlines():
+            key, _, value = line.partition(": ")
+            parsed[key] = int(value.replace(",", ""))
+        assert parsed == over_http
+        for counter in ("persistent_hits", "persistent_misses",
+                        "persistent_evictions"):
+            assert counter in parsed
+
+
+def build_soak_schedules():
+    """Deterministic per-thread op schedules.  Each thread owns its
+    private output documents (so mutations cannot interact across
+    threads) and also queries the shared immutable ``base`` document —
+    mixed reads and writes, replayable serially."""
+    schedules = []
+    for thread in range(SOAK_THREADS):
+        ops = []
+        private = f"out{thread}"
+        ops.append(("integrate", "a", "b", private))
+        for index in range(SOAK_REQUESTS):
+            kind = index % 4
+            if kind == 0:
+                ops.append(("query", "base", QUERIES[index % len(QUERIES)]))
+            elif kind == 1:
+                ops.append(("query", private, QUERIES[index % len(QUERIES)]))
+            elif kind == 2:
+                ops.append(("feedback", private, "//person/tel", "1111"))
+            else:
+                ops.append(("batch", "base", QUERIES))
+        schedules.append(ops)
+    return schedules
+
+
+def run_schedule_http(client, ops):
+    results = []
+    for op in ops:
+        if op[0] == "query":
+            results.append(shape(client.query(op[1], op[2])))
+        elif op[0] == "batch":
+            results.append([shape(a) for a in client.batch(op[1], op[2])])
+        elif op[0] == "feedback":
+            step = client.feedback(op[1], op[2], op[3], correct=True)
+            results.append((step["kind"], step["prior"], step["worlds_after"]))
+        elif op[0] == "integrate":
+            report = client.integrate(op[1], op[2], op[3])
+            results.append((report["total_nodes"], report["world_count"]))
+    return results
+
+
+def run_schedule_serial(service, ops):
+    from repro.experiments import standard_rules
+
+    results = []
+    for op in ops:
+        if op[0] == "query":
+            results.append(shape(service.query(op[1], op[2])))
+        elif op[0] == "batch":
+            results.append([shape(a) for a in service.run_batch(op[1], op[2])])
+        elif op[0] == "feedback":
+            step = service.feedback(op[1], op[2], op[3], correct=True)
+            results.append((step.kind, step.prior, step.worlds_after))
+        elif op[0] == "integrate":
+            report = service.integrate(
+                op[1], op[2], op[3], rules=standard_rules()
+            )
+            results.append((report.total_nodes, report.world_count))
+    return results
+
+
+def populate_soak(service):
+    book_a, book_b = addressbook_documents()
+    service.load_document("a", book_a)
+    service.load_document("b", book_b)
+    from repro.experiments import standard_rules
+
+    service.integrate("a", "b", "base", rules=standard_rules())
+
+
+class TestConcurrencySoak:
+    def test_soak_matches_serial_and_terminates(self, tmp_path):
+        """Acceptance: N threads × M mixed requests against one live
+        server are Fraction-identical to a serial in-process replay and
+        finish within the timeout (deadlock guard)."""
+        schedules = build_soak_schedules()
+
+        # Serial reference over its own store (no server involved).
+        with DataspaceService(
+            directory=tmp_path / "serial-store", cache_dir=tmp_path / "serial-cache"
+        ) as serial_service:
+            populate_soak(serial_service)
+            expected = [
+                run_schedule_serial(serial_service, ops) for ops in schedules
+            ]
+
+        # Live server over a separate, identically-populated store.
+        with DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        ) as service:
+            populate_soak(service)
+            app = ServerApp(service)
+            with BackgroundServer(app) as background:
+                host, port = background.server.host, background.server.port
+
+                def worker(ops):
+                    # One client (one connection) per thread.
+                    with DataspaceClient(host, port, timeout=SOAK_TIMEOUT) as client:
+                        return run_schedule_http(client, ops)
+
+                start = time.monotonic()
+                with ThreadPoolExecutor(max_workers=SOAK_THREADS) as pool:
+                    futures = [pool.submit(worker, ops) for ops in schedules]
+                    actual = [
+                        future.result(timeout=SOAK_TIMEOUT) for future in futures
+                    ]
+                elapsed = time.monotonic() - start
+            app.close()
+
+        assert elapsed < SOAK_TIMEOUT
+        assert actual == expected
+
+
+class ServerProcess:
+    """An ``imprecise serve --http`` subprocess bound to an ephemeral
+    port (parsed from its startup line)."""
+
+    def __init__(self, store: Path, cache: Path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(store),
+                "--cache-dir", str(cache), "--http", "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        line = self.proc.stdout.readline().strip()
+        assert line.startswith("serving on http://"), (
+            line or self.proc.stderr.read()
+        )
+        self.port = int(line.rsplit(":", 1)[1])
+
+    def stop(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.communicate()
+            raise
+        return self.proc.returncode
+
+    def __enter__(self) -> "ServerProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.proc.poll() is None:
+            self.stop()
+
+
+class TestSequentialServerProcesses:
+    def test_second_process_serves_warm_fraction_identical(self, tmp_path):
+        """The PR's acceptance end-to-end, entirely over HTTP: process
+        one integrates and prices a workload; process two (same
+        --cache-dir) serves the identical Fractions with persistent
+        hits > 0 and no engine ever built."""
+        store, cache = tmp_path / "store", tmp_path / "cache"
+        book_a, book_b = addressbook_documents()
+
+        with ServerProcess(store, cache) as first:
+            client = DataspaceClient("127.0.0.1", first.port)
+            client.load("a", serialize(book_a))
+            client.load("b", serialize(book_b))
+            client.integrate("a", "b", "ab")
+            cold = {query: shape(client.query("ab", query)) for query in QUERIES}
+            cold_stats = client.stats()
+            client.close()
+            assert first.stop() == 0
+        assert cold_stats["persistent_stored"] == len(QUERIES)
+
+        with ServerProcess(store, cache) as second:
+            client = DataspaceClient("127.0.0.1", second.port)
+            warm = {query: shape(client.query("ab", query)) for query in QUERIES}
+            warm_stats = client.stats()
+            client.close()
+            assert second.stop() == 0
+
+        assert warm == cold  # Fraction-identical across processes
+        assert warm_stats["persistent_hits"] >= len(QUERIES)
+        assert warm_stats["persistent_stored"] == 0
+        assert warm_stats["engines"] == 0  # answers came straight from disk
+
+    def test_graceful_shutdown_exits_zero(self, tmp_path):
+        with ServerProcess(tmp_path / "store", tmp_path / "cache") as server:
+            client = DataspaceClient("127.0.0.1", server.port)
+            assert client.healthz()["status"] == "ok"
+            client.close()
+            assert server.stop() == 0

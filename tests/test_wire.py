@@ -1,0 +1,272 @@
+"""Property-based round-trip tests for the exact-Fraction wire format.
+
+Stdlib-only "property testing": a seeded :class:`random.Random` drives
+thousands of generated Fractions, count distributions and ranked-answer
+payloads through ``encode → json → decode`` and asserts bit-identity.
+The seed is fixed, so a failure reproduces deterministically; crank
+``WIRE_CASES`` up locally for a deeper sweep.
+"""
+
+import json
+import math
+import os
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.dbms.cache_store import _decode_answer, _encode_answer
+from repro.errors import WireFormatError
+from repro.feedback.conditioning import FeedbackStep
+from repro.pxml.stats import NodeStats
+from repro.query.ranking import RankedAnswer, RankedItem
+from repro.server import wire
+
+#: Fractions per property sweep (distributions/answers derive from it).
+WIRE_CASES = int(os.environ.get("WIRE_CASES", "2000"))
+
+RNG_SEED = 0x1337
+
+
+def random_fraction(rng: random.Random) -> Fraction:
+    """Probability-shaped and adversarial Fractions alike: tiny, huge
+    (hundreds of digits), negative, integral, and exact-float values."""
+    shape = rng.randrange(6)
+    if shape == 0:  # plain small probability
+        denominator = rng.randrange(1, 1000)
+        return Fraction(rng.randrange(0, denominator + 1), denominator)
+    if shape == 1:  # huge numerator/denominator (SQLite/JSON carry strings)
+        bits = rng.randrange(64, 1024)
+        return Fraction(rng.getrandbits(bits), rng.getrandbits(bits) + 1)
+    if shape == 2:  # negative (the format is general, not probability-only)
+        return Fraction(-rng.getrandbits(48), rng.getrandbits(48) + 1)
+    if shape == 3:  # integral values keep their /1 denominator
+        return Fraction(rng.randrange(-5, 6))
+    if shape == 4:  # exact binary floats (the decay the format prevents)
+        return Fraction(rng.random()).limit_denominator(10**12)
+    # products of many small factors — the Shannon-expansion shape
+    value = Fraction(1)
+    for _ in range(rng.randrange(1, 12)):
+        denominator = rng.randrange(1, 30)
+        value *= Fraction(rng.randrange(0, denominator + 1), denominator)
+    return value
+
+
+def random_value(rng: random.Random) -> str:
+    """Answer values: ASCII, unicode (CJK/emoji/combining), JSON-hostile
+    quotes/backslashes/control characters, empty strings."""
+    alphabets = [
+        "abcdefghijklmnopqrstuvwxyz0123456789 _-",
+        "äöüßéèêñçживётフランス語中文字汉字",
+        "\"\\'/<>&{}[]:,\n\t\r",
+        "😀🎬🍿⭐🔬",
+    ]
+    pieces = []
+    for _ in range(rng.randrange(0, 12)):
+        alphabet = rng.choice(alphabets)
+        pieces.append(rng.choice(alphabet))
+    return "".join(pieces)
+
+
+def random_answer(rng: random.Random) -> RankedAnswer:
+    values = set()
+    items = []
+    for _ in range(rng.randrange(0, 12)):
+        value = random_value(rng)
+        if value in values:
+            continue  # RankedAnswer values are distinct by construction
+        values.add(value)
+        probability = abs(random_fraction(rng))
+        items.append(RankedItem(value, probability, rng.randrange(1, 5)))
+    return RankedAnswer(items)
+
+
+def random_distribution(rng: random.Random) -> dict:
+    return {
+        count: abs(random_fraction(rng))
+        for count in rng.sample(range(0, 10**6), rng.randrange(0, 20))
+    }
+
+
+class TestFractionRoundTrip:
+    def test_thousands_of_fractions(self):
+        rng = random.Random(RNG_SEED)
+        for _ in range(WIRE_CASES):
+            value = random_fraction(rng)
+            encoded = wire.encode_fraction(value)
+            # Survives a real JSON hop (string in, string out).
+            hopped = json.loads(json.dumps(encoded))
+            decoded = wire.decode_fraction(hopped)
+            assert decoded == value
+            assert isinstance(decoded, Fraction)
+            # Exactness, not closeness: numerator/denominator identity.
+            assert (decoded.numerator, decoded.denominator) == (
+                value.numerator,
+                value.denominator,
+            )
+
+    def test_canonical_form_is_reduced(self):
+        assert wire.encode_fraction(Fraction(2, 4)) == "1/2"
+        assert wire.encode_fraction(Fraction(3)) == "3/1"
+        assert wire.decode_fraction("2/4") == Fraction(1, 2)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ["", "1", "1/", "/2", "a/b", "1/0", "1.5/2", "1/2/3", "0x1/2",
+         "1 /2", "∞/1", None, 0.5, ["1", "2"], {"n": 1, "d": 2}],
+    )
+    def test_malformed_fraction_raises(self, garbage):
+        with pytest.raises(WireFormatError):
+            wire.decode_fraction(garbage)
+
+
+class TestAnswerRoundTrip:
+    def test_hundreds_of_answers(self):
+        rng = random.Random(RNG_SEED + 1)
+        for _ in range(max(WIRE_CASES // 5, 50)):
+            answer = random_answer(rng)
+            payload = json.loads(json.dumps(wire.encode_answer(answer)))
+            decoded = wire.decode_answer(payload)
+            assert [
+                (item.value, item.probability, item.occurrences)
+                for item in decoded.items
+            ] == [
+                (item.value, item.probability, item.occurrences)
+                for item in answer.items
+            ]
+
+    def test_order_survives(self):
+        """RankedAnswer orders by (-probability, value); the wire keeps
+        that order so a decoded answer ranks identically."""
+        rng = random.Random(RNG_SEED + 2)
+        for _ in range(200):
+            answer = random_answer(rng)
+            decoded = wire.decode_answer(wire.encode_answer(answer))
+            assert decoded.values() == answer.values()
+
+    def test_cache_store_payload_is_the_same_format(self):
+        """The persistent cache rows and the HTTP wire share one
+        encoding — a row payload decodes through the wire module and
+        vice versa."""
+        rng = random.Random(RNG_SEED + 3)
+        for _ in range(100):
+            answer = random_answer(rng)
+            row = _encode_answer(answer)                  # cache row text
+            via_wire = wire.decode_answer(json.loads(row))
+            via_store = _decode_answer(json.dumps(wire.encode_answer(answer)))
+            for decoded in (via_wire, via_store):
+                assert [
+                    (item.value, item.probability, item.occurrences)
+                    for item in decoded.items
+                ] == [
+                    (item.value, item.probability, item.occurrences)
+                    for item in answer.items
+                ]
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            None,
+            "items",
+            {"items": []},
+            [["only-two", "1/2"]],
+            [["v", "1/2", 1, "extra"]],
+            [[1, "1/2", 1]],            # non-string value
+            [["v", 0.5, 1]],            # float probability
+            [["v", "1/2", "1"]],        # non-int occurrences
+            [["v", "1/2", True]],       # bool is not an occurrence count
+        ],
+    )
+    def test_malformed_answer_raises(self, garbage):
+        with pytest.raises(WireFormatError):
+            wire.decode_answer(garbage)
+
+
+class TestDistributionRoundTrip:
+    def test_hundreds_of_distributions(self):
+        rng = random.Random(RNG_SEED + 4)
+        for _ in range(max(WIRE_CASES // 5, 50)):
+            distribution = random_distribution(rng)
+            payload = json.loads(json.dumps(wire.encode_distribution(distribution)))
+            decoded = wire.decode_distribution(payload)
+            assert decoded == distribution
+            # Counts stay ints (no "2" vs 2 decay through JSON objects).
+            assert all(isinstance(count, int) for count in decoded)
+
+    def test_encoded_form_is_sorted(self):
+        encoded = wire.encode_distribution(
+            {3: Fraction(1, 4), 1: Fraction(1, 2), 2: Fraction(1, 4)}
+        )
+        assert [entry[0] for entry in encoded] == [1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            None,
+            {"1": "1/2"},
+            [[1, "1/2"], [1, "1/3"]],   # duplicate count
+            [["1", "1/2"]],             # string count
+            [[1.0, "1/2"]],             # float count
+            [[1]],
+        ],
+    )
+    def test_malformed_distribution_raises(self, garbage):
+        with pytest.raises(WireFormatError):
+            wire.decode_distribution(garbage)
+
+
+class TestStructRoundTrip:
+    def test_node_stats(self):
+        rng = random.Random(RNG_SEED + 5)
+        for _ in range(200):
+            stats = NodeStats(
+                probability_nodes=rng.randrange(10**6),
+                possibility_nodes=rng.randrange(10**6),
+                element_nodes=rng.randrange(10**6),
+                text_nodes=rng.randrange(10**6),
+                choice_points=rng.randrange(10**4),
+                max_branching=rng.randrange(1, 100),
+                world_count=rng.randrange(1, 10**12),
+            )
+            payload = json.loads(json.dumps(wire.encode_node_stats(stats)))
+            assert payload["total"] == stats.total
+            assert wire.decode_node_stats(payload) == stats
+
+    def test_feedback_step(self):
+        rng = random.Random(RNG_SEED + 6)
+        for _ in range(200):
+            step = FeedbackStep(
+                kind=rng.choice(["confirm", "reject"]),
+                expression="//person/tel",
+                value=random_value(rng),
+                prior=abs(random_fraction(rng)),
+                nodes_before=rng.randrange(10**6),
+                nodes_after=rng.randrange(10**6),
+                worlds_before=rng.randrange(1, 10**9),
+                worlds_after=rng.randrange(1, 10**9),
+            )
+            payload = json.loads(json.dumps(wire.encode_feedback_step(step)))
+            assert wire.decode_feedback_step(payload) == step
+
+    @pytest.mark.parametrize("codec", ["node_stats", "feedback_step"])
+    def test_missing_fields_raise(self, codec):
+        decode = getattr(wire, f"decode_{codec}")
+        with pytest.raises(WireFormatError):
+            decode({})
+        with pytest.raises(WireFormatError):
+            decode(None)
+
+
+def test_sweep_is_not_degenerate():
+    """The generators actually cover the interesting regions (guards the
+    property tests against silently shrinking)."""
+    rng = random.Random(RNG_SEED)
+    fractions = [random_fraction(rng) for _ in range(1000)]
+    assert any(value < 0 for value in fractions)
+    assert any(value.denominator == 1 for value in fractions)
+    assert any(value.denominator > 10**18 for value in fractions)
+    assert any(math.gcd(value.numerator, value.denominator) == 1 and
+               value.numerator > 10**18 for value in fractions)
+    values = [random_value(rng) for _ in range(500)]
+    assert any('"' in value or "\\" in value for value in values)
+    assert any(any(ord(ch) > 0x2000 for ch in value) for value in values)
