@@ -26,7 +26,7 @@ from repro.pxml.events_cache import EventProbabilityCache
 from repro.pxml.worlds import world_count
 from repro.query.engine import ProbQueryEngine, QueryEngine, query_enumeration
 
-from .conftest import format_table, write_result
+from .conftest import format_table, write_bench_json, write_result
 
 
 def _different_names_differ(a, b, context):
@@ -184,6 +184,19 @@ def test_cached_vs_uncached_repeated_workload():
             ],
         )
         + f"\ncache stats: {cache.stats()}",
+    )
+    write_bench_json(
+        "ablation_query_cache",
+        {
+            "workload": "repeated_query_workload",
+            "queries": len(WORKLOAD),
+            "rounds": REPEATS,
+            "uncached_seconds": uncached_time,
+            "cached_seconds": cached_time,
+            "speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+            "cache_stats": cache.stats(),
+        },
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"cache speedup {speedup:.1f}× below the {SPEEDUP_FLOOR}× acceptance"

@@ -24,7 +24,7 @@ from repro.core.rules import Decision, DeepEqualRule, LeafValueRule, PredicateRu
 from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
 from repro.dbms.service import DataspaceService
 
-from .conftest import format_table, write_result
+from .conftest import format_table, write_bench_json, write_result
 
 #: Acceptance floor for warm (persisted-cache) vs cold start.  Locally
 #: the measured ratio is orders of magnitude above 3× (SQLite lookups vs
@@ -138,6 +138,20 @@ def test_warm_start_vs_cold_start(tmp_path):
             ],
         )
         + f"\ncold stats: {cold_stats}\nwarm stats: {warm_stats}",
+    )
+    write_bench_json(
+        "persistent_cache",
+        {
+            "workload": "warm_restart_vs_cold_start",
+            "queries": len(WORKLOAD),
+            "rounds": ROUNDS,
+            "cold_seconds": cold_time,
+            "warm_seconds": warm_time,
+            "speedup": speedup,
+            "floor": WARM_SPEEDUP_FLOOR,
+            "cold_stats": cold_stats,
+            "warm_stats": warm_stats,
+        },
     )
     assert speedup >= WARM_SPEEDUP_FLOOR, (
         f"warm-start speedup {speedup:.1f}× below the"

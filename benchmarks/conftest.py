@@ -4,10 +4,20 @@ Every benchmark regenerates one of the paper's tables or figures and
 records the paper-reported value next to the measured one; the rendered
 tables land in ``benchmarks/results/*.txt`` (and on stdout when pytest
 runs with ``-s``) so EXPERIMENTS.md can quote them.
+
+Performance-acceptance benchmarks additionally emit a machine-readable
+trajectory file per workload — ``benchmarks/results/BENCH_<name>.json``
+via :func:`write_bench_json` — carrying the measured wall times, op
+counts and the speedup against the asserted floor.  CI uploads these as
+artifacts, so the perf trajectory is tracked across PRs instead of
+living only in transient job logs.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -21,6 +31,32 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n--- {name} ---\n{text}")
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's machine-readable trajectory record.
+
+    ``payload`` is the benchmark's own schema (timings, op counts,
+    speedups, asserted floors — numbers, strings and nested dicts/lists
+    only); this helper stamps the shared envelope (benchmark name, UTC
+    timestamp, interpreter) so records from different PRs line up.
+    Exact Fractions must be stringified by the caller (JSON has no
+    rational type — going through float would defeat the point).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "bench": name,
+        "unix_time": round(time.time(), 3),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\n--- BENCH_{name}.json ---\n{json.dumps(record, sort_keys=True)}")
     return path
 
 

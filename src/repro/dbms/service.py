@@ -376,17 +376,20 @@ class DataspaceService:
         memory_entries = 0
         memory_hits = 0
         memory_misses = 0
+        memory_evictions = 0
         for _, (_, engine) in engines:
             counters = engine.cache_stats()
             memory_entries += counters.get("entries", 0)
             memory_hits += counters.get("hits", 0)
             memory_misses += counters.get("misses", 0)
+            memory_evictions += counters.get("evictions", 0)
         stats.update(
             {
                 "engines": len(engines),
                 "memory_entries": memory_entries,
                 "memory_hits": memory_hits,
                 "memory_misses": memory_misses,
+                "memory_evictions": memory_evictions,
             }
         )
         return stats

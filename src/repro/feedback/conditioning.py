@@ -25,7 +25,8 @@ from typing import Optional, Union
 
 from ..errors import FeedbackError
 from ..probability import ONE, ZERO
-from ..pxml.events import Event, FALSE_EVENT, TRUE_EVENT, negate
+from ..pxml.events import Event, FALSE_EVENT, TRUE_EVENT, negate, pivot_variable
+from ..pxml.events_cache import cache_for
 from ..pxml.model import (
     PXDocument,
     PXElement,
@@ -102,33 +103,17 @@ def _satisfying_branches(
             return
         if current is FALSE_EVENT:
             return
-        registry: dict[int, ProbNode] = {}
-        _collect(current, registry)
-        from ..pxml.events import _count_occurrences
-
-        counts: dict[int, int] = {}
-        _count_occurrences(current, counts)
-        # Most-mentioned variable first (same rationale as
-        # event_probability): shared top-level choices collapse branches.
-        uid = max(registry, key=lambda c: (counts.get(c, 0), -c))
-        node = registry[uid]
+        # Most-mentioned variable first (same rationale as the kernel's
+        # Shannon pivot): shared top-level choices collapse branches.
+        # The pivot reads the counts cached on the interned event — no
+        # per-step tree rescans.
+        uid, node = pivot_variable(current)
         for index, possibility in enumerate(node.possibilities):
             if possibility.prob == 0:
                 continue
             assignment[uid] = index
             expand(current.assign(uid, index), assignment, weight * possibility.prob)
             del assignment[uid]
-
-    def _collect(current: Event, registry: dict[int, ProbNode]) -> None:
-        from ..pxml.events import And, Lit, Not, Or
-
-        if isinstance(current, Lit):
-            registry.setdefault(current.node.uid, current.node)
-        elif isinstance(current, Not):
-            _collect(current.operand, registry)
-        elif isinstance(current, (And, Or)):
-            for operand in current.operands:
-                _collect(operand, registry)
 
     expand(event, {}, ONE)
     return branches
@@ -332,9 +317,11 @@ class FeedbackSession:
             return step
         event, _ = events[value]
         before = tree_stats(self.document)
-        from ..pxml.events import event_probability
-
-        prior = event_probability(event)
+        # Price the prior through the document's shared cache: the answer
+        # event was just expanded by answer_events' consumers (or will be
+        # needed again by the next ranked() call), so feedback rides the
+        # same memo as querying.
+        prior = cache_for(self.document).probability(event)
         self.document = condition_on_event(
             self.document, event, observed=observed, compact=self.compact
         )

@@ -40,10 +40,13 @@ from .events import (
     all_of,
     any_of,
     event_probability,
+    interned_count,
     lit,
     none_of,
+    pivot_variable,
 )
 from .events_cache import (
+    DEFAULT_MAX_ENTRIES,
     EventProbabilityCache,
     cache_for,
     invalidate,
@@ -81,6 +84,9 @@ __all__ = [
     "any_of",
     "none_of",
     "event_probability",
+    "interned_count",
+    "pivot_variable",
+    "DEFAULT_MAX_ENTRIES",
     "EventProbabilityCache",
     "cache_for",
     "invalidate",

@@ -5,17 +5,26 @@ OR-of-occurrences event (:func:`repro.pxml.events.event_probability`).
 Distinct queries over one document keep re-deriving the same sub-events —
 the same persons, the same choice points, the same guarded conjunctions —
 so recomputing each query from scratch throws away almost all of the
-Shannon-expansion work.  This module provides the shared memo table that
+kernel's work.  This module provides the shared memo table that
 amortizes it:
 
 * :class:`EventProbabilityCache` — a keyed memo over ``event_probability``.
-  Keys are the *canonical forms* of events (``Event.key()`` — operand-
-  sorted, deduplicated, constant-folded by the simplifying constructors),
-  so structurally equal events built by different queries hash to the same
-  entry.  The memo is threaded straight into the Shannon expansion, which
-  means every **sub**-event conditioned along the way lands in the table
-  too; a later query whose events overlap resolves from the cache without
-  expanding at all.
+  Keys are the events' *interned canonical digests*
+  (:attr:`repro.pxml.events.Event.digest` — computed once at
+  construction; hash-consing makes structurally equal events built by
+  different queries carry the same digest), so a lookup is one bytes
+  hash, not a canonical-form serialization.  The memo is threaded
+  straight into the kernel, which means every **sub**-event decomposed or
+  conditioned along the way lands in the table too; a later query whose
+  events overlap resolves from the cache without expanding at all.
+  Digest keys also outlive the event objects themselves: an event can be
+  garbage-collected and rebuilt later, and it still hits.
+* a bounded memo: the table holds at most ``max_entries`` probabilities
+  (default :data:`DEFAULT_MAX_ENTRIES`); beyond that the oldest entries
+  are evicted (insertion order — the earliest-priced sub-events) and the
+  ``evictions`` counter advances.  The bound is enforced *between*
+  evaluations, so a single expansion may briefly overshoot; correctness
+  never depends on residency — an evicted entry is simply re-expanded.
 * :meth:`EventProbabilityCache.probabilities_of` — the bulk entry point
   for query batches.  Events are processed smallest-variable-set first so
   shared sub-events are expanded exactly once and every larger event's
@@ -47,17 +56,24 @@ from __future__ import annotations
 
 import weakref
 from fractions import Fraction
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from .events import Event, FALSE_EVENT, TRUE_EVENT, event_probability
 from .model import PXDocument
 
 __all__ = [
+    "DEFAULT_MAX_ENTRIES",
     "EventProbabilityCache",
     "cache_for",
     "invalidate",
     "registered_count",
 ]
+
+#: Default bound on memoized event probabilities per cache.  An entry is
+#: a 16-byte digest plus a Fraction — the default keeps a busy document's
+#: table in the tens of megabytes.  Pass ``max_entries=None`` for the
+#: pre-PR-4 unbounded behaviour.
+DEFAULT_MAX_ENTRIES = 250_000
 
 
 class EventProbabilityCache:
@@ -66,7 +82,11 @@ class EventProbabilityCache:
     One instance serves one probabilistic document (or one lifetime of
     it — see the invalidation rules in the module docstring).  The table
     is also the batch evaluator: :meth:`probabilities_of` orders a batch
-    so shared sub-events are factored out and computed once.
+    so shared sub-events are factored out and computed once.  The memo is
+    bounded by ``max_entries`` (oldest-first eviction, counted in
+    ``evictions``); the answer/aggregate side tables are not — they hold
+    one entry per distinct (plan, document) pair, which workloads bound
+    naturally.
 
     >>> from repro.pxml.build import certain_document
     >>> from repro.xmlkit.parser import parse_document
@@ -76,34 +96,47 @@ class EventProbabilityCache:
     True
     """
 
-    __slots__ = ("_memo", "_answers", "_aggregates", "hits", "misses")
+    __slots__ = (
+        "_memo",
+        "_answers",
+        "_aggregates",
+        "hits",
+        "misses",
+        "evictions",
+        "max_entries",
+    )
 
-    def __init__(self) -> None:
-        #: canonical event key -> exact probability; shared with (and
-        #: populated by) the Shannon expansion itself.
-        self._memo: dict[tuple, Fraction] = {}
+    def __init__(self, *, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        #: canonical digest -> exact probability; shared with (and
+        #: populated by) the kernel itself.
+        self._memo: dict[bytes, Fraction] = {}
         #: plan fingerprint -> answer-event map (see ProbQueryEngine).
         self._answers: dict[tuple, dict] = {}
         #: auxiliary memo for aggregate distributions (see aggregates.py).
         self._aggregates: dict[tuple, dict] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.max_entries = max_entries
 
     # -- probabilities ------------------------------------------------------
 
     def probability(self, event: Event) -> Fraction:
-        """Exact probability of ``event``, memoized on its canonical key."""
+        """Exact probability of ``event``, memoized on its digest."""
         if event is TRUE_EVENT:
             return Fraction(1)
         if event is FALSE_EVENT:
             return Fraction(0)
-        key = event.key()
-        cached = self._memo.get(key)
+        cached = self._memo.get(event.digest)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
-        return event_probability(event, _memo=self._memo)
+        result = event_probability(event, _memo=self._memo)
+        self._enforce_bound()
+        return result
 
     def probabilities_of(self, events: Sequence[Event]) -> list[Fraction]:
         """Bulk probabilities, aligned with ``events``.
@@ -116,21 +149,38 @@ class EventProbabilityCache:
         """
         order = sorted(
             range(len(events)),
-            key=lambda i: len(events[i].variables()),
+            key=lambda i: len(events[i].vars),
         )
         results: list[Optional[Fraction]] = [None] * len(events)
         for i in order:
             results[i] = self.probability(events[i])
         return results  # type: ignore[return-value]
 
+    def _enforce_bound(self) -> None:
+        """Evict oldest memo entries beyond ``max_entries``.  Called
+        between evaluations only, so an in-flight expansion always sees
+        every sub-result it just computed."""
+        cap = self.max_entries
+        if cap is None:
+            return
+        memo = self._memo
+        excess = len(memo) - cap
+        if excess <= 0:
+            return
+        iterator = iter(memo)
+        for digest in [next(iterator) for _ in range(excess)]:
+            del memo[digest]
+        self.evictions += excess
+
     # -- side tables --------------------------------------------------------
 
-    # Unlike the event memo (safe across documents: literal keys carry
-    # globally-unique choice uids), answer maps and aggregates are keyed
-    # by *query* structure, which is document-independent — so their keys
-    # are qualified with the document's root uid (also globally unique,
-    # never reused, unlike ``id()``).  A cache instance explicitly shared
-    # across documents then keeps each document's answers separate.
+    # Unlike the event memo (safe across documents: literal digests fold
+    # in globally-unique choice uids), answer maps and aggregates are
+    # keyed by *query* structure, which is document-independent — so
+    # their keys are qualified with the document's root uid (also
+    # globally unique, never reused, unlike ``id()``).  A cache instance
+    # explicitly shared across documents then keeps each document's
+    # answers separate.
 
     @staticmethod
     def _doc_key(document: PXDocument) -> int:
@@ -175,12 +225,14 @@ class EventProbabilityCache:
             "aggregates": len(self._aggregates),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:
         return (
             f"EventProbabilityCache(entries={len(self._memo)},"
-            f" hits={self.hits}, misses={self.misses})"
+            f" hits={self.hits}, misses={self.misses},"
+            f" evictions={self.evictions})"
         )
 
 

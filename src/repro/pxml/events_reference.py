@@ -1,0 +1,100 @@
+"""The pre-PR-4 probability kernel, kept as a differential oracle.
+
+:func:`expansion_probability` is the exact Shannon-expansion algorithm the
+repository shipped through PR 3: recursive conditioning on the most
+frequently mentioned variable, memoized on the canonical event key, with
+a full-tree rescan per recursion step to collect variables and occurrence
+counts (the costs the PR-4 kernel eliminates).  It is *semantically*
+identical to :func:`repro.pxml.events.event_probability` — the test suite
+asserts Fraction-identical results on randomized events, and
+``benchmarks/bench_event_kernel.py`` uses it as the speedup baseline.
+
+Being recursive, it inherits the old limitations on purpose: events
+nested deeper than Python's recursion limit raise ``RecursionError``, and
+OR-of-independent-conjunction shapes pay the full expansion.  Do not use
+it outside tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..errors import ProbabilityError
+from ..probability import ONE, ZERO
+from .events import And, Event, FALSE_EVENT, Lit, Not, Or, TRUE_EVENT
+from .model import ProbNode
+
+__all__ = ["expansion_probability"]
+
+
+def _collect_nodes(event: Event, registry: dict[int, ProbNode]) -> None:
+    if isinstance(event, Lit):
+        registry.setdefault(event.node.uid, event.node)
+    elif isinstance(event, Not):
+        _collect_nodes(event.operand, registry)
+    elif isinstance(event, (And, Or)):
+        for op in event.operands:
+            _collect_nodes(op, registry)
+
+
+def _count_occurrences(event: Event, counts: dict[int, int]) -> None:
+    if isinstance(event, Lit):
+        counts[event.node.uid] = counts.get(event.node.uid, 0) + 1
+    elif isinstance(event, Not):
+        _count_occurrences(event.operand, counts)
+    elif isinstance(event, (And, Or)):
+        for op in event.operands:
+            _count_occurrences(op, counts)
+
+
+def _key_of(event: Event, keys: dict[Event, tuple]) -> tuple:
+    """Per-run canonical-key cache, standing in for the lazy per-node
+    ``_key`` attribute the PR-3 event classes carried (events are interned
+    now, so an identity-keyed dict is an exact equivalent)."""
+    key = keys.get(event)
+    if key is None:
+        key = event.key()
+        keys[event] = key
+    return key
+
+
+def expansion_probability(
+    event: Event,
+    *,
+    _memo: Optional[dict[tuple, Fraction]] = None,
+    _keys: Optional[dict[Event, tuple]] = None,
+) -> Fraction:
+    """Exact probability by pure recursive Shannon expansion (the PR-3
+    kernel): condition on the most frequently mentioned variable (ties by
+    uid), recurse on each possibility, combine with that possibility's
+    probability.  Memoized on the canonical event key."""
+    if event is TRUE_EVENT:
+        return ONE
+    if event is FALSE_EVENT:
+        return ZERO
+    memo = _memo if _memo is not None else {}
+    keys = _keys if _keys is not None else {}
+    key = _key_of(event, keys)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    registry: dict[int, ProbNode] = {}
+    _collect_nodes(event, registry)
+    if not registry:
+        raise ProbabilityError(f"non-constant event without variables: {event!r}")
+    counts: dict[int, int] = {}
+    _count_occurrences(event, counts)
+    uid = max(registry, key=lambda candidate: (counts.get(candidate, 0), -candidate))
+    node = registry[uid]
+    total = ZERO
+    for index, possibility in enumerate(node.possibilities):
+        if possibility.prob == 0:
+            continue
+        conditioned = event.assign(uid, index)
+        total += possibility.prob * expansion_probability(
+            conditioned, _memo=memo, _keys=keys
+        )
+    memo[key] = total
+    return total

@@ -138,9 +138,14 @@ class Possibility:
 
 
 class ProbNode:
-    """A choice point (▽); children are mutually exclusive possibilities."""
+    """A choice point (▽); children are mutually exclusive possibilities.
 
-    __slots__ = ("uid", "possibilities")
+    Weak-referenceable so the event algebra's uid → node registry
+    (:mod:`repro.pxml.events`) can resolve Shannon pivots without keeping
+    dead documents alive.
+    """
+
+    __slots__ = ("uid", "possibilities", "__weakref__")
 
     def __init__(self, possibilities: Optional[Sequence[Possibility]] = None):
         self.uid: int = next(_UID_COUNTER)

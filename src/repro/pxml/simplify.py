@@ -13,7 +13,9 @@ Passes:
 * ``merge_duplicates`` — merge structurally identical sibling
   possibilities, summing their probabilities;
 * ``factor_common`` — move children that occur (deep-equally) in every
-  possibility of a choice out into their own certain probability node;
+  possibility of a choice out into their own certain probability node
+  (skipped for choices with top-level text: extraction would reorder
+  elements relative to text runs and change what worlds see);
 * ``collapse_trivial`` — splice nested certain single-text/element wrappers
   produced by the other passes (merging a probability node whose single
   possibility holds elements into a flat form is already the certain
@@ -35,6 +37,7 @@ from .model import (
     Possibility,
     ProbNode,
     _content_keys,
+    _yields_top_text,
     px_canonical_key,
 )
 
@@ -175,19 +178,33 @@ def _simplify_child(
 
 def _factor_common(children: list[ProbNode], report: SimplifyReport) -> list[ProbNode]:
     """For each uncertain probability node, move children that appear
-    (deep-equally) in *every* possibility out into certain siblings."""
+    (deep-equally) in *every* possibility out into certain siblings.
+
+    Nodes whose possibilities carry top-level text are left alone:
+    extracting an element from a mixed-content possibility would reorder
+    it relative to that text, and text-run concatenation order is
+    semantically meaningful (it is what worlds see) — factoring there
+    would change the distribution over worlds.  Pure element content is
+    order-insensitive (the library's deep-equal semantics), so the move
+    is sound exactly when no possibility can contribute text at this
+    level.
+    """
     result: list[ProbNode] = []
+    # One canonical key per distinct child per pass: _common_child_keys
+    # and _remove_by_keys both need the keys, and px_canonical_key is a
+    # full-subtree serialization — compute it once, not once per use.
+    key_memo: dict[int, tuple] = {}
     for prob_node in children:
-        if len(prob_node.possibilities) <= 1:
+        if len(prob_node.possibilities) <= 1 or _yields_top_text(prob_node):
             result.append(prob_node)
             continue
-        common = _common_child_keys(prob_node.possibilities)
+        common = _common_child_keys(prob_node.possibilities, key_memo)
         if not common:
             result.append(prob_node)
             continue
         extracted: list[PXChild] = []
         for possibility in prob_node.possibilities:
-            removed = _remove_by_keys(possibility, dict(common))
+            removed = _remove_by_keys(possibility, dict(common), key_memo)
             if not extracted:
                 extracted = removed
         for item in extracted:
@@ -198,7 +215,17 @@ def _factor_common(children: list[ProbNode], report: SimplifyReport) -> list[Pro
     return result
 
 
-def _common_child_keys(possibilities: list[Possibility]) -> dict[tuple, int]:
+def _child_key(child: PXChild, key_memo: dict[int, tuple]) -> tuple:
+    key = key_memo.get(id(child))
+    if key is None:
+        key = px_canonical_key(child)
+        key_memo[id(child)] = key
+    return key
+
+
+def _common_child_keys(
+    possibilities: list[Possibility], key_memo: dict[int, tuple]
+) -> dict[tuple, int]:
     """Multiset intersection of *element* child keys across possibilities.
 
     Text children are never factored: their concatenation order is
@@ -217,7 +244,7 @@ def _common_child_keys(possibilities: list[Possibility]) -> dict[tuple, int]:
                 continue
             if child.node_count() * threshold_copies <= 2:
                 continue
-            key = px_canonical_key(child)
+            key = _child_key(child, key_memo)
             counts[key] = counts.get(key, 0) + 1
         if common is None:
             common = counts
@@ -233,14 +260,14 @@ def _common_child_keys(possibilities: list[Possibility]) -> dict[tuple, int]:
 
 
 def _remove_by_keys(
-    possibility: Possibility, budget: dict[tuple, int]
+    possibility: Possibility, budget: dict[tuple, int], key_memo: dict[int, tuple]
 ) -> list[PXChild]:
     """Remove up to ``budget[key]`` children matching each key; return the
     removed children (used as the extracted representatives)."""
     removed: list[PXChild] = []
     kept: list[PXChild] = []
     for child in possibility.children:
-        key = px_canonical_key(child)
+        key = _child_key(child, key_memo)
         if budget.get(key, 0) > 0:
             budget[key] -= 1
             removed.append(child)

@@ -34,6 +34,17 @@ CountDistribution = dict[int, Fraction]
 
 
 def _convolve(a: CountDistribution, b: CountDistribution) -> CountDistribution:
+    # Point-mass factors are the overwhelmingly common case (certain
+    # subtrees contribute {k: 1}); shifting the other factor's keys skips
+    # the quadratic loop and the Fraction multiplications by one.
+    if len(a) == 1:
+        (count_a, prob_a), = a.items()
+        if prob_a == ONE:
+            return {count_a + count_b: prob_b for count_b, prob_b in b.items()}
+    if len(b) == 1:
+        (count_b, prob_b), = b.items()
+        if prob_b == ONE:
+            return {count_a + count_b: prob_a for count_a, prob_a in a.items()}
     result: CountDistribution = {}
     for count_a, prob_a in a.items():
         for count_b, prob_b in b.items():
@@ -138,10 +149,11 @@ def count_distribution(
 
     Results are memoized in the document's shared
     :class:`~repro.pxml.events_cache.EventProbabilityCache` (same table
-    the query engine uses, same invalidation rules), so repeated
-    aggregate queries — dashboards polling the same counts — cost one
-    convolution per document lifetime.  Pass ``use_cache=False`` to
-    force recomputation.
+    the query engine uses, same invalidation rules; distributions live
+    in the aggregate side table, which the memo's entry bound does not
+    evict), so repeated aggregate queries — dashboards polling the same
+    counts — cost one convolution per document lifetime.  Pass
+    ``use_cache=False`` to force recomputation.
 
     >>> from repro.pxml import certain_document
     >>> from repro.xmlkit import parse_document

@@ -139,10 +139,21 @@ def approximate_query(
 
         engine = ProbQueryEngine(document, cache=cache)
         events = engine.answer_events(expression)
+        # One bulk pricing pass over the head of the ranking: the shared
+        # cache orders it smallest-event-first, so the top-k occurrence
+        # events factor through each other instead of re-expanding per
+        # value (and land in the document's memo for the next caller).
+        head = [
+            item for item in items[:exact_top] if item.value in events
+        ]
+        exact_probs = engine.probabilities([events[item.value][0] for item in head])
+        exact_by_value = {
+            item.value: prob for item, prob in zip(head, exact_probs)
+        }
         refined = []
         for rank, item in enumerate(items):
-            if rank < exact_top and item.value in events:
-                exact = engine.answer_probability(expression, item.value)
+            exact = exact_by_value.get(item.value) if rank < exact_top else None
+            if exact is not None:
                 refined.append(
                     ApproximateItem(item.value, float(exact), 0.0, item.hits, True)
                 )

@@ -6,6 +6,10 @@ the corresponding choice literal, so each visited node carries the *event*
 of its existence.  Predicates compile to events too; the probability that
 a value belongs to the answer is then the exact probability of an
 OR-of-occurrences event (:func:`repro.pxml.events.event_probability`).
+Events are hash-consed (:mod:`repro.pxml.events`): the conjunctions this
+traversal builds at every step intern to canonical instances, so the
+events of overlapping paths share structure, carry precomputed
+variable/occurrence metadata, and hit the probability memo by digest.
 
 Supported probabilistically (a superset of both §VI paper queries):
 child/descendant/self/parent/attribute axes, name/text()/node() tests,
@@ -26,7 +30,7 @@ Two layers of amortization (both per document, both exact):
 * every event probability goes through the document's shared
   :class:`~repro.pxml.events_cache.EventProbabilityCache`, so sub-events
   common across queries (and across engines over the same document) are
-  Shannon-expanded once.
+  expanded once and resolve by interned digest afterwards.
 
 Construct with ``use_cache=False`` for the uncached reference behaviour
 (``cache=None`` is the default and means "use the document's shared
@@ -207,10 +211,17 @@ class ProbQueryEngine:
             return self.cache.probability(event)
         return event_probability(event)
 
-    def _probabilities(self, events: Sequence[Event]) -> list[Fraction]:
+    def probabilities(self, events: Sequence[Event]) -> list[Fraction]:
+        """Bulk exact probabilities, aligned with ``events`` — one pass
+        through the shared cache (smallest-event-first factoring) when
+        caching is enabled.  The public entry point for consumers that
+        price many events of one document (ranking, approximate top-k)."""
         if self.cache is not None:
             return self.cache.probabilities_of(events)
         return [event_probability(event) for event in events]
+
+    # Backwards-compatible internal alias.
+    _probabilities = probabilities
 
     def _compute_answer_events(
         self, plan: QueryPlan

@@ -98,7 +98,8 @@ def ranked_from_events(
     (the shape of ``ProbQueryEngine.answer_events``); ``probabilities_of``
     prices all events in one bulk call — engines pass their document's
     shared :class:`~repro.pxml.events_cache.EventProbabilityCache` here so
-    ranking rides the same memo as every other consumer."""
+    ranking rides the same digest-keyed memo as every other consumer of
+    the hash-consed event algebra."""
     events = [event for event, _ in contributions.values()]
     return ranked_from_probabilities(contributions, probabilities_of(events))
 
