@@ -77,12 +77,16 @@ from .core import (
 )
 from .pxml import EventProbabilityCache, cache_for
 from .query import (
+    AggregateSpec,
     ProbQueryEngine,
     QueryEngine,
     QueryPlan,
     RankedAnswer,
+    aggregate_distribution,
     answer_quality,
+    compile_aggregate,
     compile_plan,
+    count_distribution,
     query_enumeration,
 )
 from .feedback import FeedbackSession
@@ -157,6 +161,10 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "compile_plan",
+    "AggregateSpec",
+    "compile_aggregate",
+    "aggregate_distribution",
+    "count_distribution",
     "EventProbabilityCache",
     "cache_for",
     "RankedAnswer",

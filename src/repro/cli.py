@@ -6,6 +6,8 @@ Subcommands::
     imprecise query out.pxml '//movie[.//genre="Horror"]/title'
     imprecise query out.pxml --batch '//movie/title' '//movie/year'
     imprecise query out.pxml --queries-file workload.txt --cache-stats
+    imprecise query out.pxml //movie --aggregate count
+    imprecise query out.pxml //price --aggregate sum
     imprecise stats out.pxml
     imprecise worlds out.pxml --limit 20
     imprecise feedback out.pxml '//movie/title' 'Jaws' --correct -o out.pxml
@@ -114,6 +116,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not queries:
         print("error: no queries given", file=sys.stderr)
         return 1
+    if args.text is not None and not args.aggregate:
+        raise ImpreciseError("--text requires --aggregate")
+    if args.aggregate:
+        if args.batch:
+            raise ImpreciseError(
+                "--batch does not combine with --aggregate (each target"
+                " is already one exact distribution)"
+            )
+        return _run_aggregates(document, args, queries)
     engine = QueryEngine(document, use_cache=not args.no_cache)
     if args.batch or len(queries) > 1:
         answers = engine.run_batch(queries)
@@ -127,6 +138,47 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(
             f"cache: {stats.get('entries', 0):,} entries,"
             f" {stats.get('hits', 0):,} hits, {stats.get('misses', 0):,} misses",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _run_aggregates(
+    document: PXDocument, args: argparse.Namespace, targets: Sequence[str]
+) -> int:
+    """``imprecise query DOC TARGET... --aggregate KIND [--text T]`` —
+    exact aggregate distributions by tree convolution (no enumeration)."""
+    from .query.aggregates import (
+        aggregate_distribution,
+        expected_value,
+        format_distribution,
+    )
+
+    for target in targets:
+        distribution = aggregate_distribution(
+            document,
+            args.aggregate,
+            target,
+            text=args.text,
+            use_cache=not args.no_cache,
+        )
+        label = f"== {args.aggregate} {target}"
+        if args.text is not None:
+            label += f" [text={args.text!r}]"
+        print(label)
+        print(format_distribution(distribution))
+        if args.aggregate in ("count", "sum"):
+            print(f"expected: {expected_value(distribution)}")
+    if args.cache_stats:
+        from .pxml.events_cache import cache_for
+
+        # Only the aggregate side-table counter is meaningful here: the
+        # hit/miss counters belong to the event-probability memo, which
+        # a pure aggregate run never touches.
+        stats = {} if args.no_cache else cache_for(document).stats()
+        print(
+            f"cache: {stats.get('aggregates', 0):,} aggregate"
+            " distribution(s) memoized",
             file=sys.stderr,
         )
     return 0
@@ -179,6 +231,7 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
         put NAME FILE              # load an .xml/.pxml file into the store
         query NAME XPATH
         batch NAME XPATH [XPATH ...]
+        aggregate NAME KIND TARGET [TEXT]        # KIND: count|sum|min|max|exists
         stats NAME
         integrate NAME_A NAME_B OUTPUT [RULES]   # RULES: comma list
         feedback NAME XPATH VALUE correct|incorrect
@@ -219,6 +272,21 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
         for query_text, answer in zip(queries, service.run_batch(name, queries)):
             print(f"== {query_text}")
             print(answer.as_table())
+        return True
+    if command == "aggregate":
+        if len(arguments) not in (3, 4):
+            raise ImpreciseError(
+                "usage: aggregate NAME KIND TARGET [TEXT]"
+            )
+        from .query.aggregates import format_distribution
+
+        distribution = service.aggregate(
+            arguments[0],
+            arguments[1],
+            arguments[2],
+            text=arguments[3] if len(arguments) == 4 else None,
+        )
+        print(format_distribution(distribution))
         return True
     if command == "stats":
         if len(arguments) != 1:
@@ -399,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the per-document probability cache")
     p_query.add_argument("--cache-stats", action="store_true",
                          help="print cache counters to stderr")
+    p_query.add_argument("--aggregate", metavar="KIND", default=None,
+                         choices=("count", "sum", "min", "max", "exists"),
+                         help="treat each query as an aggregate target"
+                              " (//tag) and print its exact distribution")
+    p_query.add_argument("--text", default=None, metavar="VALUE",
+                         help="with --aggregate: only elements whose leaf"
+                              " text equals VALUE count as matches")
     p_query.set_defaults(handler=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="uncertainty statistics of a .pxml file")

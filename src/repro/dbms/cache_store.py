@@ -20,7 +20,10 @@ Keying — both halves are stable across processes by contract:
 
 Values are ranked answers with **exact** ``Fraction`` probabilities;
 they round-trip through a ``numerator/denominator`` wire form, so a
-warm-started process returns bit-identical Fractions.
+warm-started process returns bit-identical Fractions.  Aggregate
+distributions (:mod:`repro.query.aggregates`) persist alongside them in
+their own table, keyed the same way with
+:attr:`~repro.query.aggregates.AggregateSpec.digest` as the plan half.
 
 Invalidation is versioned per document name: :meth:`~AnswerCacheStore.
 invalidate_document` (called by the service on ``put``/``delete``/
@@ -56,6 +59,7 @@ from typing import Optional, Union
 from ..errors import StoreError, WireFormatError
 from ..pxml.model import PXDocument
 from ..pxml.serialize import pxml_to_text
+from ..query.aggregates import canonical_items
 from ..query.ranking import RankedAnswer, RankedItem
 from ..xmlkit.nodes import XDocument
 from ..xmlkit.serializer import serialize
@@ -68,13 +72,17 @@ __all__ = [
     "decode_fraction",
     "encode_answer",
     "decode_answer",
+    "encode_aggregate_distribution",
+    "decode_aggregate_distribution",
 ]
 
 #: Bump on any change to the payload wire format, the fingerprint
 #: encoding (see ``QueryPlan.fingerprint_digest``) or the table layout;
 #: existing cache files are then dropped and rebuilt, never misread.
 #: 2: ``answers`` gained the ``last_hit`` LRU column (row eviction).
-SCHEMA_VERSION = 2
+#: 3: the ``aggregates`` table (persisted aggregate distributions keyed
+#:    by ``AggregateSpec.digest`` × document digest).
+SCHEMA_VERSION = 3
 
 #: Default cache file name inside a cache directory.
 CACHE_FILENAME = "answers.sqlite"
@@ -175,6 +183,66 @@ def _decode_answer(payload: str) -> RankedAnswer:
     return decode_answer(json.loads(payload))
 
 
+def encode_aggregate_distribution(distribution: dict) -> list:
+    """Wire form of an aggregate distribution
+    (:data:`repro.query.aggregates.AggregateDistribution`):
+    ``[[value, "num/den"], ...]`` in canonical order (``None`` — the
+    min/max no-match outcome — first, then ascending).
+
+    Values are encoded losslessly by type: ``None`` → JSON ``null``,
+    integers (counts, integral sums) → JSON integers, non-integral
+    Fractions → the exact ``"num/den"`` string.  Probabilities are
+    always ``"num/den"``.  For pure count distributions this emits
+    exactly the ``[[count, "num/den"], ...]`` shape of
+    :func:`repro.server.wire.encode_distribution`.  Ordering and key
+    normalization come from the subsystem's one canonical rule,
+    :func:`repro.query.aggregates.canonical_items`.
+    """
+    return [
+        [
+            encode_fraction(key) if isinstance(key, Fraction) else key,
+            encode_fraction(probability),
+        ]
+        for key, probability in canonical_items(distribution)
+    ]
+
+
+def decode_aggregate_distribution(payload: object) -> dict:
+    """Inverse of :func:`encode_aggregate_distribution`; strict.
+
+    Integral values always decode to ``int`` (a foreign ``"4/1"``
+    normalizes to ``4``) so a decoded distribution is key-identical to
+    the freshly-computed one, not merely ``==``."""
+    if not isinstance(payload, list):
+        raise WireFormatError(
+            f"aggregate distribution must be a list,"
+            f" got {type(payload).__name__}"
+        )
+    distribution: dict = {}
+    for entry in payload:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+            raise WireFormatError(f"malformed aggregate entry {entry!r}")
+        key, probability = entry
+        if isinstance(key, str):
+            key = decode_fraction(key)
+            if key.denominator == 1:
+                key = int(key)
+        elif isinstance(key, bool) or not (key is None or isinstance(key, int)):
+            raise WireFormatError(f"malformed aggregate value {entry[0]!r}")
+        if key in distribution:
+            raise WireFormatError(f"duplicate aggregate value {entry[0]!r}")
+        distribution[key] = decode_fraction(probability)
+    return distribution
+
+
+def _encode_aggregate(distribution: dict) -> str:
+    return json.dumps(encode_aggregate_distribution(distribution), ensure_ascii=False)
+
+
+def _decode_aggregate(payload: str) -> dict:
+    return decode_aggregate_distribution(json.loads(payload))
+
+
 class AnswerCacheStore:
     """On-disk answer/plan cache shared across processes.
 
@@ -219,6 +287,9 @@ class AnswerCacheStore:
         self.hits = 0
         self.misses = 0
         self.stored = 0
+        self.aggregate_hits = 0
+        self.aggregate_misses = 0
+        self.aggregate_stored = 0
         self.invalidations = 0
         self.evictions = 0
         #: Pending recency updates, (name, doc_digest, plan_digest) ->
@@ -248,6 +319,7 @@ class AnswerCacheStore:
         if row is not None and row[0] != str(SCHEMA_VERSION):
             # Older/newer format: drop rather than misread.
             conn.execute("DROP TABLE IF EXISTS answers")
+            conn.execute("DROP TABLE IF EXISTS aggregates")
             conn.execute("DROP TABLE IF EXISTS plans")
             conn.execute("DROP TABLE IF EXISTS versions")
             row = None
@@ -270,6 +342,25 @@ class AnswerCacheStore:
             # both walk this index instead of the table.
             "CREATE INDEX IF NOT EXISTS answers_last_hit"
             " ON answers (last_hit)"
+        )
+        conn.execute(
+            # Persisted aggregate distributions: same keying discipline
+            # as ``answers`` (content digest × stable spec digest, the
+            # version-fence column), one row per distinct aggregate.
+            # The table is outside the ``max_rows`` LRU — aggregate rows
+            # are few (one per spec, not per answer value) and are
+            # reclaimed by per-name invalidation.
+            """
+            CREATE TABLE IF NOT EXISTS aggregates (
+                doc_name TEXT NOT NULL,
+                doc_digest TEXT NOT NULL,
+                agg_digest TEXT NOT NULL,
+                spec TEXT,
+                payload TEXT NOT NULL,
+                doc_version INTEGER NOT NULL,
+                PRIMARY KEY (doc_name, doc_digest, agg_digest)
+            )
+            """
         )
         conn.execute(
             """
@@ -400,6 +491,70 @@ class AnswerCacheStore:
             self._conn.commit()
             self.stored += 1
 
+    # -- aggregates ---------------------------------------------------------
+
+    def get_aggregate(
+        self,
+        doc_name: str,
+        doc_digest: str,
+        agg_digest: str,
+        *,
+        record: bool = True,
+    ) -> Optional[dict]:
+        """Cached aggregate distribution, or ``None``; exact-Fraction
+        decode.  ``agg_digest`` is :attr:`repro.query.aggregates.
+        AggregateSpec.digest` — stable across processes, like the answer
+        rows' plan digest.  ``record=False`` skips the hit/miss counters
+        (double-checked lookups, as in :meth:`get`)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload, doc_version FROM aggregates"
+                " WHERE doc_name = ? AND doc_digest = ? AND agg_digest = ?",
+                (doc_name, doc_digest, agg_digest),
+            ).fetchone()
+            if row is not None and row[1] != self._version_locked(doc_name):
+                row = None  # written before an invalidation; ignore
+            if record:
+                if row is None:
+                    self.aggregate_misses += 1
+                else:
+                    self.aggregate_hits += 1
+        if row is None:
+            return None
+        return _decode_aggregate(row[0])
+
+    def put_aggregate(
+        self,
+        doc_name: str,
+        doc_digest: str,
+        agg_digest: str,
+        distribution: dict,
+        *,
+        spec: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        """Persist an aggregate distribution under (document content,
+        spec digest) keys; ``version`` is the same invalidation fence
+        :meth:`put` documents (``spec`` is a human-readable description,
+        stored for diagnostics only)."""
+        payload = _encode_aggregate(distribution)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO aggregates VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    doc_name,
+                    doc_digest,
+                    agg_digest,
+                    spec,
+                    payload,
+                    version
+                    if version is not None
+                    else self._version_locked(doc_name),
+                ),
+            )
+            self._conn.commit()
+            self.aggregate_stored += 1
+
     def _next_stamp_locked(self) -> int:
         """The next value of the LRU clock: past both this instance's
         in-memory clock and the file's MAX (an indexed lookup), so the
@@ -483,6 +638,9 @@ class AnswerCacheStore:
                 "DELETE FROM answers WHERE doc_name = ?", (doc_name,)
             )
             self._conn.execute(
+                "DELETE FROM aggregates WHERE doc_name = ?", (doc_name,)
+            )
+            self._conn.execute(
                 "INSERT OR REPLACE INTO versions VALUES"
                 " (?, COALESCE((SELECT version FROM versions WHERE"
                 " doc_name = ?), 0) + 1)",
@@ -497,6 +655,7 @@ class AnswerCacheStore:
         with self._lock:
             self._touches.clear()
             self._conn.execute("DELETE FROM answers")
+            self._conn.execute("DELETE FROM aggregates")
             self._conn.execute("DELETE FROM plans")
             self._conn.commit()
 
@@ -513,13 +672,20 @@ class AnswerCacheStore:
             answers = self._conn.execute(
                 "SELECT COUNT(*) FROM answers"
             ).fetchone()[0]
+            aggregates = self._conn.execute(
+                "SELECT COUNT(*) FROM aggregates"
+            ).fetchone()[0]
             plans = self._conn.execute("SELECT COUNT(*) FROM plans").fetchone()[0]
         return {
             "persistent_answers": answers,
+            "persistent_aggregates": aggregates,
             "persistent_plans": plans,
             "persistent_hits": self.hits,
             "persistent_misses": self.misses,
             "persistent_stored": self.stored,
+            "persistent_aggregate_hits": self.aggregate_hits,
+            "persistent_aggregate_misses": self.aggregate_misses,
+            "persistent_aggregate_stored": self.aggregate_stored,
             "persistent_invalidations": self.invalidations,
             "persistent_evictions": self.evictions,
         }

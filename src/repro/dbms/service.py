@@ -44,11 +44,17 @@ from typing import Optional, Sequence, Union
 from ..core.engine import IntegrationReport
 from ..core.oracle import Oracle
 from ..core.rules import Rule
-from ..errors import StoreError
+from ..errors import QueryError, StoreError
 from ..feedback.conditioning import FeedbackStep
 from ..pxml.build import certain_document
 from ..pxml.model import PXDocument
 from ..pxml.stats import NodeStats
+from ..query.aggregates import (
+    AggregateDistribution,
+    AggregateSpec,
+    aggregate_distribution,
+    compile_aggregate,
+)
 from ..query.engine import QueryEngine, QueryLike
 from ..query.plan import QueryPlan, compile_plan
 from ..query.ranking import RankedAnswer
@@ -318,6 +324,69 @@ class DataspaceService:
                             version=observed,
                         )
         return answers  # type: ignore[return-value]
+
+    def aggregate(
+        self,
+        name: str,
+        kind: Union[str, AggregateSpec],
+        target: Optional[str] = None,
+        *,
+        text: Optional[str] = None,
+    ) -> AggregateDistribution:
+        """Exact aggregate distribution (``count``/``sum``/``min``/
+        ``max``/``exists`` — see :mod:`repro.query.aggregates`) over
+        ``name``, with the same serving discipline as :meth:`query`:
+        persistent hits deserialize lock-free from the aggregate rows,
+        misses convolve under the name's shard lock (through the shared
+        engine's document, so the in-memory memo side table is shared
+        with queries) and persist the distribution.
+
+        >>> service = DataspaceService()
+        >>> service.load("a", "<r><p>3</p><p>4</p></r>")
+        >>> service.aggregate("a", "sum", "p")
+        {7: Fraction(1, 1)}
+        """
+        if isinstance(kind, AggregateSpec):
+            if target is not None or text is not None:
+                # Mirror aggregate_distribution's guard: silently
+                # dropping the filter would serve the wrong distribution.
+                raise QueryError(
+                    "pass either a compiled AggregateSpec or (kind,"
+                    " target, text=), not both"
+                )
+            spec = kind
+        else:
+            spec = compile_aggregate(kind, target, text=text)
+        if self.cache is not None:
+            # Optimistic lock-free fast path, as in query().
+            hit = self.cache.get_aggregate(
+                name, self.store.digest(name), spec.digest
+            )
+            if hit is not None:
+                return hit
+        with self._name_lock(name):
+            digest = self.store.digest(name)
+            if self.cache is not None:
+                hit = self.cache.get_aggregate(
+                    name, digest, spec.digest, record=False
+                )
+                if hit is not None:
+                    return hit
+            observed = self.cache.version(name) if self.cache is not None else 0
+            engine = self._engine(name, digest)
+            distribution = aggregate_distribution(
+                engine.document, spec, cache=engine.cache
+            )
+            if self.cache is not None:
+                self.cache.put_aggregate(
+                    name,
+                    digest,
+                    spec.digest,
+                    distribution,
+                    spec=spec.describe(),
+                    version=observed,
+                )
+        return distribution
 
     def stats(self, name: str) -> NodeStats:
         """Uncertainty census of a stored document."""

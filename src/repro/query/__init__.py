@@ -25,10 +25,19 @@ from .plan import QueryPlan, compile_plan
 from .engine import ProbQueryEngine, QueryEngine, query_enumeration
 from .quality import AnswerQuality, answer_quality, precision_recall_at
 from .aggregates import (
+    AggregateSpec,
+    aggregate_distribution,
+    aggregate_distribution_enumerated,
+    compile_aggregate,
     count_distribution,
     count_distribution_enumerated,
     count_quantile,
+    exists_probability,
     expected_count,
+    expected_value,
+    max_distribution,
+    min_distribution,
+    sum_distribution,
 )
 from .approximate import ApproximateAnswer, ApproximateItem, approximate_query
 
@@ -44,9 +53,18 @@ __all__ = [
     "AnswerQuality",
     "answer_quality",
     "precision_recall_at",
+    "AggregateSpec",
+    "aggregate_distribution",
+    "aggregate_distribution_enumerated",
+    "compile_aggregate",
     "count_distribution",
     "count_distribution_enumerated",
+    "exists_probability",
     "expected_count",
+    "expected_value",
+    "max_distribution",
+    "min_distribution",
+    "sum_distribution",
     "count_quantile",
     "ApproximateItem",
     "ApproximateAnswer",

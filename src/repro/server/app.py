@@ -15,6 +15,7 @@ PUT       ``/documents/{name}``       load an XML (``?kind=pxml``: PXML) body
 DELETE    ``/documents/{name}``       delete a document + its cached answers
 GET       ``/documents/{name}/stats`` uncertainty census of one document
 POST      ``/query``                  ranked probabilistic answer
+POST      ``/aggregate``              exact aggregate distribution
 POST      ``/batch``                  one bulk-priced workload
 POST      ``/integrate``              integrate two stored sources
 POST      ``/feedback``               Bayesian answer feedback
@@ -161,6 +162,8 @@ class ServerApp:
             return await self._documents()
         if path == "/query" and method == "POST":
             return await self._query(request)
+        if path == "/aggregate" and method == "POST":
+            return await self._aggregate(request)
         if path == "/batch" and method == "POST":
             return await self._batch(request)
         if path == "/integrate" and method == "POST":
@@ -218,6 +221,26 @@ class ServerApp:
                 "document": name,
                 "xpath": xpath,
                 "answer": {"items": wire.encode_answer(answer)},
+            }
+        )
+
+    async def _aggregate(self, request: HTTPRequest) -> HTTPResponse:
+        body = self._body(request)
+        name = _field(body, "document")
+        kind = _field(body, "kind")
+        target = _field(body, "target")
+        text = body.get("text")
+        if text is not None and not isinstance(text, str):
+            raise _HTTPError(400, "bad_request", "'text' must be a string")
+        distribution = await self._call(
+            self.service.aggregate, name, kind, target, text=text
+        )
+        return json_response(
+            {
+                "document": name,
+                "kind": kind,
+                "target": target,
+                "distribution": wire.encode_aggregate_distribution(distribution),
             }
         )
 

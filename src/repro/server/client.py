@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 from ..errors import ImpreciseError, WireFormatError
 from ..query.ranking import RankedAnswer
-from .wire import decode_answer, decode_fraction
+from .wire import decode_aggregate_distribution, decode_answer, decode_fraction
 
 __all__ = ["DataspaceClient", "ServerError"]
 
@@ -160,6 +160,19 @@ class DataspaceClient:
             "POST", "/query", {"document": name, "xpath": xpath}
         )
         return decode_answer(document["answer"]["items"])
+
+    def aggregate(
+        self, name: str, kind: str, target: str, *, text: Optional[str] = None
+    ) -> dict:
+        """Exact aggregate distribution (``count``/``sum``/``min``/
+        ``max``/``exists`` over ``//target``), decoded back to
+        ``{value: Fraction}`` — bit-identical to the in-process
+        :meth:`DataspaceService.aggregate` result."""
+        payload = {"document": name, "kind": kind, "target": target}
+        if text is not None:
+            payload["text"] = text
+        document = self._request("POST", "/aggregate", payload)
+        return decode_aggregate_distribution(document["distribution"])
 
     def batch(self, name: str, xpaths: Sequence[str]) -> list:
         """One bulk-priced workload; answers align with ``xpaths``."""

@@ -14,6 +14,11 @@ on-disk/on-wire format) and layers the remaining payload shapes on top:
   cache store);
 * aggregate count distributions — ``[[count, "num/den"], ...]`` sorted
   by count (:func:`encode_distribution` / :func:`decode_distribution`);
+* general aggregate distributions (``sum``/``min``/``max``/``exists``
+  values: ints, exact Fractions, or the ``None`` no-match outcome) —
+  :func:`encode_aggregate_distribution` /
+  :func:`decode_aggregate_distribution`, re-exported from the cache
+  store (the persisted rows and the wire share one codec);
 * node statistics, feedback steps and integration reports
   (:func:`encode_node_stats`, :func:`encode_feedback_step`,
   :func:`decode_feedback_step`, :func:`encode_report`).
@@ -33,8 +38,10 @@ from typing import Mapping
 
 from ..core.engine import IntegrationReport
 from ..dbms.cache_store import (
+    decode_aggregate_distribution,
     decode_answer,
     decode_fraction,
+    encode_aggregate_distribution,
     encode_answer,
     encode_fraction,
 )
@@ -49,6 +56,8 @@ __all__ = [
     "decode_answer",
     "encode_distribution",
     "decode_distribution",
+    "encode_aggregate_distribution",
+    "decode_aggregate_distribution",
     "encode_node_stats",
     "decode_node_stats",
     "encode_feedback_step",
@@ -70,27 +79,22 @@ def encode_distribution(distribution: Mapping[int, Fraction]) -> list:
 
     A list of pairs rather than a JSON object — object keys are strings,
     and round-tripping ``{2: p}`` through ``{"2": p}`` is exactly the
-    silent type decay this format exists to prevent."""
-    return [
-        [count, encode_fraction(probability)]
-        for count, probability in sorted(distribution.items())
-    ]
+    silent type decay this format exists to prevent.  The count subset
+    of :func:`encode_aggregate_distribution` (integer values encode
+    identically), kept as the typed entry point for count payloads."""
+    return encode_aggregate_distribution(distribution)
 
 
 def decode_distribution(payload: object) -> dict:
-    """Inverse of :func:`encode_distribution`; strict."""
-    if not isinstance(payload, list):
-        raise WireFormatError(
-            f"distribution must be a list, got {type(payload).__name__}"
-        )
-    distribution: dict = {}
-    for entry in payload:
-        if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
-            raise WireFormatError(f"malformed distribution entry {entry!r}")
-        count = _require_int(entry[0], "distribution count")
-        if count in distribution:
-            raise WireFormatError(f"duplicate distribution count {count}")
-        distribution[count] = decode_fraction(entry[1])
+    """Inverse of :func:`encode_distribution`; strict — the general
+    aggregate decode plus an integers-only check (a count distribution
+    has no ``None`` outcome and no fractional values)."""
+    distribution = decode_aggregate_distribution(payload)
+    for count in distribution:
+        if not isinstance(count, int):
+            raise WireFormatError(
+                f"distribution count must be an integer, got {count!r}"
+            )
     return distribution
 
 

@@ -1,0 +1,236 @@
+"""Differential harness: every aggregate pushdown is Fraction-identical
+to per-world enumeration.
+
+The bottom-up convolution (:func:`repro.query.aggregates.
+aggregate_distribution`) and the per-world definition
+(:func:`~repro.query.aggregates.aggregate_distribution_enumerated`) are
+independent implementations of the same semantics; this suite pins them
+against each other over seeded random documents — raw, after
+``simplify()``, and after ``condition_on_event()`` — for every kind in
+the family (count/sum/min/max/exists, filtered and unfiltered).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, seed, settings
+from hypothesis import strategies as st
+
+from repro.probability import ONE
+from repro.pxml.build import certain_prob, choice_prob
+from repro.pxml.events import lit
+from repro.pxml.model import PXDocument, PXElement, PXText, Possibility, ProbNode
+from repro.pxml.simplify import simplify
+from repro.pxml.worlds import world_count
+from repro.feedback.conditioning import condition_on_event
+from repro.query.aggregates import (
+    AGGREGATE_KINDS,
+    aggregate_distribution,
+    aggregate_distribution_enumerated,
+    compile_aggregate,
+)
+
+#: Exact numeric leaf values — integers, a ratio, decimals, a negative.
+NUMERIC_VALUES = ("0", "1", "2", "3", "5", "-1", "2.5", "7/2")
+
+#: Enumeration guard: documents beyond this many worlds are skipped
+#: (the convolution handles them fine; the reference cannot).
+WORLD_LIMIT = 400
+
+#: The differential matrix: every kind, with and without the
+#: predicate filter.
+CASES = [(kind, None) for kind in AGGREGATE_KINDS] + [
+    (kind, "2") for kind in AGGREGATE_KINDS
+]
+
+
+@st.composite
+def numeric_leaves(draw, tag="m"):
+    """A numeric leaf element: no children, or one value-choice node."""
+    if draw(st.booleans()):
+        value = draw(st.sampled_from(NUMERIC_VALUES))
+        return PXElement(tag, children=[certain_prob(PXText(value))])
+    count = draw(st.integers(min_value=1, max_value=3))
+    values = draw(
+        st.lists(
+            st.sampled_from(NUMERIC_VALUES),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    weights = [draw(st.integers(min_value=1, max_value=3)) for _ in values]
+    total = sum(weights)
+    return PXElement(
+        tag,
+        children=[
+            choice_prob(
+                [(Fraction(w, total), [v]) for w, v in zip(weights, values)]
+            )
+        ],
+    )
+
+
+@st.composite
+def item_probs(draw, depth):
+    """A probability node whose possibilities hold 0-2 items: numeric
+    leaves <m>, or (above depth 0) wrapper elements <w> holding more."""
+    branch = draw(st.integers(min_value=1, max_value=3))
+    weights = [draw(st.integers(min_value=1, max_value=3)) for _ in range(branch)]
+    total = sum(weights)
+    node = ProbNode()
+    for weight in weights:
+        children = []
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            if depth > 0 and draw(st.booleans()):
+                children.append(
+                    PXElement("w", children=[draw(item_probs(depth=depth - 1))])
+                )
+            else:
+                children.append(draw(numeric_leaves()))
+        node.append(Possibility(Fraction(weight, total), children))
+    return node
+
+
+@st.composite
+def numeric_documents(draw, max_depth=2):
+    """A valid probabilistic document whose <m> elements are numeric
+    leaves — the fragment where every aggregate pushdown applies."""
+    root = PXElement(
+        "r",
+        children=[
+            draw(item_probs(depth=max_depth))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ],
+    )
+    return PXDocument(certain_prob(root))
+
+
+def assert_differential(document):
+    """The harness core: pushdown == enumeration for the whole matrix,
+    and every distribution is a probability distribution."""
+    for kind, text in CASES:
+        pushed = aggregate_distribution(document, kind, "m", text=text)
+        enumerated = aggregate_distribution_enumerated(
+            document, kind, "m", text=text
+        )
+        assert pushed == enumerated, (kind, text, pushed, enumerated)
+        assert sum(pushed.values()) == ONE
+        # Key-identical too, not merely ==: canonical key types and order.
+        assert [(k, type(k)) for k in pushed] == [
+            (k, type(k)) for k in enumerated
+        ]
+
+
+def first_choice_event(document):
+    """A literal event over the document's first real choice point, or
+    None when the document is certain."""
+    for node in document.iter_prob_nodes():
+        if len(node.possibilities) >= 2:
+            return lit(node, 0)
+    return None
+
+
+class TestDifferential:
+    @given(numeric_documents())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    @seed(20260729)
+    def test_pushdown_matches_enumeration(self, doc):
+        if world_count(doc) > WORLD_LIMIT:
+            return
+        assert_differential(doc)
+
+    @given(numeric_documents())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    @seed(20260730)
+    def test_agreement_survives_simplify(self, doc):
+        if world_count(doc) > WORLD_LIMIT:
+            return
+        simplified, _ = simplify(doc)
+        assert_differential(simplified)
+        # And simplify preserved the aggregate semantics themselves.
+        for kind in ("count", "sum", "min"):
+            assert aggregate_distribution(
+                simplified, kind, "m"
+            ) == aggregate_distribution(doc, kind, "m")
+
+    @given(numeric_documents())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    @seed(20260731)
+    def test_agreement_survives_conditioning(self, doc):
+        if world_count(doc) > WORLD_LIMIT:
+            return
+        event = first_choice_event(doc)
+        if event is None:
+            return
+        posterior = condition_on_event(doc, event)
+        assert_differential(posterior)
+
+    def test_seeded_random_sweep(self):
+        """A plain seeded-random sweep (no hypothesis shrinking in the
+        loop): 40 documents through the full matrix."""
+        rng = random.Random(5)
+
+        def leaf():
+            values = rng.sample(NUMERIC_VALUES, rng.randint(1, 3))
+            weights = [rng.randint(1, 3) for _ in values]
+            total = sum(weights)
+            return PXElement("m", children=[
+                choice_prob([
+                    (Fraction(w, total), [v]) for w, v in zip(weights, values)
+                ])
+            ])
+
+        def prob(depth):
+            branch = rng.randint(1, 3)
+            weights = [rng.randint(1, 3) for _ in range(branch)]
+            total = sum(weights)
+            node = ProbNode()
+            for weight in weights:
+                children = []
+                for _ in range(rng.randint(0, 2)):
+                    if depth > 0 and rng.random() < 0.4:
+                        children.append(
+                            PXElement("w", children=[prob(depth - 1)])
+                        )
+                    else:
+                        children.append(leaf())
+                node.append(Possibility(Fraction(weight, total), children))
+            return node
+
+        checked = 0
+        for _ in range(40):
+            doc = PXDocument(certain_prob(
+                PXElement("r", children=[prob(2) for _ in range(rng.randint(1, 3))])
+            ))
+            if world_count(doc) > WORLD_LIMIT:
+                continue
+            assert_differential(doc)
+            checked += 1
+        assert checked >= 20  # the sweep actually exercised documents
+
+
+class TestSpecIdentity:
+    def test_spellings_share_one_identity(self):
+        for kind in AGGREGATE_KINDS:
+            bare = compile_aggregate(kind, "m")
+            xpath = compile_aggregate(kind, "//m")
+            assert bare.fingerprint == xpath.fingerprint
+            assert bare.digest == xpath.digest
+
+    def test_filtered_spellings_converge(self):
+        by_kw = compile_aggregate("count", "m", text="2")
+        by_predicate = compile_aggregate("count", '//m[. = "2"]')
+        assert by_kw.digest == by_predicate.digest
+
+    def test_distinct_aggregates_distinct_digests(self):
+        digests = {
+            compile_aggregate(kind, tag, text=text).digest
+            for kind in AGGREGATE_KINDS
+            for tag in ("m", "w")
+            for text in (None, "2")
+        }
+        assert len(digests) == len(AGGREGATE_KINDS) * 2 * 2

@@ -1,4 +1,5 @@
-"""Tests for exact count distributions."""
+"""Tests for exact aggregate distributions (counts and the wider
+count/sum/min/max/exists family)."""
 
 from fractions import Fraction
 
@@ -7,13 +8,22 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.errors import QueryError
 from repro.pxml.build import certain_document, certain_prob, choice_prob
+from repro.pxml.events_cache import cache_for
 from repro.pxml.model import PXDocument, PXElement
 from repro.pxml.worlds import world_count
 from repro.query.aggregates import (
+    aggregate_distribution,
+    compile_aggregate,
     count_distribution,
     count_distribution_enumerated,
     count_quantile,
+    exists_probability,
     expected_count,
+    expected_value,
+    format_distribution,
+    max_distribution,
+    min_distribution,
+    sum_distribution,
 )
 from repro.xmlkit.parser import parse_document
 from .conftest import make_leaf, pxml_documents
@@ -97,6 +107,146 @@ class TestCountDistribution:
     def test_distribution_mass_is_one(self, doc):
         distribution = count_distribution(doc, "a")
         assert sum(distribution.values()) == 1
+
+
+def numeric_doc():
+    """<r> with <p>=3|5 (even odds), certain <p>=4, and a 1/3-chance <q>=2.5."""
+    p1 = PXElement("p", children=[choice_prob([("1/2", ["3"]), ("1/2", ["5"])])])
+    p2 = make_leaf("p", "4")
+    maybe_q = choice_prob([("1/3", [make_leaf("q", "2.5")]), ("2/3", [])])
+    return PXDocument(certain_prob(PXElement("r", children=[
+        certain_prob(p1), certain_prob(p2), maybe_q,
+    ])))
+
+
+class TestAggregateFamily:
+    def test_sum_distribution(self):
+        assert sum_distribution(numeric_doc(), "p") == {
+            7: Fraction(1, 2),
+            9: Fraction(1, 2),
+        }
+
+    def test_min_max_distributions(self):
+        doc = numeric_doc()
+        assert min_distribution(doc, "p") == {
+            3: Fraction(1, 2),
+            4: Fraction(1, 2),
+        }
+        assert max_distribution(doc, "q") == {
+            None: Fraction(2, 3),
+            Fraction(5, 2): Fraction(1, 3),
+        }
+
+    def test_exists(self):
+        doc = numeric_doc()
+        assert exists_probability(doc, "p") == Fraction(1)
+        assert exists_probability(doc, "q") == Fraction(1, 3)
+        assert exists_probability(doc, "zz") == Fraction(0)
+        assert aggregate_distribution(doc, "exists", "q") == {
+            0: Fraction(2, 3),
+            1: Fraction(1, 3),
+        }
+
+    def test_filtered_variants(self):
+        doc = numeric_doc()
+        assert aggregate_distribution(doc, "count", "p", text="3") == {
+            0: Fraction(1, 2),
+            1: Fraction(1, 2),
+        }
+        assert aggregate_distribution(doc, "sum", "p", text="3") == {
+            0: Fraction(1, 2),
+            3: Fraction(1, 2),
+        }
+        assert aggregate_distribution(doc, "min", "p", text="3") == {
+            None: Fraction(1, 2),
+            3: Fraction(1, 2),
+        }
+
+    def test_non_numeric_value_rejected(self):
+        doc = certain_document(parse_document("<r><p>abc</p></r>"))
+        with pytest.raises(QueryError):
+            sum_distribution(doc, "p")
+        # count never reads values: fine on the same document.
+        assert count_distribution(doc, "p") == {1: Fraction(1)}
+
+    def test_non_leaf_value_rejected(self):
+        doc = certain_document(parse_document("<r><p><sub>1</sub></p></r>"))
+        with pytest.raises(QueryError):
+            min_distribution(doc, "p")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(QueryError):
+            compile_aggregate("median", "p")
+
+    def test_xpath_target_restrictions(self):
+        for bad in ("//a/b", "//a[b=1]", "/a", "//a[1]"):
+            with pytest.raises(QueryError):
+                compile_aggregate("count", bad)
+
+    def test_bare_targets_validated_like_xpath(self):
+        """Regression: a bare target must not bypass the structural
+        validation — 'm/x' must raise, never silently match nothing."""
+        for bad in ("m/x", "m[b=1]", "m[1]"):
+            with pytest.raises(QueryError):
+                compile_aggregate("count", bad)
+        # A bare spelling with an embedded text predicate destructures
+        # exactly like its // spelling.
+        assert compile_aggregate("count", 'm[. = "3"]').digest == \
+            compile_aggregate("count", "m", text="3").digest
+
+    def test_agreeing_and_conflicting_text_filters(self):
+        # An agreeing text= restates the embedded predicate: accepted.
+        assert compile_aggregate("count", '//m[. = "2"]', text="2").digest \
+            == compile_aggregate("count", "m", text="2").digest
+        # A conflicting one is a contradiction: rejected.
+        with pytest.raises(QueryError):
+            compile_aggregate("count", '//m[. = "2"]', text="3")
+
+    def test_expected_value(self):
+        assert expected_value(sum_distribution(numeric_doc(), "p")) == Fraction(8)
+        with pytest.raises(QueryError):
+            expected_value({None: Fraction(1, 3), 2: Fraction(2, 3)})
+
+    def test_format_distribution_renders_no_match(self):
+        rendered = format_distribution({None: Fraction(1, 3), 2: Fraction(2, 3)})
+        assert "(no match)" in rendered
+        assert "(1/3)" in rendered and "(2/3)" in rendered
+
+
+class TestCacheDiscipline:
+    def test_cached_and_uncached_equal_but_not_aliased(self):
+        """Regression (ISSUE 5): the cached path must return a copy of
+        the stored mapping — exactly one copy — never the stored mapping
+        itself."""
+        doc = uncertain_doc()
+        first = count_distribution(doc, "m")
+        second = count_distribution(doc, "m")  # served from the memo
+        assert first == second
+        assert first is not second
+        # Mutating a returned mapping must not corrupt the cache …
+        first[99] = Fraction(1)
+        assert 99 not in count_distribution(doc, "m")
+        # … and the stored entry itself is not what either call returned.
+        stored = cache_for(doc).aggregate(
+            doc, compile_aggregate("count", "m").fingerprint
+        )
+        assert stored is not None and stored is not second
+
+    def test_uncached_mode_recomputes(self):
+        doc = uncertain_doc()
+        cached = count_distribution(doc, "m")
+        uncached = count_distribution(doc, "m", use_cache=False)
+        assert cached == uncached
+        assert cached is not uncached
+
+    def test_memo_shared_across_kinds(self):
+        """exists derives from count through the same memo: computing
+        exists seeds the count entry."""
+        doc = numeric_doc()
+        cache = cache_for(doc)
+        aggregate_distribution(doc, "exists", "q")
+        count_key = compile_aggregate("count", "q").fingerprint
+        assert cache.aggregate(doc, count_key) is not None
 
 
 class TestMoments:

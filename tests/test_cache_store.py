@@ -304,3 +304,74 @@ class TestRowEviction:
             (f"{0:064d}",),
         ).fetchone()[0]
         assert db_stamp > 2                       # recency persisted
+
+
+AGG = "c" * 64
+
+
+class TestAggregateRows:
+    def distribution(self):
+        return {
+            None: Fraction(1, 6),
+            -2: Fraction(1, 3),
+            7: Fraction(1, 4),
+            Fraction(5, 2): Fraction(1, 4),
+        }
+
+    def test_round_trip_exact(self, cache):
+        cache.put_aggregate("doc", DOC, AGG, self.distribution(), spec="sum(//p)")
+        loaded = cache.get_aggregate("doc", DOC, AGG)
+        assert loaded == self.distribution()
+        assert all(isinstance(p, Fraction) for p in loaded.values())
+        assert cache.aggregate_hits == 1 and cache.aggregate_stored == 1
+
+    def test_miss_counts(self, cache):
+        assert cache.get_aggregate("doc", DOC, AGG) is None
+        assert cache.aggregate_misses == 1
+        assert cache.get_aggregate("doc", DOC, AGG, record=False) is None
+        assert cache.aggregate_misses == 1  # double-checked probe not counted
+
+    def test_survives_reopen(self, cache, tmp_path):
+        cache.put_aggregate("doc", DOC, AGG, self.distribution())
+        cache.close()
+        fresh = AnswerCacheStore(tmp_path / "cache")
+        assert fresh.get_aggregate("doc", DOC, AGG) == self.distribution()
+        assert fresh.stats()["persistent_aggregates"] == 1
+        fresh.close()
+
+    def test_invalidation_drops_aggregate_rows(self, cache):
+        cache.put_aggregate("doc", DOC, AGG, self.distribution())
+        cache.put_aggregate("keep", DOC, AGG, self.distribution())
+        cache.invalidate_document("doc")
+        assert cache.get_aggregate("doc", DOC, AGG) is None
+        assert cache.get_aggregate("keep", DOC, AGG) == self.distribution()
+
+    def test_put_with_observed_version_is_fenced(self, cache):
+        observed = cache.version("doc")
+        cache.invalidate_document("doc")  # races in between
+        cache.put_aggregate(
+            "doc", DOC, AGG, self.distribution(), version=observed
+        )
+        assert cache.get_aggregate("doc", DOC, AGG) is None
+
+    def test_distinct_digests_distinct_rows(self, cache):
+        cache.put_aggregate("doc", DOC, AGG, {1: Fraction(1)})
+        cache.put_aggregate("doc", DOC, "d" * 64, {2: Fraction(1)})
+        assert cache.get_aggregate("doc", DOC, AGG) == {1: Fraction(1)}
+        assert cache.get_aggregate("doc", DOC, "d" * 64) == {2: Fraction(1)}
+
+    def test_clear_drops_aggregates(self, cache):
+        cache.put_aggregate("doc", DOC, AGG, {1: Fraction(1)})
+        cache.clear()
+        assert cache.get_aggregate("doc", DOC, AGG, record=False) is None
+        assert cache.stats()["persistent_aggregates"] == 0
+
+    def test_stats_counters_present(self, cache):
+        stats = cache.stats()
+        for counter in (
+            "persistent_aggregates",
+            "persistent_aggregate_hits",
+            "persistent_aggregate_misses",
+            "persistent_aggregate_stored",
+        ):
+            assert counter in stats

@@ -126,6 +126,57 @@ class TestQueryAndStats:
         assert "75% 1111" in captured.out
         assert "cache:" in captured.err
 
+    def test_aggregate_count(self, integrated, capsys):
+        assert run(["query", integrated, "//person", "--aggregate", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "== count //person" in out
+        assert "expected:" in out
+
+    def test_aggregate_sum_with_distribution_lines(self, integrated, capsys):
+        assert run(["query", integrated, "tel", "--aggregate", "sum"]) == 0
+        out = capsys.readouterr().out
+        assert "== sum tel" in out
+        # The 1111/2222 conflict: sums 1111 and 2222 at 50% each, plus
+        # the exact fraction rendering of each outcome's probability.
+        assert "(1/2)" in out
+
+    def test_aggregate_text_filter(self, integrated, capsys):
+        assert run([
+            "query", integrated, "tel", "--aggregate", "count",
+            "--text", "1111",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[text='1111']" in out
+
+    def test_text_without_aggregate_fails_cleanly(self, integrated, capsys):
+        assert run(["query", integrated, "//person", "--text", "x"]) == 1
+        assert "--aggregate" in capsys.readouterr().err
+
+    def test_aggregate_cache_stats(self, integrated, capsys):
+        assert run([
+            "query", integrated, "//person", "--aggregate", "count",
+            "--cache-stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "== count //person" in captured.out
+        assert "cache: 1 aggregate distribution(s) memoized" in captured.err
+
+    def test_aggregate_rejects_batch(self, integrated, capsys):
+        assert run([
+            "query", integrated, "//person", "--aggregate", "count", "--batch",
+        ]) == 1
+        assert "--batch" in capsys.readouterr().err
+
+    def test_aggregate_bad_target_fails_cleanly(self, integrated, capsys):
+        assert run([
+            "query", integrated, "person/nm", "--aggregate", "count",
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_aggregate_non_numeric_fails_cleanly(self, integrated, capsys):
+        assert run(["query", integrated, "nm", "--aggregate", "sum"]) == 1
+        assert "not numeric" in capsys.readouterr().err
+
 
 class TestEstimate:
     def test_estimate_output(self, workspace, capsys):
@@ -208,6 +259,46 @@ class TestServe:
         assert "== //person/tel" in out and "== //person/nm" in out
         assert "confirm '1111'" in out
         assert "100% 1111" in out
+
+    def test_aggregate_command(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "aggregate ab count person",
+            "--exec", "aggregate ab sum tel",
+            "--exec", "aggregate ab count tel 1111",
+        ]) == 0
+        out = capsys.readouterr().out
+        # count(//person) is itself uncertain: 1 or 2, even odds.
+        assert "50% 1  (1/2)" in out and "50% 2  (1/2)" in out
+
+    def test_aggregate_warm_restart_hits(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "aggregate ab sum tel",
+        ]) == 0
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache, "--cache-stats",
+            "--exec", "aggregate ab sum tel",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "persistent_aggregate_hits: 1" in captured.err
+
+    def test_aggregate_usage_error_keeps_serving(self, dataspace, capsys):
+        store, cache = dataspace
+        capsys.readouterr()
+        assert run([
+            "serve", store, "--cache-dir", cache,
+            "--exec", "aggregate ab",
+            "--exec", "aggregate ab count person",
+        ]) == 1  # the bad command failed, the loop kept serving
+        captured = capsys.readouterr()
+        assert "usage: aggregate" in captured.err
+        assert "50%" in captured.out
 
     def test_bad_command_keeps_serving(self, dataspace, capsys):
         store, cache = dataspace

@@ -21,6 +21,17 @@ WORKLOAD = [
     '//person[nm="John"]/tel',
 ]
 
+#: (kind, target, text) aggregates priced alongside the query workload —
+#: the persisted-aggregate-rows acceptance (ISSUE 5).
+AGGREGATES = [
+    ["count", "person", None],
+    ["sum", "tel", None],
+    ["min", "tel", None],
+    ["max", "tel", None],
+    ["exists", "person", None],
+    ["count", "nm", "John"],
+]
+
 #: Runs in a *fresh* interpreter.  mode=cold builds the store and prices
 #: the workload; mode=warm reopens and must serve from disk.  Output: one
 #: JSON object on stdout.
@@ -28,10 +39,12 @@ SCRIPT = """
 import json, sys
 from repro.core.rules import DeepEqualRule, LeafValueRule
 from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+from repro.dbms.cache_store import encode_aggregate_distribution
 from repro.dbms.service import DataspaceService
 
 mode, store_dir, cache_dir = sys.argv[1], sys.argv[2], sys.argv[3]
 workload = json.loads(sys.argv[4])
+aggregates = json.loads(sys.argv[5])
 
 with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
     if mode == "cold":
@@ -51,8 +64,15 @@ with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
         ]
         for query in workload
     }
+    distributions = {
+        f"{kind}:{target}:{text}": encode_aggregate_distribution(
+            service.aggregate("ab", kind, target, text=text)
+        )
+        for kind, target, text in aggregates
+    }
     print(json.dumps({
         "answers": answers,
+        "aggregates": distributions,
         "stats": service.cache_stats(),
         "plan_digests": {
             q: service.cache.plan_digest(q) for q in workload
@@ -67,7 +87,8 @@ def run_interpreter(mode: str, store_dir: Path, cache_dir: Path) -> dict:
     result = subprocess.run(
         [
             sys.executable, "-c", SCRIPT,
-            mode, str(store_dir), str(cache_dir), json.dumps(WORKLOAD),
+            mode, str(store_dir), str(cache_dir),
+            json.dumps(WORKLOAD), json.dumps(AGGREGATES),
         ],
         capture_output=True,
         text=True,
@@ -84,14 +105,22 @@ def test_cross_process_reuse(tmp_path):
     cold = run_interpreter("cold", store_dir, cache_dir)
     assert cold["stats"]["persistent_stored"] == len(WORKLOAD)
     assert cold["stats"]["persistent_hits"] == 0
+    assert cold["stats"]["persistent_aggregate_stored"] == len(AGGREGATES)
+    assert cold["stats"]["persistent_aggregate_hits"] == 0
 
     warm = run_interpreter("warm", store_dir, cache_dir)
 
     # Fraction-identical answers (numerator/denominator pairs).
     assert warm["answers"] == cold["answers"]
-    # Every answer was a persistent hit in the fresh interpreter …
+    # Fraction-identical aggregate distributions, decoded from the
+    # persisted aggregate rows of the first interpreter.
+    assert warm["aggregates"] == cold["aggregates"]
+    # Every answer and every aggregate was a persistent hit in the
+    # fresh interpreter …
     assert warm["stats"]["persistent_hits"] == len(WORKLOAD)
     assert warm["stats"]["persistent_stored"] == 0
+    assert warm["stats"]["persistent_aggregate_hits"] == len(AGGREGATES)
+    assert warm["stats"]["persistent_aggregate_stored"] == 0
     # … without materializing a document or building an engine.
     assert warm["stats"]["engines"] == 0
 
@@ -106,9 +135,12 @@ def test_cross_process_fingerprint_digest_stability(tmp_path):
     (no hash randomization, no object identity in the encoding)."""
     script = (
         "from repro.query.plan import compile_plan\n"
+        "from repro.query.aggregates import compile_aggregate\n"
         "for q in ['//a/b', '//person[nm=\"John\"]/tel',"
         " '//m[some $t in tel satisfies contains($t, \"1\")]']:\n"
         "    print(compile_plan(q).fingerprint_digest)\n"
+        "for kind in ('count', 'sum', 'min', 'max', 'exists'):\n"
+        "    print(compile_aggregate(kind, 'tel', text='1').digest)\n"
     )
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -123,4 +155,5 @@ def test_cross_process_fingerprint_digest_stability(tmp_path):
         assert result.returncode == 0, result.stderr
     assert outputs[0].stdout == outputs[1].stdout
     digests = outputs[0].stdout.split()
-    assert len(set(digests)) == 3  # distinct queries, distinct digests
+    # Distinct queries and distinct aggregate specs, distinct digests.
+    assert len(set(digests)) == 8

@@ -163,6 +163,50 @@ class TestEndpoints:
         assert shape(first) == shape(second)
         assert after["persistent_hits"] == before["persistent_hits"] + 1
 
+    def test_aggregate_matches_in_process_exactly(self, live):
+        client, service, _ = live
+        load_addressbook(client)
+        for kind, target, text in [
+            ("count", "person", None),
+            ("sum", "tel", None),
+            ("min", "tel", None),
+            ("max", "tel", None),
+            ("exists", "person", None),
+            ("count", "nm", "John"),
+        ]:
+            over_http = client.aggregate("ab", kind, target, text=text)
+            in_process = service.aggregate("ab", kind, target, text=text)
+            assert over_http == in_process
+            assert all(
+                isinstance(p, Fraction) for p in over_http.values()
+            )
+
+    def test_aggregate_xpath_spelling_shares_the_cache_row(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        client.aggregate("ab", "count", "person")
+        before = client.stats()
+        assert client.aggregate("ab", "count", "//person") == \
+            client.aggregate("ab", "count", "person")
+        after = client.stats()
+        # Both spellings (and the repeat) were persistent hits on the
+        # one row the first call stored.
+        assert after["persistent_aggregate_stored"] == \
+            before["persistent_aggregate_stored"]
+        assert after["persistent_aggregate_hits"] >= \
+            before["persistent_aggregate_hits"] + 2
+
+    def test_aggregate_persistent_hits_over_http(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        first = client.aggregate("ab", "sum", "tel")
+        before = client.stats()
+        second = client.aggregate("ab", "sum", "tel")
+        after = client.stats()
+        assert first == second
+        assert after["persistent_aggregate_hits"] == \
+            before["persistent_aggregate_hits"] + 1
+
 
 class TestErrors:
     def test_missing_document_is_404(self, live):
@@ -178,6 +222,27 @@ class TestErrors:
             client.query("ab", "//[broken")
         assert excinfo.value.status == 400
         assert excinfo.value.error_type == "XPathSyntaxError"
+
+    def test_aggregate_unknown_kind_is_400(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.aggregate("ab", "median", "tel")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "QueryError"
+
+    def test_aggregate_missing_field_is_400(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/aggregate", {"document": "ab", "kind": "count"})
+        assert excinfo.value.status == 400
+        assert "target" in str(excinfo.value)
+
+    def test_aggregate_missing_document_is_404(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client.aggregate("ghost", "count", "person")
+        assert excinfo.value.status == 404
 
     def test_unknown_route_is_404(self, live):
         client, _, _ = live
@@ -526,27 +591,47 @@ class TestSequentialServerProcesses:
         store, cache = tmp_path / "store", tmp_path / "cache"
         book_a, book_b = addressbook_documents()
 
+        aggregates = [("count", "person"), ("sum", "tel"), ("min", "tel")]
+
         with ServerProcess(store, cache) as first:
             client = DataspaceClient("127.0.0.1", first.port)
             client.load("a", serialize(book_a))
             client.load("b", serialize(book_b))
             client.integrate("a", "b", "ab")
             cold = {query: shape(client.query("ab", query)) for query in QUERIES}
+            cold_aggregates = {
+                spec: sorted(
+                    client.aggregate("ab", *spec).items(),
+                    key=lambda item: (item[0] is not None, item[0] or 0),
+                )
+                for spec in aggregates
+            }
             cold_stats = client.stats()
             client.close()
             assert first.stop() == 0
         assert cold_stats["persistent_stored"] == len(QUERIES)
+        assert cold_stats["persistent_aggregate_stored"] == len(aggregates)
 
         with ServerProcess(store, cache) as second:
             client = DataspaceClient("127.0.0.1", second.port)
             warm = {query: shape(client.query("ab", query)) for query in QUERIES}
+            warm_aggregates = {
+                spec: sorted(
+                    client.aggregate("ab", *spec).items(),
+                    key=lambda item: (item[0] is not None, item[0] or 0),
+                )
+                for spec in aggregates
+            }
             warm_stats = client.stats()
             client.close()
             assert second.stop() == 0
 
         assert warm == cold  # Fraction-identical across processes
+        assert warm_aggregates == cold_aggregates
         assert warm_stats["persistent_hits"] >= len(QUERIES)
         assert warm_stats["persistent_stored"] == 0
+        assert warm_stats["persistent_aggregate_hits"] >= len(aggregates)
+        assert warm_stats["persistent_aggregate_stored"] == 0
         assert warm_stats["engines"] == 0  # answers came straight from disk
 
     def test_graceful_shutdown_exits_zero(self, tmp_path):

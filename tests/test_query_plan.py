@@ -327,11 +327,13 @@ class TestBatchAPI:
 
 class TestCacheWiring:
     def test_count_distribution_memoized(self, figure2_document):
-        from repro.query.aggregates import count_distribution
+        from repro.query.aggregates import compile_aggregate, count_distribution
 
         cache = cache_for(figure2_document)
         first = count_distribution(figure2_document, "person")
-        assert cache.aggregate(figure2_document, ("count", "person", None)) is not None
+        # Memoized under the compiled spec's plan-derived fingerprint.
+        key = compile_aggregate("count", "person").fingerprint
+        assert cache.aggregate(figure2_document, key) is not None
         second = count_distribution(figure2_document, "person")
         assert second == first
         # Returned mappings are fresh copies — caller mutation must not

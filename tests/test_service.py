@@ -1,7 +1,9 @@
 """Tests for the concurrent, cache-persistent dataspace service."""
 
 import gc
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from fractions import Fraction
 
@@ -243,3 +245,180 @@ class TestReviewRegressions:
         before_hits = service.cache.hits
         service.query("ab", "//person/nm")
         assert service.cache.hits == before_hits + 1
+
+
+class TestAggregates:
+    def test_aggregate_matches_direct_computation(self, integrated):
+        from repro.query.aggregates import aggregate_distribution
+
+        service, _ = integrated
+        document = service._module.probabilistic("ab")
+        for kind, target, text in [
+            ("count", "person", None),
+            ("sum", "tel", None),
+            ("min", "tel", None),
+            ("max", "tel", None),
+            ("exists", "person", None),
+            ("count", "nm", "John"),
+        ]:
+            assert service.aggregate("ab", kind, target, text=text) == \
+                aggregate_distribution(document, kind, target, text=text)
+
+    def test_warm_restart_serves_aggregates_without_engine(self, integrated):
+        service, tmp_path = integrated
+        cold = service.aggregate("ab", "sum", "tel")
+        service.close()
+        with DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        ) as warm:
+            assert warm.aggregate("ab", "sum", "tel") == cold
+            stats = warm.cache_stats()
+            assert stats["persistent_aggregate_hits"] == 1
+            assert stats["engines"] == 0
+
+    def test_spec_with_target_or_text_rejected(self, integrated):
+        from repro.errors import QueryError
+        from repro.query.aggregates import compile_aggregate
+
+        service, _ = integrated
+        spec = compile_aggregate("count", "nm")
+        with pytest.raises(QueryError):
+            service.aggregate("ab", spec, text="John")
+        with pytest.raises(QueryError):
+            service.aggregate("ab", spec, "nm")
+        # The spec alone is fine.
+        assert sum(service.aggregate("ab", spec).values()) == Fraction(1)
+
+    def test_mutation_invalidates_aggregates(self, integrated):
+        service, _ = integrated
+        service.load("nums", "<r><p>1</p><p>2</p></r>")
+        assert service.aggregate("nums", "sum", "p") == {3: Fraction(1)}
+        service.load("nums", "<r><p>7</p></r>")
+        assert service.aggregate("nums", "sum", "p") == {7: Fraction(1)}
+
+    def test_feedback_invalidates_aggregates(self, integrated):
+        from repro.query.aggregates import aggregate_distribution
+
+        service, _ = integrated
+        service.aggregate("ab", "count", "tel")
+        stored_before = service.cache.aggregate_stored
+        service.feedback("ab", "//person/tel", "1111", correct=True)
+        after = service.aggregate("ab", "count", "tel")
+        # The row was dropped with the prior document: the posterior
+        # distribution was recomputed (stored again), not served stale.
+        assert service.cache.aggregate_stored == stored_before + 1
+        assert sum(after.values()) == Fraction(1)
+        assert after == aggregate_distribution(
+            service._module.probabilistic("ab"), "count", "tel"
+        )
+
+
+#: Mixed-op soak matrix — CI reduces it via the same env vars the HTTP
+#: soak uses; a deep local run can crank it up.
+SOAK_THREADS = int(os.environ.get("SOAK_THREADS", "6"))
+SOAK_REQUESTS = int(os.environ.get("SOAK_REQUESTS", "8"))
+SOAK_TIMEOUT = float(os.environ.get("SOAK_TIMEOUT", "120"))
+
+SOAK_AGGREGATES = [
+    ("count", "person", None),
+    ("sum", "tel", None),
+    ("min", "tel", None),
+    ("exists", "nm", "John"),
+]
+
+
+def build_service_soak_schedules():
+    """Deterministic per-thread schedules mixing queries, aggregates and
+    feedback.  Each thread owns its private output document (mutations
+    cannot interact across threads) and also reads the shared immutable
+    ``base`` document — replayable serially."""
+    schedules = []
+    for thread in range(SOAK_THREADS):
+        ops = []
+        private = f"out{thread}"
+        ops.append(("integrate", "a", "b", private))
+        for index in range(SOAK_REQUESTS):
+            kind = index % 5
+            if kind == 0:
+                ops.append(("query", "base", WORKLOAD[index % len(WORKLOAD)]))
+            elif kind == 1:
+                agg = SOAK_AGGREGATES[index % len(SOAK_AGGREGATES)]
+                ops.append(("aggregate", "base") + agg)
+            elif kind == 2:
+                agg = SOAK_AGGREGATES[(index + thread) % len(SOAK_AGGREGATES)]
+                ops.append(("aggregate", private) + agg)
+            elif kind == 3:
+                ops.append(("feedback", private, "//person/tel", "1111"))
+            else:
+                ops.append(("query", private, WORKLOAD[index % len(WORKLOAD)]))
+        schedules.append(ops)
+    return schedules
+
+
+def run_service_schedule(service, ops):
+    from repro.experiments import standard_rules
+
+    results = []
+    for op in ops:
+        if op[0] == "query":
+            results.append(shape(service.query(op[1], op[2])))
+        elif op[0] == "aggregate":
+            distribution = service.aggregate(op[1], op[2], op[3], text=op[4])
+            results.append(sorted(
+                distribution.items(),
+                key=lambda item: (item[0] is not None, item[0] or 0),
+            ))
+        elif op[0] == "feedback":
+            step = service.feedback(op[1], op[2], op[3], correct=True)
+            results.append((step.kind, step.prior, step.worlds_after))
+        elif op[0] == "integrate":
+            report = service.integrate(op[1], op[2], op[3], rules=standard_rules())
+            results.append((report.total_nodes, report.world_count))
+    return results
+
+
+def populate_service_soak(service):
+    book_a, book_b = addressbook_documents()
+    service.load_document("a", book_a)
+    service.load_document("b", book_b)
+    from repro.experiments import standard_rules
+
+    service.integrate("a", "b", "base", rules=standard_rules())
+
+
+class TestMixedSoak:
+    def test_mixed_query_aggregate_feedback_matches_serial(self, tmp_path):
+        """Acceptance (ISSUE 5): N threads of mixed query/aggregate/
+        feedback traffic against one persistent service are identical —
+        Fraction for Fraction, key for key — to a serial replay of the
+        same schedules, inside a hard timeout (deadlock guard)."""
+        schedules = build_service_soak_schedules()
+
+        # Serial reference over its own store.
+        with DataspaceService(
+            directory=tmp_path / "serial-store",
+            cache_dir=tmp_path / "serial-cache",
+        ) as serial_service:
+            populate_service_soak(serial_service)
+            expected = [
+                run_service_schedule(serial_service, ops) for ops in schedules
+            ]
+
+        # Concurrent run over a separate, identically-populated store.
+        with DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        ) as service:
+            populate_service_soak(service)
+            start = time.monotonic()
+            with ThreadPoolExecutor(max_workers=SOAK_THREADS) as pool:
+                futures = [
+                    pool.submit(run_service_schedule, service, ops)
+                    for ops in schedules
+                ]
+                actual = [
+                    future.result(timeout=SOAK_TIMEOUT) for future in futures
+                ]
+            elapsed = time.monotonic() - start
+
+        assert elapsed < SOAK_TIMEOUT
+        assert actual == expected

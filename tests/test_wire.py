@@ -88,6 +88,25 @@ def random_distribution(rng: random.Random) -> dict:
     }
 
 
+def random_aggregate_distribution(rng: random.Random) -> dict:
+    """Aggregate-shaped keys: ints, non-integral Fractions, and the
+    min/max no-match outcome (``None``)."""
+    distribution: dict = {}
+    for _ in range(rng.randrange(0, 16)):
+        shape = rng.randrange(3)
+        if shape == 0:
+            key = rng.randrange(-10**6, 10**6)
+        elif shape == 1:
+            value = random_fraction(rng)
+            if value.denominator == 1:
+                value += Fraction(1, 2)  # keep it non-integral
+            key = value
+        else:
+            key = None
+        distribution[key] = abs(random_fraction(rng))
+    return distribution
+
+
 class TestFractionRoundTrip:
     def test_thousands_of_fractions(self):
         rng = random.Random(RNG_SEED)
@@ -213,6 +232,65 @@ class TestDistributionRoundTrip:
     def test_malformed_distribution_raises(self, garbage):
         with pytest.raises(WireFormatError):
             wire.decode_distribution(garbage)
+
+
+class TestAggregateDistributionRoundTrip:
+    def test_hundreds_of_aggregate_distributions(self):
+        rng = random.Random(RNG_SEED + 5)
+        for _ in range(max(WIRE_CASES // 5, 50)):
+            distribution = random_aggregate_distribution(rng)
+            payload = json.loads(
+                json.dumps(wire.encode_aggregate_distribution(distribution))
+            )
+            decoded = wire.decode_aggregate_distribution(payload)
+            assert decoded == distribution
+            # Canonical key types survive: integral values are ints,
+            # non-integral exact Fractions, the no-match outcome None.
+            for key in decoded:
+                if isinstance(key, Fraction):
+                    assert key.denominator != 1
+                else:
+                    assert key is None or isinstance(key, int)
+
+    def test_count_distributions_share_the_wire_shape(self):
+        """A pure count distribution encodes to exactly the
+        encode_distribution payload — one wire shape for both codecs."""
+        distribution = {0: Fraction(1, 3), 2: Fraction(2, 3)}
+        assert wire.encode_aggregate_distribution(distribution) == \
+            wire.encode_distribution(distribution)
+
+    def test_canonical_order_none_first(self):
+        encoded = wire.encode_aggregate_distribution(
+            {Fraction(5, 2): Fraction(1, 4), None: Fraction(1, 4),
+             1: Fraction(1, 2)}
+        )
+        assert [entry[0] for entry in encoded] == [None, 1, "5/2"]
+
+    def test_integral_fraction_keys_normalize(self):
+        encoded = wire.encode_aggregate_distribution(
+            {Fraction(4, 2): Fraction(1, 2)}
+        )
+        assert encoded == [[2, "1/2"]]
+        decoded = wire.decode_aggregate_distribution([["4/1", "1/2"]])
+        assert decoded == {4: Fraction(1, 2)}
+        assert all(isinstance(key, int) for key in decoded)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            None,
+            {"1": "1/2"},
+            [[1, "1/2"], ["1/1", "1/3"]],  # duplicate value after normalize
+            [[1.5, "1/2"]],                # float value
+            [[True, "1/2"]],               # bool value
+            [["x", "1/2"]],                # malformed fraction value
+            [[None, 0.5]],                 # float probability
+            [[1]],
+        ],
+    )
+    def test_malformed_aggregate_distribution_raises(self, garbage):
+        with pytest.raises(WireFormatError):
+            wire.decode_aggregate_distribution(garbage)
 
 
 class TestStructRoundTrip:
