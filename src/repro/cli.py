@@ -429,6 +429,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``imprecise`` argument parser (one subcommand per verb)."""
     parser = argparse.ArgumentParser(
         prog="imprecise",
         description="IMPrECISE: good-is-good-enough probabilistic XML data integration",
@@ -527,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = build_parser()
     # parse_known_args so `query doc --batch //a //b` works: argparse
     # refuses positionals after an optional when the positional list was

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 import re
 
+# Scores here are lossy heuristic *measurements*, not probabilities: the
+# knowledge rules threshold them into exact Fractions before anything
+# enters the possible-worlds model (see repro/core/rules.py).
+# impreciselint: disable-file=float-taint -- similarity scores are heuristic measurements, thresholded before probabilities form
+
 _WORD_RE = re.compile(r"[a-z0-9]+")
 _ROMAN_NUMERALS = {
     "i": "1", "ii": "2", "iii": "3", "iv": "4", "v": "5",

@@ -120,6 +120,9 @@ _VARIANT_DIRECTORS = (
 
 
 def franchise_base_title(franchise: str) -> str:
+    """The title every movie of ``franchise`` shares (franchises are
+    keyed by their base title, so this is the identity — kept as a named
+    hook so generators read as intent, not coincidence)."""
     return franchise
 
 

@@ -59,7 +59,7 @@ from typing import Optional, Union
 from ..errors import StoreError, WireFormatError
 from ..pxml.model import PXDocument
 from ..pxml.serialize import pxml_to_text
-from ..query.aggregates import canonical_items
+from ..query.aggregates import AggregateDistribution, canonical_items
 from ..query.ranking import RankedAnswer, RankedItem
 from ..xmlkit.nodes import XDocument
 from ..xmlkit.serializer import serialize
@@ -82,7 +82,11 @@ __all__ = [
 #: 2: ``answers`` gained the ``last_hit`` LRU column (row eviction).
 #: 3: the ``aggregates`` table (persisted aggregate distributions keyed
 #:    by ``AggregateSpec.digest`` × document digest).
-SCHEMA_VERSION = 3
+#: The pin below fingerprints the codec *surface* (field keys, table
+#: columns, ``*_FIELDS`` tuples); ``impreciselint`` refuses codec edits
+#: until the pin is refreshed — and a reviewer has decided whether the
+#: version must bump (see docs/development.md).
+SCHEMA_VERSION = 3  # impreciselint: schema-surface=f8ab7e17df51
 
 #: Default cache file name inside a cache directory.
 CACHE_FILENAME = "answers.sqlite"
@@ -146,7 +150,7 @@ def decode_fraction(text: str) -> Fraction:
         raise WireFormatError(f"malformed fraction {text!r}: zero denominator") from None
 
 
-def encode_answer(answer: RankedAnswer) -> list:
+def encode_answer(answer: RankedAnswer) -> list[list[object]]:
     """Wire form of a ranked answer: ``[[value, "num/den", occurrences],
     ...]`` — JSON-ready, order-preserving, exact."""
     return [
@@ -162,7 +166,7 @@ def decode_answer(payload: object) -> RankedAnswer:
         raise WireFormatError(
             f"answer payload must be a list, got {type(payload).__name__}"
         )
-    items = []
+    items: list[RankedItem] = []
     for entry in payload:
         if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
             raise WireFormatError(f"malformed answer item {entry!r}")
@@ -183,7 +187,9 @@ def _decode_answer(payload: str) -> RankedAnswer:
     return decode_answer(json.loads(payload))
 
 
-def encode_aggregate_distribution(distribution: dict) -> list:
+def encode_aggregate_distribution(
+    distribution: AggregateDistribution,
+) -> list[list[object]]:
     """Wire form of an aggregate distribution
     (:data:`repro.query.aggregates.AggregateDistribution`):
     ``[[value, "num/den"], ...]`` in canonical order (``None`` — the
@@ -207,7 +213,7 @@ def encode_aggregate_distribution(distribution: dict) -> list:
     ]
 
 
-def decode_aggregate_distribution(payload: object) -> dict:
+def decode_aggregate_distribution(payload: object) -> AggregateDistribution:
     """Inverse of :func:`encode_aggregate_distribution`; strict.
 
     Integral values always decode to ``int`` (a foreign ``"4/1"``
@@ -218,7 +224,7 @@ def decode_aggregate_distribution(payload: object) -> dict:
             f"aggregate distribution must be a list,"
             f" got {type(payload).__name__}"
         )
-    distribution: dict = {}
+    distribution: AggregateDistribution = {}
     for entry in payload:
         if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
             raise WireFormatError(f"malformed aggregate entry {entry!r}")
@@ -235,15 +241,15 @@ def decode_aggregate_distribution(payload: object) -> dict:
     return distribution
 
 
-def _encode_aggregate(distribution: dict) -> str:
+def _encode_aggregate(distribution: AggregateDistribution) -> str:
     return json.dumps(encode_aggregate_distribution(distribution), ensure_ascii=False)
 
 
-def _decode_aggregate(payload: str) -> dict:
+def _decode_aggregate(payload: str) -> AggregateDistribution:
     return decode_aggregate_distribution(json.loads(payload))
 
 
-class AnswerCacheStore:
+class AnswerCacheStore:  # impreciselint: guarded-by=_lock
     """On-disk answer/plan cache shared across processes.
 
     Construct with a directory (the standard layout — the SQLite file is
@@ -271,12 +277,13 @@ class AnswerCacheStore:
         path: Union[str, Path],
         *,
         max_rows: Optional[int] = None,
-    ):
+    ) -> None:
         if max_rows is not None and max_rows < 1:
             raise StoreError(f"max_rows must be >= 1, got {max_rows}")
         path = Path(path)
         if path.suffix != ".sqlite":
             path.mkdir(parents=True, exist_ok=True)
+            # impreciselint: disable=float-taint -- pathlib join, not arithmetic
             path = path / CACHE_FILENAME
         else:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -298,10 +305,10 @@ class AnswerCacheStore:
         #: no commit fsync); flushed before the next put/close, which is
         #: also when eviction decisions are made.  A crash loses pending
         #: recency only — eviction *order*, never correctness.
-        self._touches: dict = {}
+        self._touches: dict[tuple[str, str, str], int] = {}
         with self._lock:
             self._init_schema()
-            self._clock = self._conn.execute(
+            self._clock: int = self._conn.execute(
                 "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
             ).fetchone()[0]
 
@@ -398,7 +405,10 @@ class AnswerCacheStore:
                 "SELECT plan_digest FROM plans WHERE expression = ?",
                 (expression,),
             ).fetchone()
-        return row[0] if row is not None else None
+        if row is None:
+            return None
+        digest: str = row[0]
+        return digest
 
     def remember_plan(self, expression: str, plan_digest: str) -> None:
         """Persist the expression → fingerprint-digest mapping."""
@@ -500,7 +510,7 @@ class AnswerCacheStore:
         agg_digest: str,
         *,
         record: bool = True,
-    ) -> Optional[dict]:
+    ) -> Optional[AggregateDistribution]:
         """Cached aggregate distribution, or ``None``; exact-Fraction
         decode.  ``agg_digest`` is :attr:`repro.query.aggregates.
         AggregateSpec.digest` — stable across processes, like the answer
@@ -528,7 +538,7 @@ class AnswerCacheStore:
         doc_name: str,
         doc_digest: str,
         agg_digest: str,
-        distribution: dict,
+        distribution: AggregateDistribution,
         *,
         spec: Optional[str] = None,
         version: Optional[int] = None,
@@ -576,13 +586,13 @@ class AnswerCacheStore:
         within the buffer is preserved."""
         if not self._touches:
             return
-        stamp = max(
+        stamp: int = max(
             self._conn.execute(
                 "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
             ).fetchone()[0],
             0,
         )
-        updates = []
+        updates: list[tuple[int, str, str, str]] = []
         for key, _ in sorted(self._touches.items(), key=lambda entry: entry[1]):
             stamp += 1
             updates.append((stamp, *key))
@@ -599,7 +609,9 @@ class AnswerCacheStore:
         unbounded); caller holds the lock and commits."""
         if self.max_rows is None:
             return
-        count = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()[0]
+        count: int = self._conn.execute(
+            "SELECT COUNT(*) FROM answers"
+        ).fetchone()[0]
         overflow = count - self.max_rows
         if overflow <= 0:
             return
@@ -617,7 +629,10 @@ class AnswerCacheStore:
         row = self._conn.execute(
             "SELECT version FROM versions WHERE doc_name = ?", (doc_name,)
         ).fetchone()
-        return row[0] if row is not None else 0
+        if row is None:
+            return 0
+        version: int = row[0]
+        return version
 
     def version(self, doc_name: str) -> int:
         """Monotonic invalidation counter of a document name (0 initially)."""
@@ -664,18 +679,21 @@ class AnswerCacheStore:
     def __len__(self) -> int:
         with self._lock:
             row = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()
-        return row[0]
+        count: int = row[0]
+        return count
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Process-local counters plus on-disk row counts."""
         with self._lock:
-            answers = self._conn.execute(
+            answers: int = self._conn.execute(
                 "SELECT COUNT(*) FROM answers"
             ).fetchone()[0]
-            aggregates = self._conn.execute(
+            aggregates: int = self._conn.execute(
                 "SELECT COUNT(*) FROM aggregates"
             ).fetchone()[0]
-            plans = self._conn.execute("SELECT COUNT(*) FROM plans").fetchone()[0]
+            plans: int = self._conn.execute(
+                "SELECT COUNT(*) FROM plans"
+            ).fetchone()[0]
         return {
             "persistent_answers": answers,
             "persistent_aggregates": aggregates,
@@ -704,7 +722,7 @@ class AnswerCacheStore:
     def __enter__(self) -> "AnswerCacheStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

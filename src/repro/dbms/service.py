@@ -82,7 +82,7 @@ def format_cache_stats(stats: dict) -> str:
     return "\n".join(f"{key}: {value:,}" for key, value in sorted(stats.items()))
 
 
-class DataspaceService:
+class DataspaceService:  # impreciselint: guarded-by=_mu
     """Concurrent query/integration service over a document store.
 
     >>> service = DataspaceService()

@@ -58,7 +58,7 @@ def _check_name(name: str) -> str:
     return name
 
 
-class DocumentStore:
+class DocumentStore:  # impreciselint: guarded-by=_mu
     """A thread-safe collection of named documents.
 
     >>> store = DocumentStore()            # in-memory

@@ -143,6 +143,7 @@ def _mixture_at(
     mixture = ProbNode()
     for assignment, weight in branches:
         forced = _rebuild_prob(node, assignment)
+        # impreciselint: disable=float-taint -- exact Fraction/Fraction division
         posterior = weight / total
         for possibility in forced.possibilities:
             mixture.append(

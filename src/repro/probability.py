@@ -87,6 +87,7 @@ def normalize(weights: Iterable[Fraction]) -> list[Fraction]:
     total = sum(values, ZERO)
     if total == 0:
         raise ProbabilityError("cannot normalise: total weight is zero")
+    # impreciselint: disable=float-taint -- exact Fraction/Fraction division
     return [w / total for w in values]
 
 

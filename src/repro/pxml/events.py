@@ -119,7 +119,11 @@ class Event:
 
     __slots__ = ("digest", "vars", "counts", "__weakref__")
 
-    def key(self) -> tuple:
+    digest: bytes
+    vars: frozenset[int]
+    counts: dict[int, int]
+
+    def key(self) -> tuple[object, ...]:
         """Canonical structural key (the pre-PR-4 memo key format), built
         iteratively.  Kept for diagnostics and differential tests — the
         kernel and the caches key on :attr:`digest` instead."""
@@ -153,12 +157,12 @@ class Event:
 class _TrueEvent(Event):
     __slots__ = ()
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.digest = b"T"
         self.vars = _NO_VARS
         self.counts = _EMPTY_COUNTS
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[object, ...]:
         return ("T",)
 
     def assign(self, uid: int, index: int) -> Event:
@@ -174,12 +178,12 @@ class _TrueEvent(Event):
 class _FalseEvent(Event):
     __slots__ = ()
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.digest = b"F"
         self.vars = _NO_VARS
         self.counts = _EMPTY_COUNTS
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[object, ...]:
         return ("F",)
 
     def assign(self, uid: int, index: int) -> Event:
@@ -201,7 +205,9 @@ class Lit(Event):
 
     __slots__ = ("node", "index")
 
-    def __init__(self, node: ProbNode, index: int, digest: Optional[bytes] = None):
+    def __init__(
+        self, node: ProbNode, index: int, digest: Optional[bytes] = None
+    ) -> None:
         if not 0 <= index < len(node.possibilities):
             raise ProbabilityError(
                 f"possibility index {index} out of range for ▽{node.uid}"
@@ -215,7 +221,7 @@ class Lit(Event):
         # literals resolve their pivot node.
         _NODES[node.uid] = node
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[object, ...]:
         return ("L", self.node.uid, self.index)
 
     def assign(self, uid: int, index: int) -> Event:
@@ -233,7 +239,7 @@ class Lit(Event):
 class Not(Event):
     __slots__ = ("operand",)
 
-    def __init__(self, operand: Event, digest: Optional[bytes] = None):
+    def __init__(self, operand: Event, digest: Optional[bytes] = None) -> None:
         self.operand = operand
         self.digest = digest if digest is not None else _not_digest(operand.digest)
         self.vars = operand.vars
@@ -255,7 +261,9 @@ def _merge_counts(operands: tuple[Event, ...]) -> dict[int, int]:
 class And(Event):
     __slots__ = ("operands",)
 
-    def __init__(self, operands: tuple[Event, ...], digest: Optional[bytes] = None):
+    def __init__(
+        self, operands: tuple[Event, ...], digest: Optional[bytes] = None
+    ) -> None:
         self.operands = operands
         self.digest = (
             digest
@@ -272,7 +280,9 @@ class And(Event):
 class Or(Event):
     __slots__ = ("operands",)
 
-    def __init__(self, operands: tuple[Event, ...], digest: Optional[bytes] = None):
+    def __init__(
+        self, operands: tuple[Event, ...], digest: Optional[bytes] = None
+    ) -> None:
         self.operands = operands
         self.digest = (
             digest
@@ -304,6 +314,9 @@ def lit(node: ProbNode, index: int) -> Event:
 
 
 def negate(event: Event) -> Event:
+    """``not event``, interned: constants flip, double negation unwraps
+    (so ``negate(negate(e)) is e``), everything else wraps in
+    :class:`Not`."""
     if event is TRUE_EVENT:
         return FALSE_EVENT
     if event is FALSE_EVENT:
@@ -402,12 +415,13 @@ def interned_count() -> int:
 def _operands_of(event: Event) -> tuple[Event, ...]:
     if isinstance(event, Not):
         return (event.operand,)
-    return event.operands  # And / Or
+    assert isinstance(event, (And, Or))  # constants/literals never reach here
+    return event.operands
 
 
-def _key_of(event: Event) -> tuple:
+def _key_of(event: Event) -> tuple[object, ...]:
     """Post-order iterative construction of the legacy canonical key."""
-    memo: dict[bytes, tuple] = {}
+    memo: dict[bytes, tuple[object, ...]] = {}
     stack: list[tuple[Event, bool]] = [(event, False)]
     while stack:
         current, ready = stack.pop()
@@ -541,8 +555,11 @@ def _independent_components(operands: tuple[Event, ...]) -> list[list[Event]]:
 #: plan kinds for the worklist evaluator
 _PROD, _COPROD, _NOT, _SHANNON = 0, 1, 2, 3
 
+#: (kind, sub-events, Shannon branch weights — None for the other kinds)
+_Plan = tuple[int, tuple[Event, ...], Optional[tuple[Fraction, ...]]]
 
-def _expand(event: Event) -> tuple[int, tuple[Event, ...], Optional[tuple]]:
+
+def _expand(event: Event) -> _Plan:
     """One decomposition step: how to compute P(event) from sub-events."""
     if isinstance(event, Not):
         return _NOT, (event.operand,), None
@@ -585,7 +602,7 @@ def event_probability(
     if cached is not None:
         return cached
 
-    stack: list[tuple[Event, Optional[tuple]]] = [(event, None)]
+    stack: list[tuple[Event, Optional[_Plan]]] = [(event, None)]
     while stack:
         current, plan = stack.pop()
         digest = current.digest
@@ -607,6 +624,7 @@ def event_probability(
         else:
             kind, children, weights = plan
             if kind == _SHANNON:
+                assert weights is not None  # _expand always pairs them
                 total = ZERO
                 for weight, child in zip(weights, children):
                     if child is FALSE_EVENT:

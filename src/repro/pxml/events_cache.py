@@ -61,6 +61,14 @@ from typing import Optional, Sequence
 from .events import Event, FALSE_EVENT, TRUE_EVENT, event_probability
 from .model import PXDocument
 
+#: A compiled plan/spec fingerprint (see ``QueryPlan.fingerprint``).
+_Fingerprint = tuple[object, ...]
+#: value -> (answer event, occurrence count) — ``answer_events`` shape.
+_AnswerEvents = dict[str, tuple[Event, int]]
+#: outcome -> probability (aggregate distributions; outcomes are ints,
+#: Fractions or the ``None`` no-match value).
+_Distribution = dict[object, Fraction]
+
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "EventProbabilityCache",
@@ -106,16 +114,16 @@ class EventProbabilityCache:
         "max_entries",
     )
 
-    def __init__(self, *, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
+    def __init__(self, *, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive (or None)")
         #: canonical digest -> exact probability; shared with (and
         #: populated by) the kernel itself.
         self._memo: dict[bytes, Fraction] = {}
-        #: plan fingerprint -> answer-event map (see ProbQueryEngine).
-        self._answers: dict[tuple, dict] = {}
+        #: (root uid, plan fingerprint) -> answer-event map.
+        self._answers: dict[tuple[int, _Fingerprint], _AnswerEvents] = {}
         #: auxiliary memo for aggregate distributions (see aggregates.py).
-        self._aggregates: dict[tuple, dict] = {}
+        self._aggregates: dict[tuple[int, _Fingerprint], _Distribution] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -151,10 +159,11 @@ class EventProbabilityCache:
             range(len(events)),
             key=lambda i: len(events[i].vars),
         )
-        results: list[Optional[Fraction]] = [None] * len(events)
+        # Placeholder value only: ``order`` covers every index.
+        results: list[Fraction] = [Fraction(0)] * len(events)
         for i in order:
             results[i] = self.probability(events[i])
-        return results  # type: ignore[return-value]
+        return results
 
     def _enforce_bound(self) -> None:
         """Evict oldest memo entries beyond ``max_entries``.  Called
@@ -184,25 +193,34 @@ class EventProbabilityCache:
 
     @staticmethod
     def _doc_key(document: PXDocument) -> int:
-        return document.root.uid
+        uid: int = document.root.uid
+        return uid
 
     def answer_events(
-        self, document: PXDocument, fingerprint: tuple
-    ) -> Optional[dict]:
+        self, document: PXDocument, fingerprint: _Fingerprint
+    ) -> Optional[dict[str, tuple[Event, int]]]:
         """Cached answer-event map of ``document`` for a compiled plan."""
         return self._answers.get((self._doc_key(document), fingerprint))
 
     def store_answer_events(
-        self, document: PXDocument, fingerprint: tuple, events: dict
+        self,
+        document: PXDocument,
+        fingerprint: _Fingerprint,
+        events: dict[str, tuple[Event, int]],
     ) -> None:
         self._answers[(self._doc_key(document), fingerprint)] = events
 
-    def aggregate(self, document: PXDocument, key: tuple) -> Optional[dict]:
+    def aggregate(
+        self, document: PXDocument, key: _Fingerprint
+    ) -> Optional[dict[object, Fraction]]:
         """Cached aggregate distribution (e.g. a count distribution)."""
         return self._aggregates.get((self._doc_key(document), key))
 
     def store_aggregate(
-        self, document: PXDocument, key: tuple, distribution: dict
+        self,
+        document: PXDocument,
+        key: _Fingerprint,
+        distribution: dict[object, Fraction],
     ) -> None:
         self._aggregates[(self._doc_key(document), key)] = distribution
 
@@ -217,7 +235,7 @@ class EventProbabilityCache:
     def __len__(self) -> int:
         return len(self._memo)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Counters for benchmarks and diagnostics."""
         return {
             "entries": len(self._memo),

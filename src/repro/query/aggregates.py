@@ -469,6 +469,10 @@ class _StructuralAggregator:
 
 # -- public entry points -------------------------------------------------------
 
+# The "exists" kind re-aggregates as a count and thresholds the result;
+# the inner call is always a non-"exists" kind, so the self-call cannot
+# nest beyond depth 1 (document size never drives it).
+# impreciselint: disable=no-recursion -- bounded depth-1 self-call
 def aggregate_distribution(
     document: PXDocument,
     kind: Union[str, AggregateSpec],

@@ -16,6 +16,11 @@ event evaluation, while the long tail keeps its cheap sampled estimate.
 
 from __future__ import annotations
 
+# Sampling estimates are approximate *by contract* (the paper's
+# "good is good enough" applied to evaluation effort); exactness lives
+# in the event kernel, and the hybrid mode re-prices the head exactly.
+# impreciselint: disable-file=float-taint -- Monte-Carlo estimates and standard errors are floats by contract
+
 import math
 from dataclasses import dataclass
 from fractions import Fraction

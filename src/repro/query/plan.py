@@ -126,14 +126,14 @@ class QueryPlan:
 
     __slots__ = ("expression", "ast", "fingerprint", "_steps", "_digest")
 
-    def __init__(self, expression: Optional[str], ast: XPathNode):
+    def __init__(self, expression: Optional[str], ast: XPathNode) -> None:
         self.expression = expression
         self.ast = ast
         _validate(ast, scope=frozenset(), as_nodeset=True)
         steps: dict[Step, StepPlan] = {}
         _collect_steps(ast, steps)
         self._steps = steps
-        self.fingerprint: tuple = _fingerprint(ast)
+        self.fingerprint: tuple[object, ...] = _fingerprint(ast)
         self._digest: Optional[str] = None
 
     @property
@@ -199,7 +199,7 @@ def compile_plan(expression: Union[str, XPathNode, QueryPlan]) -> QueryPlan:
 
 # -- compile-time validation ---------------------------------------------------
 
-def _validate(ast: XPathNode, scope: frozenset, as_nodeset: bool) -> None:
+def _validate(ast: XPathNode, scope: frozenset[str], as_nodeset: bool) -> None:
     """Check ``ast`` against the supported subset.
 
     ``scope`` carries the variables bound by enclosing quantifiers;
@@ -232,7 +232,7 @@ def _validate(ast: XPathNode, scope: frozenset, as_nodeset: bool) -> None:
     _validate_predicate(ast, scope)
 
 
-def _validate_predicate(ast: XPathNode, scope: frozenset) -> None:
+def _validate_predicate(ast: XPathNode, scope: frozenset[str]) -> None:
     if isinstance(ast, (Path, UnionExpr, VarRef)):
         _validate(ast, scope, as_nodeset=True)
         return
@@ -283,7 +283,7 @@ def _validate_predicate(ast: XPathNode, scope: frozenset) -> None:
     raise QueryError(f"unsupported predicate {type(ast).__name__}")
 
 
-def _validate_operand(ast: XPathNode, scope: frozenset) -> None:
+def _validate_operand(ast: XPathNode, scope: frozenset[str]) -> None:
     if isinstance(ast, (Literal, Number)):
         return
     if isinstance(ast, (Path, UnionExpr, VarRef)):
@@ -321,7 +321,7 @@ def _collect_steps(ast: XPathNode, into: dict[Step, StepPlan]) -> None:
 
 # -- fingerprints --------------------------------------------------------------
 
-def _fingerprint(ast: XPathNode) -> tuple:
+def _fingerprint(ast: XPathNode) -> tuple[object, ...]:
     """A canonical, hashable form of the AST's static structure.
 
     Stable across process runs for string-compiled queries (it contains
@@ -394,7 +394,7 @@ def _encode_fingerprint(value: object) -> str:
     )
 
 
-def _test_fingerprint(test: object) -> tuple:
+def _test_fingerprint(test: object) -> tuple[object, ...]:
     if isinstance(test, NameTest):
         return ("name", test.name)
     if isinstance(test, TextTest):

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from ..probability import format_percent
+from ..probability import ProbLike, as_probability, format_percent
 
 
 @dataclass(frozen=True)
@@ -57,9 +57,15 @@ class RankedAnswer:
     def top(self, count: int) -> list[RankedItem]:
         return self.items[:count]
 
-    def above(self, threshold: Fraction | float) -> list[RankedItem]:
-        """Items with probability ≥ threshold (crisp answer extraction)."""
-        limit = Fraction(threshold) if not isinstance(threshold, float) else threshold
+    def above(self, threshold: ProbLike) -> list[RankedItem]:
+        """Items with probability ≥ threshold (crisp answer extraction).
+
+        The threshold is coerced through
+        :func:`repro.probability.as_probability`, so a float ``0.3``
+        means the decimal 3/10 — the reading the rest of the library
+        gives float probabilities — never the binary float it parses to.
+        """
+        limit = as_probability(threshold)
         return [item for item in self.items if item.probability >= limit]
 
     def as_table(self) -> str:

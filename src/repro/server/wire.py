@@ -48,8 +48,10 @@ from ..dbms.cache_store import (
 from ..errors import WireFormatError
 from ..feedback.conditioning import FeedbackStep
 from ..pxml.stats import NodeStats
+from ..query.aggregates import AggregateDistribution
 
 __all__ = [
+    "WIRE_VERSION",
     "encode_fraction",
     "decode_fraction",
     "encode_answer",
@@ -65,6 +67,13 @@ __all__ = [
     "encode_report",
 ]
 
+#: Version of the payload shapes this module layers on top of the
+#: cache-store codecs (those are fenced by ``SCHEMA_VERSION``).  Bump on
+#: any field addition/removal in the encoders below, and refresh the
+#: surface pin — ``impreciselint`` blocks codec edits until both happen
+#: together (see docs/development.md).
+WIRE_VERSION = 1  # impreciselint: schema-surface=f6bfd7709520
+
 
 def _require_int(value: object, what: str) -> int:
     if not isinstance(value, int) or isinstance(value, bool):
@@ -72,7 +81,9 @@ def _require_int(value: object, what: str) -> int:
     return value
 
 
-def encode_distribution(distribution: Mapping[int, Fraction]) -> list:
+def encode_distribution(
+    distribution: Mapping[int, Fraction],
+) -> list[list[object]]:
     """Wire form of an aggregate count distribution
     (:data:`repro.query.aggregates.CountDistribution`): ``[[count,
     "num/den"], ...]`` sorted by count.
@@ -82,20 +93,25 @@ def encode_distribution(distribution: Mapping[int, Fraction]) -> list:
     silent type decay this format exists to prevent.  The count subset
     of :func:`encode_aggregate_distribution` (integer values encode
     identically), kept as the typed entry point for count payloads."""
-    return encode_aggregate_distribution(distribution)
+    general: AggregateDistribution = {
+        count: probability for count, probability in distribution.items()
+    }
+    return encode_aggregate_distribution(general)
 
 
-def decode_distribution(payload: object) -> dict:
+def decode_distribution(payload: object) -> dict[int, Fraction]:
     """Inverse of :func:`encode_distribution`; strict — the general
     aggregate decode plus an integers-only check (a count distribution
     has no ``None`` outcome and no fractional values)."""
     distribution = decode_aggregate_distribution(payload)
-    for count in distribution:
+    counts: dict[int, Fraction] = {}
+    for count, probability in distribution.items():
         if not isinstance(count, int):
             raise WireFormatError(
                 f"distribution count must be an integer, got {count!r}"
             )
-    return distribution
+        counts[count] = probability
+    return counts
 
 
 _NODE_STATS_FIELDS = (
@@ -109,10 +125,12 @@ _NODE_STATS_FIELDS = (
 )
 
 
-def encode_node_stats(stats: NodeStats) -> dict:
+def encode_node_stats(stats: NodeStats) -> dict[str, int]:
     """Wire form of a :class:`~repro.pxml.stats.NodeStats` census (all
     counters plus the derived ``total``)."""
-    payload = {field: getattr(stats, field) for field in _NODE_STATS_FIELDS}
+    payload: dict[str, int] = {
+        field: getattr(stats, field) for field in _NODE_STATS_FIELDS
+    }
     payload["total"] = stats.total
     return payload
 
@@ -133,7 +151,7 @@ def decode_node_stats(payload: object) -> NodeStats:
     return NodeStats(**fields)
 
 
-def encode_feedback_step(step: FeedbackStep) -> dict:
+def encode_feedback_step(step: FeedbackStep) -> dict[str, object]:
     """Wire form of a :class:`~repro.feedback.conditioning.FeedbackStep`
     (the prior stays an exact Fraction)."""
     return {
@@ -174,7 +192,7 @@ def decode_feedback_step(payload: object) -> FeedbackStep:
         raise WireFormatError(f"feedback step missing field {missing}") from None
 
 
-def encode_report(report: IntegrationReport) -> dict:
+def encode_report(report: IntegrationReport) -> dict[str, object]:
     """Wire form of an :class:`~repro.core.engine.IntegrationReport`:
     the integer counters, the rule-firing histogram, and the rendered
     summary line (clients that only display the report never need to

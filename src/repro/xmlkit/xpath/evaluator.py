@@ -94,6 +94,7 @@ def string_value(node: Any) -> str:
 
 
 def as_string(value: XPathValue) -> str:
+    """XPath 1.0 ``string()`` coercion of any evaluator value."""
     if isinstance(value, list):
         return string_value(value[0]) if value else ""
     if isinstance(value, bool):
@@ -112,6 +113,7 @@ def as_string(value: XPathValue) -> str:
 
 
 def as_number(value: XPathValue) -> float:
+    """XPath 1.0 ``number()`` coercion (NaN for unparseable strings)."""
     if isinstance(value, bool):
         return 1.0 if value else 0.0
     if isinstance(value, float):

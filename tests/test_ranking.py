@@ -31,6 +31,18 @@ class TestRankedAnswer:
         answer = RankedAnswer([item("a", "9/10"), item("b", "1/10")])
         assert [i.value for i in answer.above(0.5)] == ["a"]
 
+    def test_above_float_threshold_means_decimal(self):
+        # Regression: a float threshold is coerced through
+        # as_probability, so 0.3 means the decimal 3/10 — not the binary
+        # float 0.2999…9889 it parses to.  This probability sits between
+        # the two readings: the old float comparison kept it, the
+        # decimal reading must drop it.
+        between = Fraction(299999999999999999, 10**18)
+        assert Fraction(0.3) < between < Fraction(3, 10)
+        answer = RankedAnswer([RankedItem("gap", between), item("sure", "9/10")])
+        assert [i.value for i in answer.above(0.3)] == ["sure"]
+        assert [i.value for i in answer.above(Fraction(3, 10))] == ["sure"]
+
     def test_as_table_paper_format(self):
         answer = RankedAnswer([
             item("Die Hard: With a Vengeance", 1),

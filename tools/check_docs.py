@@ -11,8 +11,12 @@ that every relative link resolves:
   (lowercase, spaces → ``-``, punctuation dropped);
 * ``http(s)://`` and ``mailto:`` links are skipped (no network in CI).
 
-Exit status: 0 when every link resolves, 1 otherwise (each failure is
-listed as ``file:line: message``).
+It also flags **orphaned pages**: a file under ``docs/`` that no other
+Markdown file links to is unreachable from the entry points and fails
+the check (root-level ``*.md`` are the entry points and are exempt).
+
+Exit status: 0 when every link resolves and no page is orphaned,
+1 otherwise (each failure is listed as ``file:line: message``).
 """
 
 from __future__ import annotations
@@ -79,7 +83,9 @@ def iter_links(path: Path):
 def check() -> list[str]:
     failures = []
     anchor_cache: dict = {}
-    for path in markdown_files():
+    linked_targets: set = set()
+    files = markdown_files()
+    for path in files:
         for line_number, target in iter_links(path):
             if target.startswith(("http://", "https://", "mailto:")):
                 continue
@@ -90,6 +96,8 @@ def check() -> list[str]:
                 if not resolved.exists():
                     failures.append(f"{where}: broken link -> {target}")
                     continue
+                if resolved != path.resolve():
+                    linked_targets.add(resolved)
             else:
                 resolved = path
             if fragment:
@@ -102,6 +110,18 @@ def check() -> list[str]:
                         f"{where}: missing anchor"
                         f" #{fragment} in {resolved.name}"
                     )
+    # Orphan detection: every page under docs/ must be reachable from
+    # some *other* markdown file, or readers will never find it.
+    # Root-level pages (README.md, ROADMAP.md, ...) are entry points and
+    # exempt.
+    for path in files:
+        if path.parent == ROOT:
+            continue
+        if path.resolve() not in linked_targets:
+            failures.append(
+                f"{path.relative_to(ROOT)}: orphaned page — not linked"
+                f" from any other markdown file"
+            )
     return failures
 
 
@@ -111,7 +131,7 @@ def main() -> int:
     if failures:
         for failure in failures:
             print(failure, file=sys.stderr)
-        print(f"\n{len(failures)} broken link(s)", file=sys.stderr)
+        print(f"\n{len(failures)} documentation problem(s)", file=sys.stderr)
         return 1
     total = sum(1 for path in files for _ in iter_links(path))
     print(f"checked {total} links across {len(files)} markdown files: all resolve")

@@ -1,0 +1,112 @@
+"""CLI for impreciselint: ``python -m tools.impreciselint src/``.
+
+Exit status 0 when the tree is clean modulo suppressions and the
+baseline, 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    report_json,
+    run_paths,
+    save_baseline,
+)
+from .rules import CHECKERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.impreciselint",
+        description="AST-based invariant checker for the IMPrECISE repro.",
+    )
+    parser.add_argument(
+        "paths", nargs="+", type=Path, help="files or directories to check"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline JSON of grandfathered findings"
+        " (default: tools/impreciselint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=f"comma-separated subset of rules ({', '.join(CHECKERS)})",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a machine-readable report to PATH",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current findings",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = None
+    if args.rules is not None:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        findings, suppressed, checked = run_paths(args.paths, rules=rules)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(
+            f"wrote {args.baseline} with {len(findings)} finding(s)"
+            f" from {checked} file(s)"
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, baselined, stale = apply_baseline(findings, baseline)
+
+    if args.json is not None:
+        payload = report_json(
+            new=new,
+            baselined=baselined,
+            suppressed=suppressed,
+            stale=stale,
+            checked_files=checked,
+        )
+        args.json.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    for finding in new:
+        print(finding.render())
+    for identity in stale:
+        print(f"note: stale baseline entry (prune it): {identity}")
+    summary = (
+        f"{checked} file(s): {len(new)} new finding(s),"
+        f" {len(baselined)} baselined, {suppressed} suppressed"
+    )
+    print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
