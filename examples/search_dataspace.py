@@ -1,0 +1,100 @@
+"""Dataspace-wide search end to end: fan-out, rank fusion, HTTP.
+
+A dataspace holds many documents — source books, integrated merges —
+and a question like "what is this person's phone number?" should not
+require naming one of them.  This walkthrough builds a small dataspace
+(two pairs of conflicting address books plus their uncertain merges)
+and searches it three ways, all Fraction-identical:
+
+1. in-process via :meth:`~repro.dbms.service.DataspaceService.query_all`,
+   which compiles the plan once, prices every document through the
+   persistent answer cache, and fuses the per-document rankings —
+   exact probability-weighted fusion and exact-rational reciprocal
+   rank fusion (RRF);
+2. from a *restarted* service, where the whole fan-out is served from
+   the persisted per-document rows (no engine, no tree walk);
+3. over HTTP via ``POST /search``, where every score, weight and
+   provenance probability crosses the wire as an exact ``"num/den"``
+   string and each fused value keeps its ``document#rank`` sources.
+
+Run:  PYTHONPATH=src python examples/search_dataspace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DataspaceClient, DataspaceService
+from repro.core.rules import DeepEqualRule, LeafValueRule
+from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
+
+
+def build_dataspace(service: DataspaceService) -> None:
+    """Two pairs of conflicting source books and their merges."""
+    rules = [DeepEqualRule(), LeafValueRule()]
+    for pair, (prefix_a, prefix_b) in enumerate([("1", "2"), ("3", "4")]):
+        entries_a = [("John", f"{prefix_a}111"), ("Mary", f"{prefix_a}999")]
+        entries_b = [("John", f"{prefix_b}111"), ("Mary", f"{prefix_b}999")]
+        book_a, book_b = addressbook_documents(entries_a, entries_b)
+        service.load_document(f"src{pair}a", book_a)
+        service.load_document(f"src{pair}b", book_b)
+        service.integrate(
+            f"src{pair}a", f"src{pair}b", f"merged{pair}",
+            rules=rules, dtd=ADDRESSBOOK_DTD,
+        )
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="imprecise-search-"))
+    store_dir, cache_dir = workdir / "store", workdir / "cache"
+
+    # -- 1. fan out and fuse in-process ------------------------------------
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        build_dataspace(service)
+        print(f"dataspace: {service.store.list()}\n")
+
+        print("John's phone, probability-weighted over ALL documents:")
+        fused = service.query_all('//person[nm="John"]/tel')
+        print(fused.as_table())
+
+        print("\nsame question, exact-rational RRF over the merges only:")
+        rrf = service.query_all(
+            '//person[nm="John"]/tel', glob="merged*", strategy="rrf", rrf_k=10
+        )
+        print(rrf.as_table())
+
+        print("\ntrusting merged0 three times as much (weights renormalize):")
+        weighted = service.query_all(
+            '//person[nm="John"]/tel', glob="merged*",
+            weights={"merged0": 3},
+        )
+        print(weighted.as_table())
+
+    # -- 2. restart: the whole fan-out served from persisted rows ----------
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as warm:
+        again = warm.query_all('//person[nm="John"]/tel')
+        stats = warm.cache_stats()
+        assert again == fused
+        assert stats["persistent_hits"] == len(fused.documents)
+        assert stats["engines"] == 0  # straight from disk, no tree walk
+        print("\nwarm restart fused the identical answer from disk ✓")
+
+        # -- 3. the same search over HTTP ----------------------------------
+        from repro.server.app import ServerApp
+        from repro.server.http import BackgroundServer
+
+        app = ServerApp(warm)
+        with BackgroundServer(app) as background:
+            with DataspaceClient(
+                background.server.host, background.server.port
+            ) as client:
+                over_http = client.search('//person[nm="John"]/tel')
+                assert over_http == fused
+                print("POST /search round-tripped exactly ✓")
+                top = over_http.items[0]
+                sources = ", ".join(str(source) for source in top.sources)
+                print(f"top answer over HTTP: {top.value} [{sources}]")
+        app.close()
+
+
+if __name__ == "__main__":
+    main()

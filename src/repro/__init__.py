@@ -78,6 +78,7 @@ from .core import (
 from .pxml import EventProbabilityCache, cache_for
 from .query import (
     AggregateSpec,
+    FusedAnswer,
     ProbQueryEngine,
     QueryEngine,
     QueryPlan,
@@ -87,6 +88,7 @@ from .query import (
     compile_aggregate,
     compile_plan,
     count_distribution,
+    fuse_answers,
     query_enumeration,
 )
 from .feedback import FeedbackSession
@@ -168,6 +170,8 @@ __all__ = [
     "EventProbabilityCache",
     "cache_for",
     "RankedAnswer",
+    "FusedAnswer",
+    "fuse_answers",
     "query_enumeration",
     "answer_quality",
     "FeedbackSession",

@@ -50,6 +50,7 @@ from .pxml.serialize import parse_pxml, pxml_to_text
 from .pxml.stats import tree_stats
 from .pxml.worlds import iter_worlds
 from .query.engine import ProbQueryEngine, QueryEngine
+from .query.fusion import DEFAULT_RRF_K, FUSION_STRATEGIES
 from .xmlkit.dtd import parse_dtd
 from .xmlkit.parser import parse_document
 from .xmlkit.serializer import serialize
@@ -106,7 +107,6 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    document = _load_pxml(args.document)
     queries = list(args.xpath)
     if args.queries_file:
         lines = Path(args.queries_file).read_text(encoding="utf-8").splitlines()
@@ -118,6 +118,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     if args.text is not None and not args.aggregate:
         raise ImpreciseError("--text requires --aggregate")
+    if args.all and args.glob is not None:
+        raise ImpreciseError("pass either --all or --glob PATTERN, not both")
+    if args.all or args.glob is not None:
+        return _run_search(args, queries)
+    if args.fusion is not None or args.rrf_k is not None:
+        raise ImpreciseError("--fusion/--rrf-k require --all or --glob")
+    document = _load_pxml(args.document)
     if args.aggregate:
         if args.batch:
             raise ImpreciseError(
@@ -140,6 +147,59 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f" {stats.get('hits', 0):,} hits, {stats.get('misses', 0):,} misses",
             file=sys.stderr,
         )
+    return 0
+
+
+def _run_search(args: argparse.Namespace, queries: Sequence[str]) -> int:
+    """``imprecise query STORE_DIR XPATH... --all|--glob PATTERN
+    [--fusion prob|rrf] [--rrf-k K]`` — fan each query across the
+    store's documents and print one fused ranked result (with
+    ``document#rank`` provenance per value); with ``--aggregate KIND``,
+    print the exact mixture distribution instead."""
+    directory = Path(args.document)
+    if not directory.is_dir():
+        raise ImpreciseError(
+            "--all/--glob query a document store directory"
+            f" (as served by 'imprecise serve'), got {args.document!r}"
+        )
+    if args.batch:
+        raise ImpreciseError(
+            "--batch does not combine with --all/--glob (a fan-out"
+            " already prices every document in one pass)"
+        )
+    strategy = args.fusion if args.fusion is not None else "prob"
+    rrf_k = args.rrf_k if args.rrf_k is not None else DEFAULT_RRF_K
+    if args.aggregate and args.fusion is not None:
+        raise ImpreciseError(
+            "--aggregate fan-outs always fuse by exact probability"
+            " mixture; --fusion only applies to ranked queries"
+        )
+    from .query.aggregates import format_distribution
+
+    with DataspaceService(directory=directory) as service:
+        for query_text in queries:
+            if len(queries) > 1 or args.aggregate:
+                label = f"== {query_text}"
+                if args.aggregate:
+                    label = f"== {args.aggregate} {query_text}"
+                    if args.text is not None:
+                        label += f" [text={args.text!r}]"
+                print(label)
+            if args.aggregate:
+                distribution = service.aggregate_all(
+                    args.aggregate, query_text, text=args.text, glob=args.glob
+                )
+                print(format_distribution(distribution))
+            else:
+                fused = service.query_all(
+                    query_text,
+                    glob=args.glob,
+                    strategy=strategy,
+                    rrf_k=rrf_k,
+                )
+                print(fused.as_table())
+        if args.cache_stats:
+            print(format_cache_stats(service.cache_stats()), file=sys.stderr)
     return 0
 
 
@@ -230,6 +290,10 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
         list
         put NAME FILE              # load an .xml/.pxml file into the store
         query NAME XPATH
+        search XPATH [GLOB [STRATEGY [K]]]       # fan-out + fusion; GLOB
+                                                 # default '*', STRATEGY
+                                                 # prob|rrf, K the rrf
+                                                 # dampening constant
         batch NAME XPATH [XPATH ...]
         aggregate NAME KIND TARGET [TEXT]        # KIND: count|sum|min|max|exists
         stats NAME
@@ -264,6 +328,17 @@ def _serve_dispatch(service: DataspaceService, line: str) -> bool:
         if len(arguments) != 2:
             raise ImpreciseError("usage: query NAME XPATH")
         print(service.query(arguments[0], arguments[1]).as_table())
+        return True
+    if command == "search":
+        if not 1 <= len(arguments) <= 4:
+            raise ImpreciseError("usage: search XPATH [GLOB [STRATEGY [K]]]")
+        fused = service.query_all(
+            arguments[0],
+            glob=arguments[1] if len(arguments) >= 2 else "*",
+            strategy=arguments[2] if len(arguments) >= 3 else "prob",
+            rrf_k=arguments[3] if len(arguments) == 4 else DEFAULT_RRF_K,
+        )
+        print(fused.as_table())
         return True
     if command == "batch":
         if len(arguments) < 2:
@@ -457,8 +532,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.set_defaults(handler=_cmd_estimate)
 
     p_query = sub.add_parser("query", help="ranked probabilistic XPath query")
-    p_query.add_argument("document", help=".pxml file")
+    p_query.add_argument("document",
+                         help=".pxml file (with --all/--glob: a document"
+                              " store directory)")
     p_query.add_argument("xpath", nargs="*", help="one or more XPath queries")
+    p_query.add_argument("--all", action="store_true",
+                         help="fan the query across every document in the"
+                              " store directory and fuse the answers")
+    p_query.add_argument("--glob", default=None, metavar="PATTERN",
+                         help="like --all, restricted to document names"
+                              " matching a shell-style pattern")
+    p_query.add_argument("--fusion", default=None,
+                         choices=FUSION_STRATEGIES,
+                         help="fusion strategy for --all/--glob:"
+                              " 'prob' (exact probability-weighted, default)"
+                              " or 'rrf' (exact-rational reciprocal rank)")
+    p_query.add_argument("--rrf-k", default=None, type=int, metavar="K",
+                         help="reciprocal-rank-fusion dampening constant"
+                              f" (default {DEFAULT_RRF_K})")
     p_query.add_argument("--batch", action="store_true",
                          help="evaluate all queries as one batch (shared"
                               " event-probability cache, bulk pricing)")

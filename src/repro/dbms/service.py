@@ -12,7 +12,9 @@ ROADMAP aims at.  :class:`DataspaceService` composes
   so priced answers survive process restarts,
 
 behind one facade safe for many threads: :meth:`query`,
-:meth:`run_batch`, :meth:`integrate`, :meth:`feedback`.
+:meth:`run_batch`, :meth:`query_all` / :meth:`aggregate_all` (the
+dataspace-wide fan-out with rank fusion — see
+:mod:`repro.query.fusion`), :meth:`integrate`, :meth:`feedback`.
 
 Serving discipline:
 
@@ -35,16 +37,19 @@ Serving discipline:
 
 from __future__ import annotations
 
+import os
 import threading
 import zlib
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from fractions import Fraction
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from ..core.engine import IntegrationReport
 from ..core.oracle import Oracle
 from ..core.rules import Rule
-from ..errors import QueryError, StoreError
+from ..errors import MissingDocumentError, QueryError, StoreError
 from ..feedback.conditioning import FeedbackStep
 from ..pxml.build import certain_document
 from ..pxml.model import PXDocument
@@ -56,6 +61,13 @@ from ..query.aggregates import (
     compile_aggregate,
 )
 from ..query.engine import QueryEngine, QueryLike
+from ..query.fusion import (
+    DEFAULT_RRF_K,
+    FusedAnswer,
+    WeightLike,
+    fuse_aggregates,
+    fuse_answers,
+)
 from ..query.plan import QueryPlan, compile_plan
 from ..query.ranking import RankedAnswer
 from ..xmlkit.dtd import DTD
@@ -108,6 +120,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         cache_dir: Optional[Union[str, Path]] = None,
         max_cached_documents: Optional[int] = None,
         cache_max_rows: Optional[int] = None,
+        fanout_workers: Optional[int] = None,
     ):
         if store is not None and directory is not None:
             raise StoreError("pass either store= or directory=, not both")
@@ -136,6 +149,12 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         self._max_engines = self.store.max_cached
         self._mu = threading.Lock()
         self._shards = [threading.RLock() for _ in range(_SERVICE_SHARDS)]
+        if fanout_workers is not None and fanout_workers < 1:
+            raise StoreError(
+                f"fanout_workers must be >= 1, got {fanout_workers}"
+            )
+        self._fanout_workers = fanout_workers
+        self._pool: Optional[ThreadPoolExecutor] = None  # lazy; see _fanout_pool
 
     # -- internals ----------------------------------------------------------
 
@@ -183,6 +202,50 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         if self.cache is not None and isinstance(expression, str):
             self.cache.remember_plan(expression, plan.fingerprint_digest)
         return plan, plan.fingerprint_digest
+
+    def _fanout_pool(self) -> ThreadPoolExecutor:
+        """The lazily-created thread pool fan-outs price documents on
+        (created on first :meth:`query_all`/:meth:`aggregate_all`, shut
+        down by :meth:`close`)."""
+        with self._mu:
+            if self._pool is None:
+                workers = self._fanout_workers
+                if workers is None:
+                    workers = min(32, (os.cpu_count() or 1) + 4)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="dataspace-fanout"
+                )
+            return self._pool
+
+    def _select_names(
+        self,
+        names: Optional[Sequence[str]],
+        glob: Optional[str],
+        *,
+        what: str,
+    ) -> list[str]:
+        """Resolve a fan-out membership to a pinned sorted name list.
+
+        ``names=None, glob=None`` selects the whole store; explicit
+        names are deduplicated, sorted, and checked to exist up front
+        (better one clean error than a half-submitted fan-out)."""
+        if names is not None and glob is not None:
+            raise StoreError(f"{what}: pass either names= or glob=, not both")
+        if names is not None:
+            selected = sorted(set(names))
+            for name in selected:
+                if name not in self.store:
+                    raise MissingDocumentError(f"no document named {name!r}")
+        elif glob is not None:
+            selected = self.store.glob(glob)
+        else:
+            selected = self.store.list()
+        if not selected:
+            raise MissingDocumentError(
+                f"{what} selected no documents"
+                + (f" (glob {glob!r})" if glob is not None else "")
+            )
+        return selected
 
     def _invalidate(self, name: str) -> None:
         with self._mu:
@@ -325,6 +388,94 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                         )
         return answers  # type: ignore[return-value]
 
+    def query_all(
+        self,
+        expression: QueryLike,
+        *,
+        names: Optional[Sequence[str]] = None,
+        glob: Optional[str] = None,
+        strategy: str = "prob",
+        weights: Optional[Mapping[str, WeightLike]] = None,
+        rrf_k: Union[int, str, Fraction] = DEFAULT_RRF_K,
+    ) -> FusedAnswer:
+        """Fan one query across many documents and fuse the per-document
+        answers into a single ranked result (ROADMAP item 2: querying
+        the dataspace *as a whole*).
+
+        The membership is the whole store by default, or ``names=``
+        (explicit list) / ``glob=`` (shell-style pattern, see
+        :meth:`DocumentStore.glob`) — always resolved to the pinned
+        sorted order, so fused ranks are reproducible across platforms
+        and argument orders.  The plan is compiled **once** and each
+        document is priced through the full serving stack —
+        per-document persistent rows hit lock-free in parallel on the
+        fan-out thread pool; misses price through the shared engines —
+        so a warm fan-out touches no engine at all.  Fusion semantics
+        (``strategy``, ``weights``, ``rrf_k``) are
+        :func:`repro.query.fusion.fuse_answers`.
+
+        >>> service = DataspaceService()
+        >>> service.load("a", "<r><x>1</x></r>")
+        >>> service.load("b", "<r><x>1</x><x>2</x></r>")
+        >>> service.query_all("//x").values()
+        ['1', '2']
+
+        Fraction-identical to fusing serial :meth:`query` calls.
+        """
+        selected = self._select_names(names, glob, what="query_all")
+        plan, _ = self._plan_and_digest(expression)
+        if plan is None:
+            # Persistent plan-memo hit: the digest is known but the
+            # fan-out still wants one shared compiled plan object.
+            plan = compile_plan(expression)
+        pool = self._fanout_pool()
+        futures = [(name, pool.submit(self.query, name, plan)) for name in selected]
+        answers = {name: future.result() for name, future in futures}
+        return fuse_answers(
+            answers, strategy=strategy, weights=weights, rrf_k=rrf_k
+        )
+
+    def aggregate_all(
+        self,
+        kind: Union[str, AggregateSpec],
+        target: Optional[str] = None,
+        *,
+        text: Optional[str] = None,
+        names: Optional[Sequence[str]] = None,
+        glob: Optional[str] = None,
+        weights: Optional[Mapping[str, WeightLike]] = None,
+    ) -> AggregateDistribution:
+        """Fan one aggregate across many documents and return the exact
+        mixture distribution under the per-document prior (see
+        :func:`repro.query.fusion.fuse_aggregates`).
+
+        The spec is compiled once; each document goes through
+        :meth:`aggregate`'s serving discipline (persistent aggregate
+        rows hit lock-free) on the fan-out pool.
+
+        >>> service = DataspaceService()
+        >>> service.load("a", "<r><p>1</p></r>")
+        >>> service.load("b", "<r><p>1</p><p>2</p></r>")
+        >>> service.aggregate_all("count", "p")
+        {1: Fraction(1, 2), 2: Fraction(1, 2)}
+        """
+        selected = self._select_names(names, glob, what="aggregate_all")
+        if isinstance(kind, AggregateSpec):
+            if target is not None or text is not None:
+                raise QueryError(
+                    "pass either a compiled AggregateSpec or (kind,"
+                    " target, text=), not both"
+                )
+            spec = kind
+        else:
+            spec = compile_aggregate(kind, target, text=text)
+        pool = self._fanout_pool()
+        futures = [
+            (name, pool.submit(self.aggregate, name, spec)) for name in selected
+        ]
+        distributions = {name: future.result() for name, future in futures}
+        return fuse_aggregates(distributions, weights=weights)
+
     def aggregate(
         self,
         name: str,
@@ -464,7 +615,12 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         return stats
 
     def close(self) -> None:
-        """Release the persistent cache connection (idempotent)."""
+        """Release the persistent cache connection and the fan-out
+        thread pool (idempotent)."""
+        with self._mu:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         if self.cache is not None:
             self.cache.close()
 

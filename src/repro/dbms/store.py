@@ -25,6 +25,7 @@ DataspaceService` serves many threads over one store):
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import re
 import threading
@@ -267,7 +268,15 @@ class DocumentStore:  # impreciselint: guarded-by=_mu
         return self._find_file(name) is not None
 
     def list(self) -> list[str]:
-        """All document names, sorted."""
+        """All document names in **pinned order**: sorted by Unicode
+        code point, case-sensitive, on every platform.
+
+        Never the filesystem's enumeration order — directory iteration
+        is insertion-ordered on some filesystems and collated on others,
+        and downstream consumers (fan-out ranks in
+        :meth:`repro.dbms.service.DataspaceService.query_all`, the
+        ``documents`` listings) must be reproducible across OSes.
+        """
         with self._mu:
             names = set(self._cache)
         if self.directory is not None:
@@ -275,6 +284,22 @@ class DocumentStore:  # impreciselint: guarded-by=_mu
                 if path.suffix in (".xml", ".pxml"):
                     names.add(path.stem)
         return sorted(names)
+
+    def glob(self, pattern: str) -> list[str]:
+        """Document names matching a shell-style pattern (``*``, ``?``,
+        ``[seq]``), in the same pinned sorted order as :meth:`list`.
+
+        Matching is :func:`fnmatch.fnmatchcase` — case-sensitive on
+        every platform (plain ``fnmatch.fnmatch`` silently folds case on
+        case-insensitive OSes) and never the filesystem's native glob,
+        whose result order and case rules are both platform-dependent.
+        An unmatched pattern returns ``[]``, not an error.
+        """
+        return [
+            name
+            for name in self.list()
+            if fnmatch.fnmatchcase(name, pattern)
+        ]
 
     def delete(self, name: str) -> None:
         """Remove a document from memory and disk; raises when absent."""

@@ -40,6 +40,16 @@ from .aggregates import (
     sum_distribution,
 )
 from .approximate import ApproximateAnswer, ApproximateItem, approximate_query
+from .fusion import (
+    DEFAULT_RRF_K,
+    FUSION_STRATEGIES,
+    DocumentContribution,
+    FusedAnswer,
+    FusedItem,
+    fuse_aggregates,
+    fuse_answers,
+    fusion_weights,
+)
 
 __all__ = [
     "RankedItem",
@@ -69,4 +79,12 @@ __all__ = [
     "ApproximateItem",
     "ApproximateAnswer",
     "approximate_query",
+    "DEFAULT_RRF_K",
+    "FUSION_STRATEGIES",
+    "DocumentContribution",
+    "FusedItem",
+    "FusedAnswer",
+    "fusion_weights",
+    "fuse_answers",
+    "fuse_aggregates",
 ]

@@ -15,6 +15,7 @@ PUT       ``/documents/{name}``       load an XML (``?kind=pxml``: PXML) body
 DELETE    ``/documents/{name}``       delete a document + its cached answers
 GET       ``/documents/{name}/stats`` uncertainty census of one document
 POST      ``/query``                  ranked probabilistic answer
+POST      ``/search``                 dataspace-wide fan-out + rank fusion
 POST      ``/aggregate``              exact aggregate distribution
 POST      ``/batch``                  one bulk-priced workload
 POST      ``/integrate``              integrate two stored sources
@@ -56,6 +57,7 @@ from ..dbms.service import DataspaceService
 from ..errors import ImpreciseError, MissingDocumentError, WireFormatError
 from ..experiments import standard_rules
 from ..pxml.serialize import parse_pxml
+from ..query.fusion import DEFAULT_RRF_K
 from .http import HTTPRequest, HTTPResponse, json_response
 from . import wire
 
@@ -162,6 +164,8 @@ class ServerApp:
             return await self._documents()
         if path == "/query" and method == "POST":
             return await self._query(request)
+        if path == "/search" and method == "POST":
+            return await self._search(request)
         if path == "/aggregate" and method == "POST":
             return await self._aggregate(request)
         if path == "/batch" and method == "POST":
@@ -222,6 +226,70 @@ class ServerApp:
                 "xpath": xpath,
                 "answer": {"items": wire.encode_answer(answer)},
             }
+        )
+
+    async def _search(self, request: HTTPRequest) -> HTTPResponse:
+        """Dataspace-wide fan-out: one query over many documents, fused
+        into one ranked result (``query_all``).  Reads take no app-level
+        lock — per-document persistent hits deserialize in parallel on
+        the service's own fan-out pool."""
+        body = self._body(request)
+        xpath = _field(body, "xpath")
+        documents = body.get("documents")
+        if documents is not None:
+            if not isinstance(documents, list) or not all(
+                isinstance(name, str) for name in documents
+            ):
+                raise _HTTPError(
+                    400, "bad_request", "'documents' must be a list of strings"
+                )
+        glob = body.get("glob")
+        if glob is not None and not isinstance(glob, str):
+            raise _HTTPError(400, "bad_request", "'glob' must be a string")
+        if documents is not None and glob is not None:
+            raise _HTTPError(
+                400, "bad_request", "pass either 'documents' or 'glob', not both"
+            )
+        strategy = body.get("strategy", "prob")
+        if not isinstance(strategy, str):
+            raise _HTTPError(400, "bad_request", "'strategy' must be a string")
+        k = body.get("k", DEFAULT_RRF_K)
+        if isinstance(k, bool) or not isinstance(k, (int, str)):
+            raise _HTTPError(
+                400, "bad_request", "'k' must be an integer or 'num/den' string"
+            )
+        raw_weights = body.get("weights")
+        weights = None
+        if raw_weights is not None:
+            if not isinstance(raw_weights, dict):
+                raise _HTTPError(400, "bad_request", "'weights' must be an object")
+            weights = {}
+            for name, value in raw_weights.items():
+                if not isinstance(name, str):
+                    raise _HTTPError(
+                        400, "bad_request", "'weights' keys must be strings"
+                    )
+                if isinstance(value, int) and not isinstance(value, bool):
+                    weights[name] = value
+                elif isinstance(value, str):
+                    weights[name] = wire.decode_fraction(value)
+                else:
+                    raise _HTTPError(
+                        400,
+                        "bad_request",
+                        "'weights' values must be integers or 'num/den' strings",
+                    )
+        fused = await self._call(
+            self.service.query_all,
+            xpath,
+            names=documents,
+            glob=glob,
+            strategy=strategy,
+            weights=weights,
+            rrf_k=k,
+        )
+        return json_response(
+            {"xpath": xpath, "result": wire.encode_fused_answer(fused)}
         )
 
     async def _aggregate(self, request: HTTPRequest) -> HTTPResponse:

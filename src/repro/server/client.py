@@ -20,9 +20,18 @@ import json
 from http.client import HTTPConnection, HTTPException
 from typing import Optional, Sequence
 
+from fractions import Fraction
+
 from ..errors import ImpreciseError, WireFormatError
+from ..query.fusion import FusedAnswer
 from ..query.ranking import RankedAnswer
-from .wire import decode_aggregate_distribution, decode_answer, decode_fraction
+from .wire import (
+    decode_aggregate_distribution,
+    decode_answer,
+    decode_fraction,
+    decode_fused_answer,
+    encode_fraction,
+)
 
 __all__ = ["DataspaceClient", "ServerError"]
 
@@ -173,6 +182,43 @@ class DataspaceClient:
             payload["text"] = text
         document = self._request("POST", "/aggregate", payload)
         return decode_aggregate_distribution(document["distribution"])
+
+    def search(
+        self,
+        xpath: str,
+        *,
+        documents: Optional[Sequence[str]] = None,
+        glob: Optional[str] = None,
+        strategy: str = "prob",
+        k: Optional[object] = None,
+        weights: Optional[dict] = None,
+    ) -> FusedAnswer:
+        """Dataspace-wide fan-out with rank fusion (``POST /search``) —
+        the whole store by default, or ``documents=`` / ``glob=``.
+        Returns the same :class:`~repro.query.fusion.FusedAnswer` (same
+        Fractions, same order, same per-document provenance) an
+        in-process :meth:`DataspaceService.query_all` call would.
+
+        ``k`` is the ``rrf`` dampening constant (int or exact rational);
+        ``weights`` maps document names to relative prior weights (int,
+        ``Fraction``, or ``"num/den"`` string).
+        """
+        payload: dict = {"xpath": xpath, "strategy": strategy}
+        if documents is not None:
+            payload["documents"] = list(documents)
+        if glob is not None:
+            payload["glob"] = glob
+        if k is not None:
+            payload["k"] = k if isinstance(k, int) else encode_fraction(Fraction(k))
+        if weights is not None:
+            payload["weights"] = {
+                name: value
+                if isinstance(value, int)
+                else encode_fraction(Fraction(value))
+                for name, value in weights.items()
+            }
+        document = self._request("POST", "/search", payload)
+        return decode_fused_answer(document["result"])
 
     def batch(self, name: str, xpaths: Sequence[str]) -> list:
         """One bulk-priced workload; answers align with ``xpaths``."""

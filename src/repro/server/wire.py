@@ -19,6 +19,10 @@ on-disk/on-wire format) and layers the remaining payload shapes on top:
   :func:`encode_aggregate_distribution` /
   :func:`decode_aggregate_distribution`, re-exported from the cache
   store (the persisted rows and the wire share one codec);
+* fused fan-out answers (``POST /search``) with per-document
+  provenance — each fused item carries ``[document, local rank, local
+  probability as "num/den"]`` source triples —
+  :func:`encode_fused_answer` / :func:`decode_fused_answer`;
 * node statistics, feedback steps and integration reports
   (:func:`encode_node_stats`, :func:`encode_feedback_step`,
   :func:`decode_feedback_step`, :func:`encode_report`).
@@ -49,6 +53,12 @@ from ..errors import WireFormatError
 from ..feedback.conditioning import FeedbackStep
 from ..pxml.stats import NodeStats
 from ..query.aggregates import AggregateDistribution
+from ..query.fusion import (
+    FUSION_STRATEGIES,
+    DocumentContribution,
+    FusedAnswer,
+    FusedItem,
+)
 
 __all__ = [
     "WIRE_VERSION",
@@ -60,6 +70,8 @@ __all__ = [
     "decode_distribution",
     "encode_aggregate_distribution",
     "decode_aggregate_distribution",
+    "encode_fused_answer",
+    "decode_fused_answer",
     "encode_node_stats",
     "decode_node_stats",
     "encode_feedback_step",
@@ -72,13 +84,122 @@ __all__ = [
 #: any field addition/removal in the encoders below, and refresh the
 #: surface pin — ``impreciselint`` blocks codec edits until both happen
 #: together (see docs/development.md).
-WIRE_VERSION = 1  # impreciselint: schema-surface=f6bfd7709520
+WIRE_VERSION = 2  # impreciselint: schema-surface=78981f2fca3d
 
 
 def _require_int(value: object, what: str) -> int:
     if not isinstance(value, int) or isinstance(value, bool):
         raise WireFormatError(f"{what} must be an integer, got {value!r}")
     return value
+
+
+def _require_str(value: object, what: str) -> str:
+    if not isinstance(value, str):
+        raise WireFormatError(f"{what} must be a string, got {value!r}")
+    return value
+
+
+def encode_fused_answer(fused: FusedAnswer) -> dict[str, object]:
+    """Wire form of a :class:`~repro.query.fusion.FusedAnswer` (the
+    ``POST /search`` result): the strategy, the fan-out membership in
+    pinned order, the normalized per-document prior, the ``rrf`` ``k``
+    constant when the strategy used one, and the fused items — each with
+    its exact ``"num/den"`` score and its provenance as ``[document,
+    rank, "num/den"]`` source triples (local rank 1-based, local
+    probability exact)."""
+    payload: dict[str, object] = {
+        "strategy": fused.strategy,
+        "documents": list(fused.documents),
+        "weights": {
+            name: encode_fraction(weight)
+            for name, weight in fused.weights.items()
+        },
+        "items": [
+            {
+                "value": item.value,
+                "score": encode_fraction(item.score),
+                "sources": [
+                    [
+                        source.document,
+                        source.rank,
+                        encode_fraction(source.probability),
+                    ]
+                    for source in item.sources
+                ],
+            }
+            for item in fused.items
+        ],
+    }
+    if fused.rrf_k is not None:
+        payload["k"] = encode_fraction(fused.rrf_k)
+    return payload
+
+
+def decode_fused_answer(payload: object) -> FusedAnswer:
+    """Inverse of :func:`encode_fused_answer`; strict."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"fused answer must be an object, got {type(payload).__name__}"
+        )
+    try:
+        strategy = _require_str(payload["strategy"], "strategy")
+        if strategy not in FUSION_STRATEGIES:
+            raise WireFormatError(f"unknown fusion strategy {strategy!r}")
+        raw_documents = payload["documents"]
+        raw_weights = payload["weights"]
+        raw_items = payload["items"]
+    except KeyError as missing:
+        raise WireFormatError(f"fused answer missing field {missing}") from None
+    if not isinstance(raw_documents, list):
+        raise WireFormatError(f"documents must be a list, got {raw_documents!r}")
+    documents = tuple(
+        _require_str(name, "document name") for name in raw_documents
+    )
+    if not isinstance(raw_weights, dict):
+        raise WireFormatError(f"weights must be an object, got {raw_weights!r}")
+    weights = {
+        _require_str(name, "weight name"): decode_fraction(weight)
+        for name, weight in raw_weights.items()
+    }
+    if not isinstance(raw_items, list):
+        raise WireFormatError(f"items must be a list, got {raw_items!r}")
+    items = []
+    for entry in raw_items:
+        if not isinstance(entry, dict):
+            raise WireFormatError(f"malformed fused item {entry!r}")
+        try:
+            value = _require_str(entry["value"], "value")
+            score = decode_fraction(entry["score"])
+            raw_sources = entry["sources"]
+        except KeyError as missing:
+            raise WireFormatError(
+                f"fused item missing field {missing}"
+            ) from None
+        if not isinstance(raw_sources, list):
+            raise WireFormatError(f"sources must be a list, got {raw_sources!r}")
+        sources = []
+        for triple in raw_sources:
+            if not isinstance(triple, list) or len(triple) != 3:
+                raise WireFormatError(
+                    f"source must be [document, rank, probability],"
+                    f" got {triple!r}"
+                )
+            sources.append(
+                DocumentContribution(
+                    document=_require_str(triple[0], "source document"),
+                    rank=_require_int(triple[1], "source rank"),
+                    probability=decode_fraction(triple[2]),
+                )
+            )
+        items.append(FusedItem(value, score, tuple(sources)))
+    rrf_k = decode_fraction(payload["k"]) if "k" in payload else None
+    return FusedAnswer(
+        strategy=strategy,
+        items=items,
+        documents=documents,
+        weights=weights,
+        rrf_k=rrf_k,
+    )
 
 
 def encode_distribution(

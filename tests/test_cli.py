@@ -178,6 +178,125 @@ class TestQueryAndStats:
         assert "not numeric" in capsys.readouterr().err
 
 
+class TestSearchFanOut:
+    """``imprecise query STORE --all/--glob``: the dataspace fan-out."""
+
+    @pytest.fixture
+    def store(self, workspace, capsys):
+        store = workspace / "store"
+        assert run([
+            "serve", store,
+            "--exec", f"put a {workspace / 'a.xml'}",
+            "--exec", f"put b {workspace / 'b.xml'}",
+            "--exec", "integrate a b ab",
+        ]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_all_prob_fusion_with_provenance(self, store, capsys):
+        assert run(["query", store, "//person/tel", "--all"]) == 0
+        out = capsys.readouterr().out
+        # Probability-weighted fusion over {a, ab, b}: both phone
+        # numbers score 2/3, ties broken by value, provenance listing
+        # each contributing document with its local rank.
+        assert " 67% 1111  [a#1, ab#1]" in out
+        assert " 67% 2222  [ab#2, b#1]" in out
+
+    def test_glob_rrf_fusion(self, store, capsys):
+        assert run([
+            "query", store, "//person/tel",
+            "--glob", "a*", "--fusion", "rrf", "--rrf-k", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Exact-rational RRF over {a, ab} at k=10: 1111 ranks first in
+        # both (1/2·1/11 + 1/2·1/11 = 1/11), 2222 only in ab at rank 2.
+        assert "1/11 1111  [a#1, ab#1]" in out
+        assert "1/24 2222  [ab#2]" in out
+
+    def test_multiple_queries_get_labels(self, store, capsys):
+        assert run([
+            "query", store, "//person/tel", "//person/nm", "--all",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== //person/tel" in out and "== //person/nm" in out
+
+    def test_all_aggregate_mixture(self, store, capsys):
+        assert run([
+            "query", store, "//person", "--all", "--aggregate", "count",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== count //person" in out
+        # Equal-weight mixture of the three per-document count
+        # distributions: a and b are certain (1 person), ab is 1-or-2.
+        assert "83% 1  (5/6)" in out
+        assert "17% 2  (1/6)" in out
+
+    def test_fan_out_cache_stats(self, store, capsys):
+        assert run([
+            "query", store, "//person/tel", "--all", "--cache-stats",
+        ]) == 0
+        assert "engines" in capsys.readouterr().err
+
+    def test_fusion_without_fan_out_fails_cleanly(self, workspace, capsys):
+        run([
+            "integrate", workspace / "a.xml", workspace / "b.xml",
+            "--dtd", workspace / "ab.dtd", "-o", workspace / "out.pxml",
+        ])
+        capsys.readouterr()
+        assert run([
+            "query", workspace / "out.pxml", "//person/tel",
+            "--fusion", "rrf",
+        ]) == 1
+        assert "--all or --glob" in capsys.readouterr().err
+
+    def test_all_and_glob_together_fails_cleanly(self, store, capsys):
+        assert run([
+            "query", store, "//x", "--all", "--glob", "a*",
+        ]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_fan_out_needs_a_directory(self, workspace, capsys):
+        assert run(["query", workspace / "a.xml", "//x", "--all"]) == 1
+        assert "store directory" in capsys.readouterr().err
+
+    def test_fan_out_rejects_batch(self, store, capsys):
+        assert run([
+            "query", store, "//x", "--all", "--batch",
+        ]) == 1
+        assert "--batch" in capsys.readouterr().err
+
+    def test_aggregate_fan_out_rejects_fusion_flag(self, store, capsys):
+        assert run([
+            "query", store, "//person", "--all", "--aggregate", "count",
+            "--fusion", "rrf",
+        ]) == 1
+        assert "mixture" in capsys.readouterr().err
+
+    def test_unmatched_glob_fails_cleanly(self, store, capsys):
+        assert run(["query", store, "//x", "--glob", "zzz*"]) == 1
+        assert "selected no documents" in capsys.readouterr().err
+
+    def test_serve_search_command(self, store, workspace, capsys):
+        assert run([
+            "serve", store,
+            "--exec", "search //person/tel",
+            "--exec", "search //person/nm a* rrf 5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert " 67% 1111  [a#1, ab#1]" in out
+        assert "1/6 John  [a#1, ab#1]" in out
+
+    def test_serve_search_usage_error_keeps_serving(self, store, capsys):
+        assert run([
+            "serve", store,
+            "--exec", "search",
+            "--exec", "search //person/tel",
+        ]) == 1  # the bad command failed, the loop kept serving
+        captured = capsys.readouterr()
+        assert "usage: search" in captured.err
+        assert "1111" in captured.out
+
+
 class TestEstimate:
     def test_estimate_output(self, workspace, capsys):
         assert run([

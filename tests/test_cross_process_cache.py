@@ -21,6 +21,12 @@ WORKLOAD = [
     '//person[nm="John"]/tel',
 ]
 
+#: The fan-out acceptance (ISSUE 7): one query over these documents,
+#: fused under both strategies; deliberately NOT in WORKLOAD so its
+#: per-document rows are attributable in the counters.
+FUSION_XPATH = '//person[tel="1111"]/nm'
+FUSION_DOCS = ["a", "ab", "b"]
+
 #: (kind, target, text) aggregates priced alongside the query workload —
 #: the persisted-aggregate-rows acceptance (ISSUE 5).
 AGGREGATES = [
@@ -41,10 +47,12 @@ from repro.core.rules import DeepEqualRule, LeafValueRule
 from repro.data.addressbook import ADDRESSBOOK_DTD, addressbook_documents
 from repro.dbms.cache_store import encode_aggregate_distribution
 from repro.dbms.service import DataspaceService
+from repro.server.wire import encode_fused_answer
 
 mode, store_dir, cache_dir = sys.argv[1], sys.argv[2], sys.argv[3]
 workload = json.loads(sys.argv[4])
 aggregates = json.loads(sys.argv[5])
+fusion_xpath, fusion_docs = sys.argv[6], json.loads(sys.argv[7])
 
 with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
     if mode == "cold":
@@ -70,9 +78,16 @@ with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
         )
         for kind, target, text in aggregates
     }
+    fused = {
+        strategy: encode_fused_answer(service.query_all(
+            fusion_xpath, names=fusion_docs, strategy=strategy, rrf_k=17,
+        ))
+        for strategy in ("prob", "rrf")
+    }
     print(json.dumps({
         "answers": answers,
         "aggregates": distributions,
+        "fused": fused,
         "stats": service.cache_stats(),
         "plan_digests": {
             q: service.cache.plan_digest(q) for q in workload
@@ -89,6 +104,7 @@ def run_interpreter(mode: str, store_dir: Path, cache_dir: Path) -> dict:
             sys.executable, "-c", SCRIPT,
             mode, str(store_dir), str(cache_dir),
             json.dumps(WORKLOAD), json.dumps(AGGREGATES),
+            FUSION_XPATH, json.dumps(FUSION_DOCS),
         ],
         capture_output=True,
         text=True,
@@ -103,8 +119,12 @@ def test_cross_process_reuse(tmp_path):
     store_dir, cache_dir = tmp_path / "store", tmp_path / "cache"
 
     cold = run_interpreter("cold", store_dir, cache_dir)
-    assert cold["stats"]["persistent_stored"] == len(WORKLOAD)
-    assert cold["stats"]["persistent_hits"] == 0
+    # The prob fan-out stores one row per fanned document; the rrf
+    # fan-out of the same query then hits those same rows (fusion
+    # strategy is not part of the cache key — the per-document answer
+    # is strategy-independent).
+    assert cold["stats"]["persistent_stored"] == len(WORKLOAD) + len(FUSION_DOCS)
+    assert cold["stats"]["persistent_hits"] == len(FUSION_DOCS)
     assert cold["stats"]["persistent_aggregate_stored"] == len(AGGREGATES)
     assert cold["stats"]["persistent_aggregate_hits"] == 0
 
@@ -115,9 +135,13 @@ def test_cross_process_reuse(tmp_path):
     # Fraction-identical aggregate distributions, decoded from the
     # persisted aggregate rows of the first interpreter.
     assert warm["aggregates"] == cold["aggregates"]
-    # Every answer and every aggregate was a persistent hit in the
-    # fresh interpreter …
-    assert warm["stats"]["persistent_hits"] == len(WORKLOAD)
+    # Fraction-identical fused fan-out results — scores, membership and
+    # per-document provenance (name, local rank, "num/den" probability)
+    # — for both fusion strategies (ISSUE 7 acceptance).
+    assert warm["fused"] == cold["fused"]
+    # Every answer, every aggregate, and every fan-out's per-document
+    # row was a persistent hit in the fresh interpreter …
+    assert warm["stats"]["persistent_hits"] == len(WORKLOAD) + 2 * len(FUSION_DOCS)
     assert warm["stats"]["persistent_stored"] == 0
     assert warm["stats"]["persistent_aggregate_hits"] == len(AGGREGATES)
     assert warm["stats"]["persistent_aggregate_stored"] == 0

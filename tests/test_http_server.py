@@ -208,6 +208,110 @@ class TestEndpoints:
             before["persistent_aggregate_hits"] + 1
 
 
+class TestSearch:
+    """POST /search: the dataspace-wide fan-out over the wire."""
+
+    def test_fused_result_identical_to_in_process(self, live):
+        client, service, _ = live
+        load_addressbook(client)
+        for kwargs in (
+            {},
+            {"strategy": "rrf"},
+            {"strategy": "rrf", "k": 7},
+            {"documents": ["a", "b"]},
+            {"glob": "a*"},
+            {"weights": {"ab": 3}},
+            {"strategy": "rrf", "k": "15/2", "weights": {"a": "1/3"}},
+        ):
+            over_http = client.search("//person/tel", **kwargs)
+            in_process = service.query_all(
+                "//person/tel",
+                names=kwargs.get("documents"),
+                glob=kwargs.get("glob"),
+                strategy=kwargs.get("strategy", "prob"),
+                weights=kwargs.get("weights"),
+                **(
+                    {"rrf_k": kwargs["k"]} if "k" in kwargs else {}
+                ),
+            )
+            # Dataclass equality: strategy, items (exact Fraction
+            # scores), membership order, weights, provenance triples.
+            assert over_http == in_process, kwargs
+
+    def test_provenance_intact_over_the_wire(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        fused = client.search("//person/tel")
+        assert fused.documents == ("a", "ab", "b")
+        assert sum(fused.weights.values()) == 1
+        for item in fused.items:
+            assert item.sources, item
+            for source in item.sources:
+                assert source.document in fused.documents
+                assert source.rank >= 1
+                assert isinstance(source.probability, Fraction)
+                assert 0 < source.probability <= 1
+
+    def test_unknown_strategy_is_400(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.search("//person/tel", strategy="borda")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "QueryError"
+
+    def test_empty_store_is_404(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client.search("//person/tel")
+        assert excinfo.value.status == 404
+
+    def test_unmatched_glob_is_404(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.search("//person/tel", glob="zzz*")
+        assert excinfo.value.status == 404
+
+    def test_documents_and_glob_together_is_400(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client._request(
+                "POST",
+                "/search",
+                {"xpath": "//x", "documents": ["a"], "glob": "a*"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_missing_xpath_is_400(self, live):
+        client, _, _ = live
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/search", {"glob": "*"})
+        assert excinfo.value.status == 400
+        assert "xpath" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"xpath": "//x", "k": 2.5},
+            {"xpath": "//x", "k": True},
+            {"xpath": "//x", "strategy": "rrf", "k": "-1"},
+            {"xpath": "//x", "weights": {"a": 0}},
+            {"xpath": "//x", "weights": {"a": 1.5}},
+            {"xpath": "//x", "weights": "heavy"},
+            {"xpath": "//x", "documents": "a"},
+            {"xpath": "//x", "strategy": 7},
+        ],
+    )
+    def test_malformed_search_bodies_are_400(self, live, payload):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/search", payload)
+        assert excinfo.value.status == 400
+
+
 class TestErrors:
     def test_missing_document_is_404(self, live):
         client, _, _ = live

@@ -30,6 +30,27 @@ def shape(answer):
     return [(item.value, item.probability, item.occurrences) for item in answer]
 
 
+def shape_fused(fused):
+    """Full comparable form of a FusedAnswer: strategy, membership,
+    and every item with its exact score and provenance triples."""
+    return (
+        fused.strategy,
+        fused.documents,
+        tuple(sorted(fused.weights.items())),
+        tuple(
+            (
+                item.value,
+                item.score,
+                tuple(
+                    (source.document, source.rank, source.probability)
+                    for source in item.sources
+                ),
+            )
+            for item in fused.items
+        ),
+    )
+
+
 @pytest.fixture
 def integrated(tmp_path):
     """A persistent service with an integrated addressbook stored as 'ab'."""
@@ -328,17 +349,19 @@ SOAK_AGGREGATES = [
 
 
 def build_service_soak_schedules():
-    """Deterministic per-thread schedules mixing queries, aggregates and
-    feedback.  Each thread owns its private output document (mutations
-    cannot interact across threads) and also reads the shared immutable
-    ``base`` document — replayable serially."""
+    """Deterministic per-thread schedules mixing queries, fan-outs
+    (``query_all``), aggregates and feedback.  Each thread owns its
+    private output document (mutations cannot interact across threads)
+    and also reads the shared immutable ``base`` document; fan-outs span
+    only ``{private, base}`` so the fused result is a pure function of
+    the thread's own schedule position — replayable serially."""
     schedules = []
     for thread in range(SOAK_THREADS):
         ops = []
         private = f"out{thread}"
         ops.append(("integrate", "a", "b", private))
         for index in range(SOAK_REQUESTS):
-            kind = index % 5
+            kind = index % 6
             if kind == 0:
                 ops.append(("query", "base", WORKLOAD[index % len(WORKLOAD)]))
             elif kind == 1:
@@ -349,8 +372,16 @@ def build_service_soak_schedules():
                 ops.append(("aggregate", private) + agg)
             elif kind == 3:
                 ops.append(("feedback", private, "//person/tel", "1111"))
-            else:
+            elif kind == 4:
                 ops.append(("query", private, WORKLOAD[index % len(WORKLOAD)]))
+            else:
+                strategy = "prob" if (index + thread) % 2 == 0 else "rrf"
+                ops.append((
+                    "query_all",
+                    (private, "base"),
+                    WORKLOAD[(index + thread) % len(WORKLOAD)],
+                    strategy,
+                ))
         schedules.append(ops)
     return schedules
 
@@ -368,6 +399,11 @@ def run_service_schedule(service, ops):
                 distribution.items(),
                 key=lambda item: (item[0] is not None, item[0] or 0),
             ))
+        elif op[0] == "query_all":
+            fused = service.query_all(
+                op[2], names=list(op[1]), strategy=op[3]
+            )
+            results.append(shape_fused(fused))
         elif op[0] == "feedback":
             step = service.feedback(op[1], op[2], op[3], correct=True)
             results.append((step.kind, step.prior, step.worlds_after))
@@ -388,10 +424,12 @@ def populate_service_soak(service):
 
 class TestMixedSoak:
     def test_mixed_query_aggregate_feedback_matches_serial(self, tmp_path):
-        """Acceptance (ISSUE 5): N threads of mixed query/aggregate/
-        feedback traffic against one persistent service are identical —
-        Fraction for Fraction, key for key — to a serial replay of the
-        same schedules, inside a hard timeout (deadlock guard)."""
+        """Acceptance (ISSUE 5, extended by ISSUE 7): N threads of mixed
+        query/query_all/aggregate/feedback traffic against one
+        persistent service are identical — Fraction for Fraction, key
+        for key, provenance triple for provenance triple — to a serial
+        replay of the same schedules, inside a hard timeout (deadlock
+        guard)."""
         schedules = build_service_soak_schedules()
 
         # Serial reference over its own store.

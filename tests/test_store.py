@@ -37,6 +37,39 @@ class TestInMemory:
         store.put("alpha", plain_doc.copy())
         assert store.list() == ["alpha", "zeta"]
 
+    def test_list_pinned_order_ignores_insertion_order(self, plain_doc):
+        """The listing order is code-point sorted, never insertion order
+        (directory iteration is insertion-ordered on some filesystems) —
+        fan-out ranks depend on this being reproducible everywhere."""
+        store = DocumentStore()
+        names = ["m2", "Z", "a-1", "m10", "A", "a.1"]
+        for name in names:
+            store.put(name, plain_doc.copy())
+        expected = sorted(names)  # code points: upper < '-'/'.' < lower
+        assert store.list() == expected
+        assert store.glob("*") == expected
+
+    def test_glob_patterns(self, plain_doc):
+        store = DocumentStore()
+        for name in ("pair.b", "pair.a", "other", "p2"):
+            store.put(name, plain_doc.copy())
+        assert store.glob("pair.*") == ["pair.a", "pair.b"]
+        assert store.glob("p*") == ["p2", "pair.a", "pair.b"]
+        assert store.glob("?ther") == ["other"]
+        assert store.glob("pair.[ab]") == ["pair.a", "pair.b"]
+        assert store.glob("zzz*") == []
+
+    def test_glob_is_case_sensitive_everywhere(self, plain_doc):
+        """fnmatchcase semantics: 'Doc*' must not match 'doc1' even on a
+        case-insensitive OS (plain fnmatch folds case per platform,
+        which would reorder/regrow fan-outs across machines)."""
+        store = DocumentStore()
+        store.put("Doc1", plain_doc)
+        store.put("doc1", plain_doc.copy())
+        assert store.glob("Doc*") == ["Doc1"]
+        assert store.glob("doc*") == ["doc1"]
+        assert store.glob("[Dd]oc*") == ["Doc1", "doc1"]
+
     def test_delete(self, plain_doc):
         store = DocumentStore()
         store.put("movies", plain_doc)
@@ -77,6 +110,17 @@ class TestPersistence:
         loaded = DocumentStore(tmp_path).get("movies")
         assert isinstance(loaded, PXDocument)
         assert px_deep_equal(loaded.root, document.root)
+
+    def test_glob_sees_unmaterialized_files(self, tmp_path, plain_doc):
+        """glob/list pick up on-disk documents a fresh store has never
+        parsed, in the same pinned order as a warm one."""
+        warm = DocumentStore(tmp_path)
+        for name in ("pair.b", "other", "pair.a"):
+            warm.put(name, plain_doc.copy())
+        fresh = DocumentStore(tmp_path)
+        assert fresh.glob("pair.*") == ["pair.a", "pair.b"]
+        assert fresh.list() == warm.list() == ["other", "pair.a", "pair.b"]
+        assert fresh.cached_count() == 0  # listing parsed nothing
 
     def test_files_on_disk(self, tmp_path, plain_doc):
         store = DocumentStore(tmp_path)

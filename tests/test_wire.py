@@ -19,6 +19,7 @@ from repro.dbms.cache_store import _decode_answer, _encode_answer
 from repro.errors import WireFormatError
 from repro.feedback.conditioning import FeedbackStep
 from repro.pxml.stats import NodeStats
+from repro.query.fusion import fuse_answers
 from repro.query.ranking import RankedAnswer, RankedItem
 from repro.server import wire
 
@@ -291,6 +292,97 @@ class TestAggregateDistributionRoundTrip:
     def test_malformed_aggregate_distribution_raises(self, garbage):
         with pytest.raises(WireFormatError):
             wire.decode_aggregate_distribution(garbage)
+
+
+def random_fused_answer(rng: random.Random):
+    """A structurally honest FusedAnswer: built by actually fusing
+    random per-document ranked answers, so scores, provenance and the
+    normalized weights obey the fusion invariants."""
+    documents = rng.sample(
+        ["alpha", "beta", "gamma", "delta", "epsilon"], rng.randrange(1, 5)
+    )
+    answers = {}
+    for name in documents:
+        seen: set = set()
+        items = []
+        for _ in range(rng.randrange(0, 6)):
+            value = random_value(rng)
+            if not value or value in seen:
+                continue
+            seen.add(value)
+            denominator = rng.randrange(2, 50)
+            probability = Fraction(rng.randrange(1, denominator + 1), denominator)
+            items.append(RankedItem(value, probability, rng.randrange(1, 4)))
+        answers[name] = RankedAnswer(items)
+    strategy = rng.choice(["prob", "rrf"])
+    kwargs: dict = {"strategy": strategy}
+    if rng.randrange(2):
+        boosted = rng.sample(documents, rng.randrange(0, len(documents) + 1))
+        kwargs["weights"] = {name: rng.randrange(1, 5) for name in boosted}
+    if strategy == "rrf":
+        kwargs["rrf_k"] = rng.choice([0, 7, 60, Fraction(121, 2)])
+    return fuse_answers(answers, **kwargs)
+
+
+class TestFusedAnswerRoundTrip:
+    def test_hundreds_of_fused_answers(self):
+        rng = random.Random(RNG_SEED + 7)
+        for _ in range(max(WIRE_CASES // 5, 50)):
+            fused = random_fused_answer(rng)
+            payload = json.loads(json.dumps(wire.encode_fused_answer(fused)))
+            decoded = wire.decode_fused_answer(payload)
+            # Dataclass equality: strategy, exact scores, provenance
+            # triples, membership order, normalized weights and k.
+            assert decoded == fused
+            assert decoded.values() == fused.values()
+            for item in decoded.items:
+                assert isinstance(item.score, Fraction)
+                for source in item.sources:
+                    assert isinstance(source.probability, Fraction)
+                    assert isinstance(source.rank, int)
+
+    def test_k_only_present_for_rrf(self):
+        rng = random.Random(RNG_SEED + 8)
+        answers = {"a": random_answer(rng)}
+        prob = wire.encode_fused_answer(fuse_answers(answers))
+        rrf = wire.encode_fused_answer(
+            fuse_answers(answers, strategy="rrf", rrf_k=9)
+        )
+        assert "k" not in prob
+        assert rrf["k"] == "9/1"
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            None,
+            [],
+            {},
+            {"strategy": "borda", "documents": [], "weights": {}, "items": []},
+            {"strategy": "prob", "weights": {}, "items": []},   # no documents
+            {"strategy": "prob", "documents": "a", "weights": {}, "items": []},
+            {"strategy": "prob", "documents": [1], "weights": {}, "items": []},
+            {"strategy": "prob", "documents": [], "weights": [], "items": []},
+            {"strategy": "prob", "documents": [],
+             "weights": {"a": 0.5}, "items": []},               # float weight
+            {"strategy": "prob", "documents": [], "weights": {}, "items": {}},
+            {"strategy": "prob", "documents": [], "weights": {},
+             "items": [{"value": "v", "score": "1/2"}]},        # no sources
+            {"strategy": "prob", "documents": [], "weights": {},
+             "items": [{"value": "v", "score": 0.5, "sources": []}]},
+            {"strategy": "prob", "documents": [], "weights": {},
+             "items": [{"value": "v", "score": "1/2",
+                        "sources": [["a", 1]]}]},               # short triple
+            {"strategy": "prob", "documents": [], "weights": {},
+             "items": [{"value": "v", "score": "1/2",
+                        "sources": [["a", True, "1/2"]]}]},     # bool rank
+            {"strategy": "prob", "documents": [], "weights": {},
+             "items": [{"value": "v", "score": "1/2",
+                        "sources": [["a", 1, 0.5]]}]},          # float prob
+        ],
+    )
+    def test_malformed_fused_answer_raises(self, garbage):
+        with pytest.raises(WireFormatError):
+            wire.decode_fused_answer(garbage)
 
 
 class TestStructRoundTrip:

@@ -63,6 +63,7 @@ FLOAT_TAINT_SCOPE = (
     "repro/feedback/conditioning.py",
     "repro/query/plan.py",
     "repro/query/aggregates.py",
+    "repro/query/fusion.py",
     "repro/query/ranking.py",
     "repro/query/approximate.py",
     "repro/core/similarity.py",
