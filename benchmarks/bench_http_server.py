@@ -27,7 +27,7 @@ from repro.server.app import ServerApp
 from repro.server.client import DataspaceClient
 from repro.server.http import BackgroundServer
 
-from .conftest import format_table, write_result
+from .conftest import format_table, write_bench_json, write_result
 
 #: Conservative floor for shared CI runners; local machines clear it by
 #: one to two orders of magnitude.
@@ -147,6 +147,18 @@ def test_http_warm_throughput(tmp_path):
                  f"{concurrent_time * 1e3:8.1f} ms", f"{concurrent_rps:10.0f} req/s"],
             ],
         ),
+    )
+    write_bench_json(
+        "http_server",
+        {
+            "rounds": ROUNDS,
+            "client_threads": CLIENT_THREADS,
+            "requests": requests,
+            "in_process_rps": round(in_process_rps, 1),
+            "sequential_rps": round(sequential_rps, 1),
+            "concurrent_rps": round(concurrent_rps, 1),
+            "floor_rps": RPS_FLOOR,
+        },
     )
 
     assert sequential_rps >= RPS_FLOOR, (

@@ -1,0 +1,149 @@
+"""Multi-process serving tier benchmark: warm-throughput scaling.
+
+The pre-fork tier's cost model (ISSUE 8): a warm workload is SQLite
+lookup + JSON per request, so adding workers should add throughput until
+the machine runs out of cores — the router's consistent-hash sharding
+keeps each document's cache rows hot in one worker and the shared
+on-disk answer cache means no worker ever re-prices.
+
+This benchmark hammers the same warm workload (spread over
+``DOC_COUNT`` documents so the shard router actually fans out) through a
+1-worker tier and an N-worker tier and asserts the scaling factor.
+
+Acceptance: N-worker / 1-worker warm throughput ≥ the floor.  The floor
+is honest about hardware: ``BENCH_MULTIPROC_SCALING_FLOOR`` when set
+(CI sets it to match its runner), else 2.5 on machines with ≥ 4 cores,
+else a sanity floor of 0.5 (on a 1-core box the tier can't scale, but it
+must not *collapse* — routing overhead stays bounded).
+
+The measured trajectory lands in ``BENCH_multiproc.json``.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.dbms.service import DataspaceService
+from repro.xmlkit.parser import parse_document
+from repro.server.client import DataspaceClient
+from repro.server.multiproc import MultiProcServer
+
+from .conftest import format_table, write_bench_json, write_result
+
+WORKERS = int(os.environ.get("BENCH_MULTIPROC_WORKERS", "4"))
+ROUNDS = int(os.environ.get("BENCH_MULTIPROC_ROUNDS", "12"))
+CLIENT_THREADS = int(os.environ.get("BENCH_MULTIPROC_THREADS", "4"))
+DOC_COUNT = 8  # ≥ workers so every shard owns documents
+
+_floor_env = os.environ.get("BENCH_MULTIPROC_SCALING_FLOOR")
+if _floor_env is not None:
+    SCALING_FLOOR = float(_floor_env)
+elif (os.cpu_count() or 1) >= 4:
+    SCALING_FLOOR = 2.5
+else:
+    SCALING_FLOOR = 0.5
+
+QUERIES = ["//x", "//y", '//x[. = "1"]']
+
+
+def _populate(store_dir, cache_dir):
+    """Load the corpus and price the whole workload once — everything
+    measured below is served warm from the shared answer cache."""
+    with DataspaceService(directory=store_dir, cache_dir=cache_dir) as service:
+        for index in range(DOC_COUNT):
+            service.load_document(
+                f"src{index}",
+                parse_document(f"<r><x>{index % 4}</x><x>1</x><y>{index}</y></r>"),
+            )
+        for index in range(DOC_COUNT):
+            for query in QUERIES:
+                service.query(f"src{index}", query)
+
+
+def _shape(answer):
+    return [(item.value, item.probability, item.occurrences) for item in answer]
+
+
+def _hammer(host, port):
+    """CLIENT_THREADS clients, each sweeping the full warm workload
+    ROUNDS times; returns (total requests, wall seconds)."""
+
+    def sweep(thread_index):
+        with DataspaceClient(host, port) as client:
+            for _ in range(ROUNDS):
+                for index in range(DOC_COUNT):
+                    for query in QUERIES:
+                        client.query(f"src{index}", query)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        list(pool.map(sweep, range(CLIENT_THREADS)))
+    elapsed = time.perf_counter() - start
+    return CLIENT_THREADS * ROUNDS * DOC_COUNT * len(QUERIES), elapsed
+
+
+def test_multiproc_warm_scaling(tmp_path):
+    store_dir, cache_dir = tmp_path / "store", tmp_path / "cache"
+    _populate(store_dir, cache_dir)
+
+    shapes = {}
+    timings = {}
+    for workers in (1, WORKERS):
+        with MultiProcServer(
+            store_dir, workers=workers, cache_dir=cache_dir
+        ) as tier:
+            host, port = tier.host, tier.port
+            with DataspaceClient(host, port) as client:
+                shapes[workers] = {
+                    (index, query): _shape(client.query(f"src{index}", query))
+                    for index in range(DOC_COUNT)
+                    for query in QUERIES
+                }
+            timings[workers] = _hammer(host, port)
+
+    # Correctness before speed: both tiers serve Fraction-identical
+    # answers for every (document, query) pair.
+    assert shapes[1] == shapes[WORKERS]
+
+    single_requests, single_time = timings[1]
+    multi_requests, multi_time = timings[WORKERS]
+    single_rps = single_requests / single_time if single_time else float("inf")
+    multi_rps = multi_requests / multi_time if multi_time else float("inf")
+    scaling = multi_rps / single_rps if single_rps else float("inf")
+
+    write_result(
+        "multiproc",
+        f"Pre-fork serving tier — warm-throughput scaling"
+        f" ({DOC_COUNT} documents × {len(QUERIES)} queries ×"
+        f" {ROUNDS} rounds × {CLIENT_THREADS} client threads,"
+        f" floor {SCALING_FLOOR:g}×, {os.cpu_count()} cores)\n"
+        + format_table(
+            ["tier", "requests", "total time", "throughput"],
+            [
+                ["1 worker", f"{single_requests}",
+                 f"{single_time * 1e3:8.1f} ms", f"{single_rps:10.0f} req/s"],
+                [f"{WORKERS} workers", f"{multi_requests}",
+                 f"{multi_time * 1e3:8.1f} ms", f"{multi_rps:10.0f} req/s"],
+            ],
+        )
+        + f"\nscaling: {scaling:.2f}x",
+    )
+    write_bench_json(
+        "multiproc",
+        {
+            "workers": WORKERS,
+            "client_threads": CLIENT_THREADS,
+            "documents": DOC_COUNT,
+            "rounds": ROUNDS,
+            "cores": os.cpu_count(),
+            "single_worker_rps": round(single_rps, 1),
+            "multi_worker_rps": round(multi_rps, 1),
+            "scaling": round(scaling, 3),
+            "floor": SCALING_FLOOR,
+        },
+    )
+
+    assert scaling >= SCALING_FLOOR, (
+        f"{WORKERS}-worker warm throughput scaled {scaling:.2f}x over one"
+        f" worker, below the {SCALING_FLOOR:g}x acceptance floor"
+    )

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""The dataspace as a serving tier: pre-fork multi-worker quickstart.
+
+Launches ``imprecise serve --http --workers 4`` as a real subprocess —
+one parent router plus four worker processes sharing one store and one
+persistent answer cache — and drives it end to end:
+
+* load eight documents and watch the consistent-hash router pin each
+  name to one worker (shard affinity keeps that document's cache rows
+  and materialization hot in a single process);
+* query every document and verify, via the aggregated ``GET /stats``
+  document, that the per-worker request counts land exactly where the
+  ring predicted;
+* integrate two documents through one worker and read the result back
+  through *round-robin* ``/search`` fan-outs on the others — the shared
+  cache plus the cross-process invalidation fence make every worker
+  serve the same exact Fractions;
+* shut the tier down with SIGTERM and watch it drain gracefully.
+
+This is the tier the CI multiproc-smoke job replays.
+
+Run:  PYTHONPATH=src python examples/multiproc_dataspace.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.server.client import DataspaceClient
+from repro.server.multiproc import ConsistentHashRing
+
+SRC = str(Path(repro.__file__).resolve().parent.parent)
+
+WORKERS = 4
+DOCS = {f"src{i}": f"<r><x>{i}</x><x>{i + 1}</x><y>{i % 3}</y></r>"
+        for i in range(8)}
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="imprecise-multiproc-"))
+    store, cache = workdir / "store", workdir / "cache"
+    store.mkdir()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    print(f"== starting a {WORKERS}-worker tier ==")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(store),
+            "--cache-dir", str(cache),
+            "--http", "127.0.0.1:0", "--workers", str(WORKERS),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline().strip()   # "serving on http://HOST:PORT"
+    port = int(banner.rsplit(":", 1)[1])
+    print(f"  {banner} (router pid {proc.pid})")
+    print(f"  {proc.stdout.readline().strip()}")
+
+    client = DataspaceClient("127.0.0.1", port)
+    try:
+        print("\n== loading the corpus through the router ==")
+        for name, xml in DOCS.items():
+            client.load(name, xml)
+        ring = ConsistentHashRing([f"worker-{i}" for i in range(WORKERS)])
+        for name in sorted(DOCS):
+            print(f"  {name} -> {ring.member_for(name)}")
+
+        print("\n== querying every document ==")
+        for name in sorted(DOCS):
+            answer = client.query(name, "//x")
+            print(f"  {name}: //x = {answer.values()}")
+
+        print("\n== shard affinity, verified from GET /stats ==")
+        stats = client.stats()
+        expected = {key: 0 for key in ring.members}
+        for name in DOCS:
+            expected[ring.member_for(name)] += 1
+        for entry in stats["workers"]:
+            count = (entry["stats"]["http"]["endpoints"]
+                     .get("POST /query", {}).get("count", 0))
+            print(f"  {entry['worker']} served {count} queries"
+                  f" (ring predicted {expected[entry['worker']]})")
+            assert count == expected[entry["worker"]], "shard routing drifted"
+
+        print("\n== cross-worker visibility ==")
+        client.integrate("src0", "src1", "combined")
+        answers = set()
+        for _ in range(WORKERS):  # round-robin /search hits every worker
+            fused = client.search("//x", documents=["combined"])
+            answers.add(tuple(fused.values()))
+        print(f"  /integrate via one worker, /search via all:"
+              f" {len(answers)} distinct answer(s)")
+        assert len(answers) == 1, "workers disagreed on the fused answer"
+
+        routed = sum(
+            entry["count"] for entry in stats["router"]["endpoints"].values()
+        )
+        print(f"\n== router metrics: {routed} requests routed,"
+              f" {stats['router']['shed']} shed ==")
+    finally:
+        client.close()
+        print("\n== SIGTERM: graceful drain ==")
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+    assert proc.returncode == 0, f"tier exited {proc.returncode}"
+    print(f"  tier exited {proc.returncode}")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ Subcommands::
     imprecise estimate a.xml b.xml --rules title --joint
     imprecise serve store/ --cache-dir cache/ --exec 'query movies //movie/title'
     imprecise serve store/ --cache-dir cache/ --http 127.0.0.1:8080
+    imprecise serve store/ --cache-dir cache/ --http 127.0.0.1:8080 --workers 4
 
 ``imprecise serve`` runs the :class:`~repro.dbms.service.DataspaceService`
 over a store directory: commands come from ``--exec`` flags (in order) or
@@ -22,6 +23,8 @@ line-by-line from stdin, answers go to stdout, and — with ``--cache-dir``
 ``docs/api.md`` for the command protocol.  With ``--http HOST:PORT`` the
 same service is exposed as a JSON API over a dependency-free asyncio
 HTTP server (see ``docs/http_api.md``); shut down with SIGINT/SIGTERM.
+``--workers N`` pre-forks N such servers behind a consistent-hash
+document-sharding router (:mod:`repro.server.multiproc`).
 
 Exit status: 0 on success, 1 on any library error (message on stderr).
 """
@@ -428,13 +431,20 @@ def _parse_http_address(text: str) -> tuple:
     return host, port
 
 
-def _serve_http(service: DataspaceService, host: str, port: int) -> int:
+def _serve_http(
+    service: DataspaceService,
+    host: str,
+    port: int,
+    *,
+    max_pending: Optional[int] = None,
+    slow_ms: int = 500,
+) -> int:
     """Run the asyncio HTTP front until SIGINT/SIGTERM, then shut down
     gracefully (in-flight requests finish, idle connections close)."""
     from .server.app import ServerApp
     from .server.http import HTTPServer
 
-    app = ServerApp(service)
+    app = ServerApp(service, max_pending=max_pending, slow_ms=slow_ms)
 
     async def _run() -> None:
         server = HTTPServer(app, host, port)
@@ -471,6 +481,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--http runs the network front; --exec commands drive the"
             " line protocol — use one or the other"
         )
+    if args.workers is not None and args.workers < 1:
+        raise ImpreciseError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_pending is not None and args.max_pending < 1:
+        raise ImpreciseError(
+            f"--max-pending must be >= 1, got {args.max_pending}"
+        )
+    if args.slow_ms < 0:
+        raise ImpreciseError(f"--slow-ms must be >= 0, got {args.slow_ms}")
+    if args.workers is not None and args.workers > 1:
+        if not args.http:
+            raise ImpreciseError("--workers N requires --http HOST:PORT")
+        if args.cache_stats:
+            raise ImpreciseError(
+                "--cache-stats reports one process's counters; with"
+                " --workers scrape GET /stats on the router instead"
+            )
+        from .server.multiproc import run_multiproc
+
+        # The children own the store and cache; the parent only routes.
+        # Tuning flags are forwarded so every worker serves identically.
+        worker_args: list = ["--slow-ms", str(args.slow_ms)]
+        if args.max_cached is not None:
+            worker_args += ["--max-cached", str(args.max_cached)]
+        if args.cache_max_rows is not None:
+            worker_args += ["--cache-max-rows", str(args.cache_max_rows)]
+        if args.max_pending is not None:
+            worker_args += ["--max-pending", str(args.max_pending)]
+        host, port = _parse_http_address(args.http)
+        return run_multiproc(
+            args.directory,
+            host,
+            port,
+            args.workers,
+            cache_dir=args.cache_dir,
+            worker_args=worker_args,
+            slow_ms=args.slow_ms,
+        )
     service = DataspaceService(
         directory=args.directory,
         cache_dir=args.cache_dir,
@@ -480,7 +527,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     status = 0
     try:
         if args.http:
-            status = _serve_http(service, *_parse_http_address(args.http))
+            status = _serve_http(
+                service,
+                *_parse_http_address(args.http),
+                max_pending=args.max_pending,
+                slow_ms=args.slow_ms,
+            )
         else:
             if args.commands:
                 lines = iter(args.commands)
@@ -606,6 +658,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve the JSON API over HTTP on this address"
                               " (PORT 0 binds an ephemeral port; see"
                               " docs/http_api.md)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="pre-fork N worker processes behind a"
+                              " consistent-hash sharding router"
+                              " (requires --http; see docs/http_api.md)")
+    p_serve.add_argument("--max-pending", type=int, default=None,
+                         help="shed requests with 503 beyond this many"
+                              " already in flight (default: unbounded)")
+    p_serve.add_argument("--slow-ms", type=int, default=500,
+                         help="log requests slower than this many"
+                              " milliseconds to the GET /stats slow-query"
+                              " ring (0 disables; default 500)")
     p_serve.add_argument("--exec", dest="commands", action="append",
                          metavar="CMD", default=None,
                          help="run one service command and continue"

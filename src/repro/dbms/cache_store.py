@@ -43,6 +43,25 @@ bound trades disk for recompute, never correctness.
 The backing store is SQLite (stdlib, one file, safe for concurrent
 readers); one :class:`AnswerCacheStore` serializes its own statements
 behind a lock, so a single instance may be shared by many threads.
+
+**Many processes, one file** (the ``imprecise serve --workers N``
+deployment) is safe by construction:
+
+* the journal is WAL, so readers never block writers and vice versa;
+* every connection sets ``PRAGMA busy_timeout``, so a write that meets
+  another process's write transaction *waits* instead of failing with
+  ``SQLITE_BUSY``;
+* every write runs as a ``BEGIN IMMEDIATE`` transaction — the write
+  lock is taken up front, so a transaction can never fail mid-way on a
+  lock upgrade — with a bounded retry loop on top of the timeout; a
+  budget exhausted under pathological contention surfaces as the typed
+  :class:`~repro.errors.CacheBusyError`, never as a raw
+  ``sqlite3.OperationalError: database is locked``;
+* the per-name ``versions`` table is the **cross-process invalidation
+  fence**: every lookup compares the row's recorded version against the
+  current one, and :meth:`~AnswerCacheStore.version` lets a service
+  observe another process's invalidation and drop its own in-memory
+  state (see ``DataspaceService``'s fence check).
 """
 
 from __future__ import annotations
@@ -52,11 +71,12 @@ import json
 import re
 import sqlite3
 import threading
+import time
 from fractions import Fraction
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from ..errors import StoreError, WireFormatError
+from ..errors import CacheBusyError, StoreError, WireFormatError
 from ..pxml.model import PXDocument
 from ..pxml.serialize import pxml_to_text
 from ..query.aggregates import AggregateDistribution, canonical_items
@@ -90,6 +110,15 @@ SCHEMA_VERSION = 3  # impreciselint: schema-surface=f8ab7e17df51
 
 #: Default cache file name inside a cache directory.
 CACHE_FILENAME = "answers.sqlite"
+
+#: How long (ms) a connection waits on another process's write
+#: transaction before SQLite reports busy; generous because waiting is
+#: always better than recomputing a priced answer.
+DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+#: Write attempts on top of the busy timeout before the typed
+#: :class:`~repro.errors.CacheBusyError` surfaces.
+WRITE_RETRIES = 5
 
 #: Strict wire shape: optional sign, digits, '/', digits — no whitespace
 #: (``int()`` alone would tolerate ``"1 /2"``), no floats, no hex.
@@ -277,9 +306,17 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         path: Union[str, Path],
         *,
         max_rows: Optional[int] = None,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        write_retries: int = WRITE_RETRIES,
     ) -> None:
         if max_rows is not None and max_rows < 1:
             raise StoreError(f"max_rows must be >= 1, got {max_rows}")
+        if busy_timeout_ms < 0:
+            raise StoreError(
+                f"busy_timeout_ms must be >= 0, got {busy_timeout_ms}"
+            )
+        if write_retries < 1:
+            raise StoreError(f"write_retries must be >= 1, got {write_retries}")
         path = Path(path)
         if path.suffix != ".sqlite":
             path.mkdir(parents=True, exist_ok=True)
@@ -289,8 +326,17 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
         self.max_rows = max_rows
+        self.busy_timeout_ms = busy_timeout_ms
+        self.write_retries = write_retries
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        # isolation_level=None: the connection stays in autocommit and
+        # *this module* frames every write as an explicit BEGIN IMMEDIATE
+        # transaction (the driver's implicit DEFERRED transactions would
+        # acquire the write lock mid-transaction — exactly the upgrade
+        # path that fails unrecoverably under multi-process contention).
+        self._conn = sqlite3.connect(
+            str(path), check_same_thread=False, isolation_level=None
+        )
         self.hits = 0
         self.misses = 0
         self.stored = 0
@@ -299,6 +345,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         self.aggregate_stored = 0
         self.invalidations = 0
         self.evictions = 0
+        self.busy_retries = 0
         #: Pending recency updates, (name, doc_digest, plan_digest) ->
         #: stamp.  Bounded stores buffer hit recency here instead of
         #: writing per hit (the hit path must stay read-only: no UPDATE,
@@ -312,11 +359,74 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
             ).fetchone()[0]
 
+    # -- write transactions -------------------------------------------------
+
+    @staticmethod
+    def _is_busy(error: sqlite3.OperationalError) -> bool:
+        text = str(error).lower()
+        return "locked" in text or "busy" in text
+
+    def _write_txn_locked(self, apply: Callable[[], None]) -> None:
+        """Run ``apply`` as one ``BEGIN IMMEDIATE`` write transaction
+        (caller holds the instance lock).
+
+        ``BEGIN IMMEDIATE`` takes the database write lock up front — so
+        the transaction either starts with the lock or fails cleanly at
+        ``BEGIN``, never half-way through on a deferred lock upgrade.
+        Each attempt already waits ``busy_timeout_ms`` inside SQLite; the
+        bounded retry loop on top covers writer convoys across N serving
+        processes, and exhaustion raises the typed
+        :class:`~repro.errors.CacheBusyError` (callers must never see a
+        raw ``database is locked``).
+        """
+        last: Optional[sqlite3.OperationalError] = None
+        for attempt in range(self.write_retries):
+            if attempt:
+                self.busy_retries += 1
+                # Exponential backoff between attempts, on top of the
+                # in-driver busy wait; capped so a contended close()
+                # never stalls for seconds.
+                # impreciselint: disable=float-taint -- backoff seconds, not probability
+                time.sleep(min(0.1, 0.005 * (1 << attempt)))
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError as error:
+                if self._is_busy(error):
+                    last = error
+                    continue
+                raise
+            try:
+                apply()
+                self._conn.execute("COMMIT")
+                return
+            except sqlite3.OperationalError as error:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.OperationalError:
+                    pass  # the transaction never started or already died
+                if self._is_busy(error):
+                    last = error
+                    continue
+                raise
+        raise CacheBusyError(
+            f"cache write on {self.path} still locked after"
+            f" {self.write_retries} attempts"
+            f" (busy_timeout {self.busy_timeout_ms} ms)"
+        ) from last
+
     # -- schema -------------------------------------------------------------
 
     def _init_schema(self) -> None:
         conn = self._conn
+        # Pragmas run in autocommit (journal_mode cannot change inside a
+        # transaction); busy_timeout first, so even the WAL switch waits
+        # politely when another process is mid-write.
+        conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_ms)}")
         conn.execute("PRAGMA journal_mode=WAL")
+        self._write_txn_locked(self._create_tables_locked)
+
+    def _create_tables_locked(self) -> None:
+        conn = self._conn
         conn.execute(
             "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
         )
@@ -390,7 +500,6 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),
             )
-        conn.commit()
 
     # -- plan memo ----------------------------------------------------------
 
@@ -412,12 +521,14 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
 
     def remember_plan(self, expression: str, plan_digest: str) -> None:
         """Persist the expression → fingerprint-digest mapping."""
-        with self._lock:
+        def apply() -> None:
             self._conn.execute(
                 "INSERT OR REPLACE INTO plans VALUES (?, ?)",
                 (expression, plan_digest),
             )
-            self._conn.commit()
+
+        with self._lock:
+            self._write_txn_locked(apply)
 
     # -- answers ------------------------------------------------------------
 
@@ -476,7 +587,11 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         the current version (no interleaving possible, e.g. writes under
         the caller's own lock)."""
         payload = _encode_answer(answer)
-        with self._lock:
+        evicted = 0
+
+        def apply() -> None:
+            nonlocal evicted
+            evicted = 0
             self._flush_touches_locked()
             self._conn.execute(
                 "INSERT OR REPLACE INTO answers VALUES (?, ?, ?, ?, ?, ?, ?)",
@@ -497,8 +612,12 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                     "INSERT OR REPLACE INTO plans VALUES (?, ?)",
                     (expression, plan_digest),
                 )
-            self._evict_locked()
-            self._conn.commit()
+            evicted = self._evict_locked()
+
+        with self._lock:
+            self._write_txn_locked(apply)
+            self._touches.clear()
+            self.evictions += evicted
             self.stored += 1
 
     # -- aggregates ---------------------------------------------------------
@@ -548,7 +667,8 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         :meth:`put` documents (``spec`` is a human-readable description,
         stored for diagnostics only)."""
         payload = _encode_aggregate(distribution)
-        with self._lock:
+
+        def apply() -> None:
             self._conn.execute(
                 "INSERT OR REPLACE INTO aggregates VALUES (?, ?, ?, ?, ?, ?)",
                 (
@@ -562,7 +682,9 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                     else self._version_locked(doc_name),
                 ),
             )
-            self._conn.commit()
+
+        with self._lock:
+            self._write_txn_locked(apply)
             self.aggregate_stored += 1
 
     def _next_stamp_locked(self) -> int:
@@ -583,7 +705,9 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         another process may have advanced the file clock past this
         instance's buffered values, and flushing stale stamps would rank
         this instance's hottest rows as the oldest.  Relative order
-        within the buffer is preserved."""
+        within the buffer is preserved.  The buffer itself is cleared by
+        the caller *after* the transaction commits, so a busy-retried
+        attempt re-flushes the same stamps instead of dropping them."""
         if not self._touches:
             return
         stamp: int = max(
@@ -602,26 +726,28 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             " AND doc_digest = ? AND plan_digest = ?",
             updates,
         )
-        self._touches.clear()
 
-    def _evict_locked(self) -> None:
+    def _evict_locked(self) -> int:
         """Drop least-recently-hit rows beyond ``max_rows`` (no-op when
-        unbounded); caller holds the lock and commits."""
+        unbounded); caller holds the lock, inside a write transaction.
+        Returns the evicted row count — the caller adds it to the
+        ``evictions`` counter only once the transaction commits (a
+        rolled-back, retried attempt must not double-count)."""
         if self.max_rows is None:
-            return
+            return 0
         count: int = self._conn.execute(
             "SELECT COUNT(*) FROM answers"
         ).fetchone()[0]
         overflow = count - self.max_rows
         if overflow <= 0:
-            return
+            return 0
         cursor = self._conn.execute(
             "DELETE FROM answers WHERE rowid IN"
             " (SELECT rowid FROM answers ORDER BY last_hit ASC, rowid ASC"
             " LIMIT ?)",
             (overflow,),
         )
-        self.evictions += cursor.rowcount
+        return cursor.rowcount
 
     # -- invalidation -------------------------------------------------------
 
@@ -646,12 +772,14 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         prevents stale serving — this reclaims space and fences off
         writers that priced an answer against the superseded content.
         """
-        with self._lock:
-            for key in [k for k in self._touches if k[0] == doc_name]:
-                del self._touches[key]  # never resurrect recency on re-put
+        dropped = 0
+
+        def apply() -> None:
+            nonlocal dropped
             cursor = self._conn.execute(
                 "DELETE FROM answers WHERE doc_name = ?", (doc_name,)
             )
+            dropped = cursor.rowcount
             self._conn.execute(
                 "DELETE FROM aggregates WHERE doc_name = ?", (doc_name,)
             )
@@ -661,18 +789,25 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 " doc_name = ?), 0) + 1)",
                 (doc_name, doc_name),
             )
-            self._conn.commit()
+
+        with self._lock:
+            for key in [k for k in self._touches if k[0] == doc_name]:
+                del self._touches[key]  # never resurrect recency on re-put
+            self._write_txn_locked(apply)
             self.invalidations += 1
-        return cursor.rowcount
+        return dropped
 
     def clear(self) -> None:
         """Drop every answer and plan row (versions are kept)."""
-        with self._lock:
-            self._touches.clear()
+
+        def apply() -> None:
             self._conn.execute("DELETE FROM answers")
             self._conn.execute("DELETE FROM aggregates")
             self._conn.execute("DELETE FROM plans")
-            self._conn.commit()
+
+        with self._lock:
+            self._touches.clear()
+            self._write_txn_locked(apply)
 
     # -- diagnostics --------------------------------------------------------
 
@@ -706,17 +841,23 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             "persistent_aggregate_stored": self.aggregate_stored,
             "persistent_invalidations": self.invalidations,
             "persistent_evictions": self.evictions,
+            "persistent_busy_retries": self.busy_retries,
         }
 
     def close(self) -> None:
         """Persist pending recency stamps and close the connection
-        (idempotent)."""
+        (idempotent).  Contention on the final flush is tolerated — the
+        stamps are recency hygiene, not correctness — so a close() racing
+        N sibling processes never raises."""
         with self._lock:
             try:
-                self._flush_touches_locked()
-                self._conn.commit()
+                if self._touches:
+                    self._write_txn_locked(self._flush_touches_locked)
+                    self._touches.clear()
             except sqlite3.ProgrammingError:
                 pass  # already closed
+            except CacheBusyError:
+                pass  # recency stamps are expendable; close regardless
             self._conn.close()
 
     def __enter__(self) -> "AnswerCacheStore":

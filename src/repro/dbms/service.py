@@ -32,7 +32,14 @@ Serving discipline:
    :meth:`delete`) bumps the persistent cache's per-name version and
    drops the name's rows.  Correctness never depends on that purge — the
    content digest changes with the content — it bounds cache growth and
-   fences concurrent writers.
+   fences concurrent writers;
+5. when several *processes* share one cache directory (``imprecise serve
+   --workers N``), the per-name version doubles as a **cross-process
+   fence**: each cache-keyed read first compares the persistent version
+   against the one this instance last observed, and on movement drops
+   the name's in-memory state (materialized document, content digest,
+   engine) so a mutation applied by a sibling process is re-read from
+   disk instead of served from a stale materialization.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import os
 import threading
 import zlib
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from fractions import Fraction
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
@@ -155,6 +162,11 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
             )
         self._fanout_workers = fanout_workers
         self._pool: Optional[ThreadPoolExecutor] = None  # lazy; see _fanout_pool
+        self._closed = False
+        #: name -> persistent cache version last observed by this
+        #: instance — the cross-process invalidation fence (see
+        #: :meth:`_fence_check`).
+        self._observed_versions: dict[str, int] = {}
 
     # -- internals ----------------------------------------------------------
 
@@ -206,8 +218,16 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
     def _fanout_pool(self) -> ThreadPoolExecutor:
         """The lazily-created thread pool fan-outs price documents on
         (created on first :meth:`query_all`/:meth:`aggregate_all`, shut
-        down by :meth:`close`)."""
+        down by :meth:`close`).
+
+        Raises :class:`StoreError` after :meth:`close` — silently
+        recreating the pool would leak threads past the lifecycle the
+        caller thought it had ended."""
         with self._mu:
+            if self._closed:
+                raise StoreError(
+                    "DataspaceService is closed; fan-out is no longer available"
+                )
             if self._pool is None:
                 workers = self._fanout_workers
                 if workers is None:
@@ -216,6 +236,38 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                     max_workers=workers, thread_name_prefix="dataspace-fanout"
                 )
             return self._pool
+
+    @staticmethod
+    def _collect_fanout(
+        futures: Sequence[tuple[str, "Future"]]
+    ) -> dict:
+        """Drain a fan-out with error containment.
+
+        Futures are resolved in submission (pinned sorted-name) order.
+        On the first failure every not-yet-started future is cancelled
+        and every already-running one is *awaited* before the error
+        propagates — no priced-but-orphaned work keeps running behind
+        the caller's back, and the surfaced error is deterministically
+        the first failing document in name order regardless of which
+        future happened to finish first.
+        """
+        results: dict = {}
+        first_error: Optional[BaseException] = None
+        for name, future in futures:
+            if first_error is not None:
+                # No-op for futures already running; result() below then
+                # waits for them, so nothing outlives this call.
+                future.cancel()
+            try:
+                results[name] = future.result()
+            except CancelledError:
+                continue
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
 
     def _select_names(
         self,
@@ -251,7 +303,47 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         with self._mu:
             self._engines.pop(name, None)
         if self.cache is not None:
+            before = self.cache.version(name)
             self.cache.invalidate_document(name)
+            after = self.cache.version(name)
+            with self._mu:
+                if after == before + 1:
+                    # Only our own bump: the in-memory state (we just
+                    # wrote it) is current, so record the version and
+                    # keep the materialization warm.
+                    self._observed_versions[name] = after
+                else:
+                    # A sibling process interleaved a mutation — forget
+                    # what we observed so the next read refreshes.
+                    self._observed_versions.pop(name, None)
+
+    def _fence_check(self, name: str) -> None:
+        """The cross-process invalidation fence (serving-discipline
+        point 5): compare the persistent per-name version against the
+        one this instance last observed and, on movement, drop every
+        piece of in-memory state derived from the old content — the
+        shared engine and the store's materialization + content digest
+        — so a mutation committed by a sibling process is re-read from
+        disk instead of served from a stale materialization.
+
+        Version 0 with nothing observed means the name was never
+        invalidated anywhere, so whatever we hold came straight from
+        disk and is current.  A request racing the sibling's mutation
+        itself may still price the pre-mutation content — that answer
+        is keyed by the *old* content digest and stamped with a stale
+        version, so it is never served to anyone reading the new state.
+        """
+        if self.cache is None:
+            return
+        current = self.cache.version(name)
+        with self._mu:
+            known = self._observed_versions.get(name)
+            if known == current or (known is None and current == 0):
+                self._observed_versions[name] = current
+                return
+            self._observed_versions[name] = current
+            self._engines.pop(name, None)
+        self.store.refresh(name)
 
     # -- loading ------------------------------------------------------------
 
@@ -300,6 +392,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         Served from the persistent cache when the (content, plan) pair
         has been priced before — by this process or any earlier one.
         """
+        self._fence_check(name)
         plan, plan_digest = self._plan_and_digest(expression)
         if self.cache is not None:
             # Optimistic lock-free fast path: hits deserialize in parallel.
@@ -344,6 +437,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         in the persistent cache.  Fraction-identical to serial
         :meth:`query` calls.
         """
+        self._fence_check(name)
         resolved: list[tuple[QueryLike, Optional[QueryPlan], str]] = []
         answers: list[Optional[RankedAnswer]] = [None] * len(expressions)
         misses: list[int] = []
@@ -430,7 +524,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
             plan = compile_plan(expression)
         pool = self._fanout_pool()
         futures = [(name, pool.submit(self.query, name, plan)) for name in selected]
-        answers = {name: future.result() for name, future in futures}
+        answers = self._collect_fanout(futures)
         return fuse_answers(
             answers, strategy=strategy, weights=weights, rrf_k=rrf_k
         )
@@ -473,7 +567,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         futures = [
             (name, pool.submit(self.aggregate, name, spec)) for name in selected
         ]
-        distributions = {name: future.result() for name, future in futures}
+        distributions = self._collect_fanout(futures)
         return fuse_aggregates(distributions, weights=weights)
 
     def aggregate(
@@ -508,6 +602,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
             spec = kind
         else:
             spec = compile_aggregate(kind, target, text=text)
+        self._fence_check(name)
         if self.cache is not None:
             # Optimistic lock-free fast path, as in query().
             hit = self.cache.get_aggregate(
@@ -616,8 +711,13 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
 
     def close(self) -> None:
         """Release the persistent cache connection and the fan-out
-        thread pool (idempotent)."""
+        thread pool.  Idempotent — a second :meth:`close` is a no-op;
+        a :meth:`query_all`/:meth:`aggregate_all` *after* close raises
+        :class:`StoreError` instead of silently resurrecting the pool."""
         with self._mu:
+            if self._closed:
+                return
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)

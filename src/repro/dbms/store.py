@@ -244,6 +244,24 @@ class DocumentStore:  # impreciselint: guarded-by=_mu
         with self._mu:
             return self._versions.get(name, 0)
 
+    def refresh(self, name: str) -> None:
+        """Forget ``name``'s in-memory state (materialized document and
+        memoized content digest) so the next read re-reads the file.
+
+        This is the store half of the cross-process invalidation fence
+        (:meth:`repro.dbms.service.DataspaceService._fence_check`): when
+        a sibling process sharing the directory rewrites a document, the
+        bytes on disk are new but this process still holds the old
+        materialization and digest.  Unknown names are a no-op — there
+        is nothing stale to forget.  The in-process mutation counter is
+        *not* bumped: the content did not change through this store.
+        """
+        _check_name(name)
+        with self._name_lock(name):
+            with self._mu:
+                self._cache.pop(name, None)
+                self._digests.pop(name, None)
+
     def kind(self, name: str) -> str:
         """'xml' or 'pxml' — from the in-memory type or the file suffix,
         without parsing; raises :class:`StoreError` when missing."""

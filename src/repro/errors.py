@@ -107,6 +107,19 @@ class MissingDocumentError(StoreError):
     string matching."""
 
 
+class CacheBusyError(StoreError):
+    """Raised when the persistent answer cache cannot acquire its SQLite
+    write lock within the configured budget (``busy_timeout`` plus the
+    bounded in-library retries).
+
+    This is the *typed* surface of ``sqlite3.OperationalError: database
+    is locked`` for multi-process deployments sharing one ``--cache-dir``
+    — callers never see the raw driver exception, and the HTTP front can
+    map sustained contention to a retryable condition instead of a 500.
+    Retrying later is always safe: the cache is a cache, and the write
+    that lost the race will simply be recomputed or re-stored."""
+
+
 class WireFormatError(ImpreciseError):
     """Raised when a serialized payload (persistent-cache row, HTTP
     request/response body) does not decode to the exact-Fraction wire

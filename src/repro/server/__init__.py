@@ -4,22 +4,29 @@ The ROADMAP's "actual network front (HTTP/asyncio) over
 ``DataspaceService``": a dependency-free asyncio HTTP/1.1 server
 (:mod:`repro.server.http`), the JSON API routing layer
 (:mod:`repro.server.app`), the exact-Fraction wire format
-(:mod:`repro.server.wire`) and a blocking stdlib client
-(:mod:`repro.server.client`).  ``imprecise serve --http HOST:PORT`` is
-the command-line entry point; ``docs/http_api.md`` documents the wire
-protocol.
+(:mod:`repro.server.wire`), a blocking stdlib client with an optional
+connection pool (:mod:`repro.server.client`), and the pre-fork
+multi-worker tier with consistent-hash sharding
+(:mod:`repro.server.multiproc`).  ``imprecise serve --http HOST:PORT
+[--workers N]`` is the command-line entry point; ``docs/http_api.md``
+documents the wire protocol.
 """
 
 from .app import ServerApp
-from .client import DataspaceClient, ServerError
+from .client import DataspaceClient, DataspaceClientPool, ServerError
 from .http import BackgroundServer, HTTPRequest, HTTPResponse, HTTPServer
+from .multiproc import ConsistentHashRing, MultiProcServer, RouterApp
 
 __all__ = [
     "ServerApp",
     "DataspaceClient",
+    "DataspaceClientPool",
     "ServerError",
     "BackgroundServer",
     "HTTPServer",
     "HTTPRequest",
     "HTTPResponse",
+    "ConsistentHashRing",
+    "MultiProcServer",
+    "RouterApp",
 ]

@@ -42,12 +42,28 @@ ROADMAP wants:
 Errors come back as structured JSON, ``{"error": {"type", "message"}}``,
 with 400 for malformed requests, 404 for missing documents/routes, and
 500 for everything unexpected (the HTTP core adds that containment).
+
+Production hygiene (all surfaced under the ``"http"`` key of ``GET
+/stats``; see ``docs/http_api.md``):
+
+* **per-endpoint request counters and latency histograms** — fixed
+  millisecond buckets, counted on the event loop thread so no locking
+  is involved;
+* a **slow-query log** — a bounded ring of the most recent requests
+  slower than ``slow_ms`` (endpoint, duration, status);
+* **backpressure**: with ``max_pending`` set, requests beyond that many
+  already in flight are shed immediately with ``503 {"error": {"type":
+  "overloaded"}}`` instead of queueing without bound on the executor
+  (``GET /healthz`` and ``GET /stats`` are exempt, so probes and
+  diagnostics still answer under overload).
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager
 from functools import partial
@@ -61,7 +77,88 @@ from ..query.fusion import DEFAULT_RRF_K
 from .http import HTTPRequest, HTTPResponse, json_response
 from . import wire
 
-__all__ = ["ServerApp"]
+__all__ = ["HTTPMetrics", "LATENCY_BUCKETS_MS", "ServerApp", "route_label"]
+
+
+def route_label(method: str, path: str) -> str:
+    """The metrics label of a request: the route with client-chosen
+    document names collapsed to ``{name}`` so cardinality stays bounded
+    no matter what names clients invent.  Shared by :class:`ServerApp`
+    and the multiproc router (:mod:`repro.server.multiproc`)."""
+    path = path.rstrip("/") or "/"
+    parts = path.strip("/").split("/")
+    if len(parts) == 2 and parts[0] == "documents":
+        path = "/documents/{name}"
+    elif len(parts) == 3 and parts[0] == "documents" and parts[2] == "stats":
+        path = "/documents/{name}/stats"
+    return f"{method} {path}"
+
+#: Upper edges (milliseconds) of the latency histogram buckets; the
+#: last bucket is unbounded.  Fixed so scrapes from different workers
+#: can be summed bucket-by-bucket by the multiproc router.
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+#: How many slow requests the slow-query ring retains.
+SLOW_LOG_SIZE = 32
+
+
+class HTTPMetrics:
+    """Per-endpoint request counters, latency histograms, and a
+    slow-query ring.
+
+    Only ever touched from the event loop thread (the handler runs
+    there), so plain dict/int updates need no locking.  ``snapshot()``
+    returns the JSON-ready ``"http"`` section of ``GET /stats``.
+    """
+
+    def __init__(self, slow_ms: int = 500):
+        if slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.slow_ms = slow_ms
+        #: endpoint label -> {"count", "errors", "latency_ms": [bucket counts]}
+        self._endpoints: dict = {}
+        self._slow: deque = deque(maxlen=SLOW_LOG_SIZE)
+        self.shed = 0
+
+    def observe(self, label: str, duration_seconds: float, status: int) -> None:
+        entry = self._endpoints.get(label)
+        if entry is None:
+            entry = self._endpoints[label] = {
+                "count": 0,
+                "errors": 0,
+                "latency_ms": [0] * (len(LATENCY_BUCKETS_MS) + 1),
+            }
+        entry["count"] += 1
+        if status >= 500:
+            entry["errors"] += 1
+        ms = int(duration_seconds * 1000)
+        for index, edge in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= edge:
+                entry["latency_ms"][index] += 1
+                break
+        else:
+            entry["latency_ms"][-1] += 1
+        if self.slow_ms and ms >= self.slow_ms:
+            self._slow.append(
+                {"endpoint": label, "duration_ms": ms, "status": status}
+            )
+
+    def snapshot(self, *, in_flight: int = 0) -> dict:
+        return {
+            "endpoints": {
+                label: {
+                    "count": entry["count"],
+                    "errors": entry["errors"],
+                    "latency_ms": list(entry["latency_ms"]),
+                }
+                for label, entry in sorted(self._endpoints.items())
+            },
+            "latency_bucket_edges_ms": list(LATENCY_BUCKETS_MS),
+            "in_flight": in_flight,
+            "shed": self.shed,
+            "slow_ms": self.slow_ms,
+            "slow": list(self._slow),
+        }
 
 
 class _HTTPError(Exception):
@@ -108,8 +205,18 @@ class ServerApp:
         service: DataspaceService,
         *,
         max_workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        slow_ms: int = 500,
     ):
         self.service = service
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        #: backpressure bound: requests beyond this many in flight are
+        #: shed with 503 instead of queueing on the executor; ``None``
+        #: preserves the unbounded (queue-everything) behavior.
+        self.max_pending = max_pending
+        self.metrics = HTTPMetrics(slow_ms=slow_ms)
+        self._in_flight = 0
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers or min(32, (os.cpu_count() or 1) + 4),
             thread_name_prefix="dataspace-worker",
@@ -142,6 +249,37 @@ class ServerApp:
                 del self._write_locks[name]
 
     async def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        label = route_label(request.method, request.path)
+        if (
+            self.max_pending is not None
+            and self._in_flight >= self.max_pending
+            and label not in ("GET /healthz", "GET /stats")
+        ):
+            # Shed instead of queueing without bound: the caller gets a
+            # clean retryable signal while probes and diagnostics
+            # (exempt above) keep answering under overload.
+            self.metrics.shed += 1
+            return _error_response(
+                503,
+                "overloaded",
+                f"{self._in_flight} requests already in flight"
+                f" (max_pending {self.max_pending}); retry later",
+            )
+        self._in_flight += 1
+        start = time.monotonic()
+        try:
+            response = await self._handle(request)
+        except Exception:
+            # The HTTP core turns this into a contained 500; count it
+            # here so "errors" still reflects it.
+            self.metrics.observe(label, time.monotonic() - start, 500)
+            raise
+        finally:
+            self._in_flight -= 1
+        self.metrics.observe(label, time.monotonic() - start, response.status)
+        return response
+
+    async def _handle(self, request: HTTPRequest) -> HTTPResponse:
         try:
             return await self._dispatch(request)
         except _HTTPError as error:
@@ -204,7 +342,12 @@ class ServerApp:
         return json_response({"status": "ok", "documents": count})
 
     async def _stats(self) -> HTTPResponse:
-        return json_response(await self._call(self.service.cache_stats))
+        stats = dict(await self._call(self.service.cache_stats))
+        # The "http" section is assembled on the event loop thread —
+        # the only thread that mutates the metrics — so the snapshot
+        # is consistent without locks.
+        stats["http"] = self.metrics.snapshot(in_flight=self._in_flight)
+        return json_response(stats)
 
     async def _documents(self) -> HTTPResponse:
         return json_response({"documents": await self._call(self.service.documents)})

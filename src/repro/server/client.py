@@ -17,8 +17,10 @@ the server-side error type.
 from __future__ import annotations
 
 import json
+import threading
+from contextlib import contextmanager
 from http.client import HTTPConnection, HTTPException
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from fractions import Fraction
 
@@ -33,7 +35,7 @@ from .wire import (
     encode_fraction,
 )
 
-__all__ = ["DataspaceClient", "ServerError"]
+__all__ = ["DataspaceClient", "DataspaceClientPool", "ServerError"]
 
 
 class ServerError(ImpreciseError):
@@ -255,3 +257,97 @@ class DataspaceClient:
 
     def __repr__(self) -> str:
         return f"DataspaceClient({self.host!r}, {self.port})"
+
+
+class DataspaceClientPool:
+    """A thread-safe pool of keep-alive :class:`DataspaceClient`\\ s.
+
+    One :class:`DataspaceClient` drives one connection serially; this
+    pool lets N threads share warm connections to one server without
+    each paying a TCP handshake per request::
+
+        pool = DataspaceClientPool("127.0.0.1", 8080)
+        with pool.client() as client:
+            answer = client.query("ab", "//person/tel")
+
+    ``max_idle`` bounds how many idle connections are retained (a
+    checkout beyond the bound creates a fresh client; returning it
+    beyond the bound closes it).  :meth:`close` drains the idle set;
+    clients checked out at that moment close on return.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        max_idle: int = 8,
+    ):
+        if max_idle < 1:
+            raise ValueError(f"max_idle must be >= 1, got {max_idle}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_idle = max_idle
+        self._mu = threading.Lock()
+        self._idle: list[DataspaceClient] = []
+        self._closed = False
+        self.created = 0  # diagnostics: fresh clients ever built
+
+    @contextmanager
+    def client(self) -> Iterator[DataspaceClient]:
+        """Check a client out for the duration of the ``with`` block.
+
+        A client whose request raised a transport-level error is closed
+        instead of returned, so a dead keep-alive connection is never
+        handed to the next thread (:class:`ServerError` is a healthy
+        HTTP exchange and keeps the connection pooled).
+        """
+        with self._mu:
+            if self._closed:
+                raise ImpreciseError("DataspaceClientPool is closed")
+            client = self._idle.pop() if self._idle else None
+        if client is None:
+            client = DataspaceClient(self.host, self.port, timeout=self.timeout)
+            with self._mu:
+                self.created += 1
+        try:
+            yield client
+        except (ServerError, WireFormatError):
+            self._release(client)
+            raise
+        except Exception:
+            client.close()
+            raise
+        else:
+            self._release(client)
+
+    def _release(self, client: DataspaceClient) -> None:
+        with self._mu:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def close(self) -> None:
+        """Close every idle connection; idempotent."""
+        with self._mu:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "DataspaceClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._mu:
+            idle = len(self._idle)
+        return (
+            f"DataspaceClientPool({self.host!r}, {self.port},"
+            f" idle={idle}, created={self.created})"
+        )

@@ -59,6 +59,7 @@ REASONS = {
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 

@@ -1,0 +1,652 @@
+"""Pre-fork multi-worker serving tier: N processes, one dataspace.
+
+``imprecise serve --http HOST:PORT --workers N`` turns the single-process
+front into a small production tier:
+
+* **N worker subprocesses**, each a full ``imprecise serve --http`` on an
+  ephemeral loopback port, all sharing one store directory and (when
+  configured) one ``--cache-dir`` — safe because
+  :class:`~repro.dbms.cache_store.AnswerCacheStore` takes its writes in
+  ``BEGIN IMMEDIATE`` transactions with bounded busy retries and
+  :class:`~repro.dbms.service.DataspaceService` re-reads documents a
+  sibling process invalidated (the cross-process version fence);
+* a **parent acceptor/router** (:class:`RouterApp` on the same asyncio
+  :class:`~repro.server.http.HTTPServer` core) that proxies each request
+  to a worker over pooled keep-alive connections;
+* **consistent-hash document→worker sharding**
+  (:class:`ConsistentHashRing`): every request that names a document
+  (``/query``, ``/batch``, ``/aggregate``, ``/feedback``,
+  ``/documents/{name}``…, and ``/integrate`` by its *output*) lands on
+  the same worker every time, so each worker's in-memory layers —
+  materialized documents, compiled engines, event-probability caches —
+  stay hot for *its* shard instead of every worker re-deriving every
+  document.  Requests without document affinity (``/search``,
+  ``/documents``, ``/healthz``) round-robin;
+* **graceful drain**: SIGTERM stops the router's accept loop, lets
+  in-flight proxied requests finish, then SIGTERMs the children (each of
+  which runs its own graceful shutdown).
+
+``GET /stats`` on the router returns ``{"router": …, "ring": …,
+"workers": [each worker's full /stats dict]}`` — the router's own
+per-endpoint counters/latency histograms plus every worker's, so one
+scrape sees the whole tier (``docs/http_api.md``).
+
+Sharding is an *affinity* optimization, never a correctness requirement:
+any worker can serve any document (shared store, shared cache, version
+fence), which is what makes worker membership changes across restarts
+safe — a document whose shard moved is simply re-priced or served from
+the shared persistent cache by its new owner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..errors import ImpreciseError
+from .app import HTTPMetrics, route_label
+from .http import (
+    BackgroundServer,
+    HTTPRequest,
+    HTTPResponse,
+    HTTPServer,
+    json_response,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "MultiProcServer",
+    "RouterApp",
+    "WorkerProcess",
+    "run_multiproc",
+]
+
+#: Virtual points per ring member: enough that a 4–8 worker ring is
+#: statistically even (±a few percent), few enough that building the
+#: ring is microseconds.
+RING_REPLICAS = 64
+
+#: Idle proxied connections the router retains per worker.
+POOL_MAX_IDLE = 8
+
+#: Endpoints that read a document name out of the JSON body, and the
+#: field that carries it.  ``/integrate`` routes by its *output* — that
+#: is the document it writes and invalidates, so the write lands on the
+#: worker that will serve the follow-up queries.
+_BODY_AFFINITY = {
+    "/query": "document",
+    "/batch": "document",
+    "/aggregate": "document",
+    "/feedback": "document",
+    "/integrate": "output",
+}
+
+
+class ConsistentHashRing:
+    """Consistent hashing of string keys onto a fixed member set.
+
+    Each member contributes ``replicas`` SHA-256 points on a ring; a key
+    maps to the member owning the first point at or after the key's own
+    hash.  Properties the router depends on (pinned by tests):
+
+    * deterministic — same members, same key, same owner, on every
+      platform and in every process (``hashlib.sha256``, not the
+      per-process-salted builtin ``hash``);
+    * stable under *key* churn — adding or deleting documents never
+      moves any other document's owner (membership did not change);
+    * minimal movement under *membership* churn — going from N to N+1
+      members re-homes roughly ``1/(N+1)`` of the keys, not all of them.
+    """
+
+    def __init__(self, members: Sequence[str], *, replicas: int = RING_REPLICAS):
+        members = list(members)
+        if not members:
+            raise ValueError("ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate ring members: {members!r}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.members = tuple(members)
+        self.replicas = replicas
+        points = []
+        for member in members:
+            for replica in range(replicas):
+                blob = hashlib.sha256(
+                    f"{member}#{replica}".encode("utf-8")
+                ).digest()
+                points.append((int.from_bytes(blob[:8], "big"), member))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    def member_for(self, key: str) -> str:
+        """The member that owns ``key``."""
+        point = int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+        index = bisect.bisect_right(self._keys, point) % len(self._points)
+        return self._points[index][1]
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentHashRing(members={list(self.members)!r},"
+            f" replicas={self.replicas})"
+        )
+
+
+class _UpstreamConnection:
+    """One keep-alive proxied connection to a worker (router-internal)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.reused = False  # True once it has served a proxied request
+
+    async def read_response(self) -> tuple:
+        """``(status, headers, body)`` of one worker response.  Workers
+        always frame with ``Content-Length`` (the HTTP core sets it on
+        every response), so no chunked decoding is needed."""
+        head = await self.reader.readuntil(b"\r\n\r\n")
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        status = int(parts[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class _Upstream:
+    """A worker as the router sees it: an address plus a small pool of
+    idle keep-alive connections.  Only touched from the router's event
+    loop thread, so the pool list needs no locking."""
+
+    def __init__(self, key: str, host: str, port: int, *, max_idle: int = POOL_MAX_IDLE):
+        self.key = key
+        self.host = host
+        self.port = port
+        self.max_idle = max_idle
+        self._idle: list = []
+        self.connects = 0  # diagnostics: fresh TCP connections dialed
+
+    async def acquire(self) -> _UpstreamConnection:
+        while self._idle:
+            conn = self._idle.pop()
+            if conn.writer.is_closing():
+                conn.close()
+                continue
+            return conn
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.connects += 1
+        return _UpstreamConnection(reader, writer)
+
+    def release(self, conn: _UpstreamConnection) -> None:
+        conn.reused = True
+        if len(self._idle) < self.max_idle and not conn.writer.is_closing():
+            self._idle.append(conn)
+        else:
+            conn.close()
+
+    def close_idle(self) -> None:
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class RouterApp:
+    """The parent acceptor's async handler: shard, proxy, observe.
+
+    Plugs into :class:`~repro.server.http.HTTPServer` exactly like
+    :class:`~repro.server.app.ServerApp` does; instead of calling a
+    service it forwards the raw request to a worker and relays the
+    response.  A dead pooled connection (worker restarted its keep-alive)
+    is retried once on a fresh connection when that cannot double-apply
+    a write — the same idempotency rule as
+    :class:`~repro.server.client.DataspaceClient` — otherwise the caller
+    gets a ``502 bad_gateway``.
+    """
+
+    def __init__(self, upstreams: Sequence[_Upstream], *, slow_ms: int = 500):
+        if not upstreams:
+            raise ValueError("router needs at least one upstream worker")
+        self.upstreams = list(upstreams)
+        self.ring = ConsistentHashRing([u.key for u in self.upstreams])
+        self._by_key = {u.key: u for u in self.upstreams}
+        self.metrics = HTTPMetrics(slow_ms=slow_ms)
+        self._in_flight = 0
+        self._round_robin = 0
+
+    # -- routing ------------------------------------------------------------
+
+    def _affinity(self, request: HTTPRequest) -> Optional[str]:
+        """The document name this request has affinity to, or ``None``
+        for round-robin (no name, or a body the worker will 400 anyway)."""
+        path = request.path.rstrip("/") or "/"
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "documents":
+            return parts[1]
+        field = _BODY_AFFINITY.get(path)
+        if field is not None and request.method == "POST":
+            try:
+                body = request.json()
+            except (ValueError, UnicodeDecodeError):
+                return None
+            if isinstance(body, dict):
+                name = body.get(field)
+                if isinstance(name, str):
+                    return name
+        return None
+
+    def worker_for(self, request: HTTPRequest) -> _Upstream:
+        name = self._affinity(request)
+        if name is not None:
+            return self._by_key[self.ring.member_for(name)]
+        upstream = self.upstreams[self._round_robin % len(self.upstreams)]
+        self._round_robin += 1
+        return upstream
+
+    # -- handling -----------------------------------------------------------
+
+    async def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        label = route_label(request.method, request.path)
+        self._in_flight += 1
+        start = time.monotonic()
+        try:
+            if request.method == "GET" and (
+                request.path.rstrip("/") or "/"
+            ) == "/stats":
+                response = await self._stats()
+            else:
+                response = await self._forward(self.worker_for(request), request)
+        finally:
+            self._in_flight -= 1
+        self.metrics.observe(label, time.monotonic() - start, response.status)
+        return response
+
+    async def _forward(
+        self, upstream: _Upstream, request: HTTPRequest
+    ) -> HTTPResponse:
+        body = request.body
+        headers = {
+            "host": f"{upstream.host}:{upstream.port}",
+            "content-length": str(len(body)),
+        }
+        content_type = request.headers.get("content-type")
+        if content_type:
+            headers["content-type"] = content_type
+        head = f"{request.method} {request.target} HTTP/1.1\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        )
+        payload = head.encode("latin-1") + b"\r\n" + body
+        idempotent = request.method in ("GET", "PUT", "DELETE")
+        error: Optional[BaseException] = None
+        for attempt in (1, 2):
+            try:
+                conn = await upstream.acquire()
+            except OSError as failure:
+                # Connect refused/reset: the worker is gone — that is a
+                # gateway failure, not an internal router error.
+                error = failure
+                break
+            reused = conn.reused
+            sent = False
+            try:
+                conn.writer.write(payload)
+                await conn.writer.drain()
+                sent = True
+                status, response_headers, response_body = (
+                    await conn.read_response()
+                )
+            except (ConnectionError, OSError, EOFError, ValueError,
+                    asyncio.IncompleteReadError) as failure:
+                conn.close()
+                error = failure
+                # Retry only a *pooled* connection that may simply have
+                # gone stale, and only when a replay cannot double-apply
+                # a non-idempotent write (same rule as DataspaceClient).
+                if attempt == 1 and reused and (not sent or idempotent):
+                    continue
+                break
+            upstream.release(conn)
+            response = HTTPResponse(status=status, body=response_body)
+            worker_type = response_headers.get("content-type")
+            if worker_type:
+                response.content_type = worker_type
+            return response
+        return json_response(
+            {
+                "error": {
+                    "type": "bad_gateway",
+                    "message": f"worker {upstream.key} unreachable: {error}",
+                }
+            },
+            status=502,
+        )
+
+    async def _stats(self) -> HTTPResponse:
+        """One scrape for the whole tier: router metrics + ring layout +
+        every worker's own ``GET /stats`` document."""
+        probe = HTTPRequest(
+            method="GET", target="/stats", path="/stats", query={}, headers={}
+        )
+        responses = await asyncio.gather(
+            *(self._forward(upstream, probe) for upstream in self.upstreams)
+        )
+        workers = []
+        for upstream, response in zip(self.upstreams, responses):
+            try:
+                payload = json.loads(response.body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": {"type": "bad_gateway",
+                                     "message": "unreadable worker stats"}}
+            if not isinstance(payload, dict):
+                payload = {"stats": payload}
+            workers.append(
+                {
+                    "worker": upstream.key,
+                    "address": f"{upstream.host}:{upstream.port}",
+                    "pool_connects": upstream.connects,
+                    "stats": payload,
+                }
+            )
+        return json_response(
+            {
+                "router": self.metrics.snapshot(in_flight=self._in_flight - 1),
+                "ring": {
+                    "workers": list(self.ring.members),
+                    "replicas": self.ring.replicas,
+                },
+                "workers": workers,
+            }
+        )
+
+    def close_idle(self) -> None:
+        for upstream in self.upstreams:
+            upstream.close_idle()
+
+
+class WorkerProcess:
+    """One ``imprecise serve --http`` child on an ephemeral port.
+
+    The port is parsed from the child's stable ``serving on
+    http://HOST:PORT`` startup line; stdout/stderr are drained by
+    daemon threads into bounded rings so a chatty child can never fill
+    a pipe buffer and wedge, and the last lines are available for
+    diagnostics when a child dies."""
+
+    def __init__(
+        self,
+        index: int,
+        argv: Sequence[str],
+        *,
+        env: Optional[dict] = None,
+        startup_timeout: float = 30.0,
+    ):
+        self.index = index
+        self.key = f"worker-{index}"
+        self.proc = subprocess.Popen(
+            list(argv),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self._output: deque = deque(maxlen=50)
+        banner: dict = {}
+
+        def _read_banner() -> None:
+            banner["line"] = self.proc.stdout.readline()
+
+        reader = threading.Thread(target=_read_banner, daemon=True)
+        reader.start()
+        reader.join(startup_timeout)
+        line = (banner.get("line") or "").strip()
+        if not line.startswith("serving on http://"):
+            self.proc.kill()
+            try:
+                _, stderr = self.proc.communicate(timeout=5)
+            except subprocess.TimeoutExpired:
+                stderr = ""
+            raise ImpreciseError(
+                f"{self.key} failed to start (got {line!r}):"
+                f" {(stderr or '').strip()[-500:]}"
+            )
+        address = line[len("serving on http://"):]
+        host, _, port_text = address.rpartition(":")
+        self.host = host.strip("[]")
+        self.port = int(port_text)
+        for stream in (self.proc.stdout, self.proc.stderr):
+            threading.Thread(
+                target=self._drain, args=(stream,), daemon=True
+            ).start()
+
+    def _drain(self, stream) -> None:
+        try:
+            for line in stream:
+                self._output.append(line.rstrip("\n"))
+        except ValueError:
+            pass  # stream closed under us during shutdown
+
+    def output_tail(self) -> list:
+        """The child's most recent output lines (diagnostics)."""
+        return list(self._output)
+
+    def stop(self, timeout: float = 30.0) -> Optional[int]:
+        """SIGTERM (the child drains gracefully), escalating to SIGKILL
+        past ``timeout``; returns the exit status."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait(5)
+
+    def __repr__(self) -> str:
+        return f"WorkerProcess({self.key}, {self.host}:{self.port})"
+
+
+def _worker_argv(
+    store_dir,
+    *,
+    cache_dir=None,
+    worker_args: Sequence[str] = (),
+) -> list:
+    argv = [sys.executable, "-m", "repro", "serve", str(store_dir),
+            "--http", "127.0.0.1:0"]
+    if cache_dir is not None:
+        argv += ["--cache-dir", str(cache_dir)]
+    argv += list(worker_args)
+    return argv
+
+
+def _worker_env() -> dict:
+    """The spawn environment: inherit, but make sure the children can
+    import this very package even when it is only on ``sys.path`` via
+    ``PYTHONPATH=src`` (tests) rather than installed."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class MultiProcServer:
+    """The whole tier as one object: spawn N workers, run the router.
+
+    The embedding shape tests and benchmarks use::
+
+        tier = MultiProcServer(store_dir, workers=4, cache_dir=cache_dir)
+        host, port = tier.start()
+        ...                             # drive it with DataspaceClient
+        tier.stop()
+
+    ``stop()`` drains the router first (in-flight proxied requests
+    finish, new connections are refused), then SIGTERMs the children and
+    waits for their own graceful exits.  Context-manager friendly.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        workers: int = 4,
+        cache_dir=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_args: Sequence[str] = (),
+        slow_ms: int = 500,
+        startup_timeout: float = 30.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store_dir = store_dir
+        self.cache_dir = cache_dir
+        self.n_workers = workers
+        self.host = host
+        self.port = port
+        self.worker_args = tuple(worker_args)
+        self.slow_ms = slow_ms
+        self.startup_timeout = startup_timeout
+        self.workers: list = []
+        self.router: Optional[RouterApp] = None
+        self._background: Optional[BackgroundServer] = None
+
+    def start(self) -> tuple:
+        """Spawn the children, start the router; returns the router's
+        bound ``(host, port)``."""
+        argv = _worker_argv(
+            self.store_dir,
+            cache_dir=self.cache_dir,
+            worker_args=self.worker_args,
+        )
+        env = _worker_env()
+        try:
+            for index in range(self.n_workers):
+                self.workers.append(
+                    WorkerProcess(
+                        index, argv, env=env,
+                        startup_timeout=self.startup_timeout,
+                    )
+                )
+        except BaseException:
+            self._stop_workers()
+            raise
+        self.router = RouterApp(
+            [_Upstream(w.key, w.host, w.port) for w in self.workers],
+            slow_ms=self.slow_ms,
+        )
+        self._background = BackgroundServer(self.router, self.host, self.port)
+        try:
+            bound = self._background.start()
+        except BaseException:
+            self._stop_workers()
+            raise
+        self.host, self.port = bound
+        return bound
+
+    def _stop_workers(self) -> None:
+        workers, self.workers = self.workers, []
+        for worker in workers:
+            worker.stop()
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Drain the router, then the children.  Idempotent."""
+        if self._background is not None:
+            background, self._background = self._background, None
+            background.stop(grace=grace)
+        self._stop_workers()
+
+    def __enter__(self) -> "MultiProcServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_multiproc(
+    store_dir,
+    host: str,
+    port: int,
+    workers: int,
+    *,
+    cache_dir=None,
+    worker_args: Sequence[str] = (),
+    slow_ms: int = 500,
+) -> int:
+    """The blocking CLI entry (``imprecise serve --http --workers N``):
+    run the tier until SIGINT/SIGTERM, then drain router and children.
+
+    Prints the same stable ``serving on http://HOST:PORT`` first line as
+    the single-process front (clients parsing it cannot tell the tiers
+    apart), followed by one ``workers: N`` line."""
+    tier = MultiProcServer(
+        store_dir,
+        workers=workers,
+        cache_dir=cache_dir,
+        host=host,
+        port=port,
+        worker_args=worker_args,
+        slow_ms=slow_ms,
+    )
+    stop = threading.Event()
+
+    def _signalled(signum, frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _signalled)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
+    try:
+        bound_host, bound_port = tier.start()
+        display = f"[{bound_host}]" if ":" in bound_host else bound_host
+        print(f"serving on http://{display}:{bound_port}", flush=True)
+        print(f"workers: {workers}", flush=True)
+        while not stop.is_set():
+            stop.wait(0.5)
+            # A crashed child turns into 502s for its shard; better to
+            # exit loudly and let the supervisor restart the tier.
+            for worker in tier.workers:
+                if worker.proc.poll() is not None:
+                    tail = "\n".join(worker.output_tail()[-5:])
+                    print(
+                        f"{worker.key} exited"
+                        f" (status {worker.proc.returncode}):\n{tail}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    return 1
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        tier.stop()
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass

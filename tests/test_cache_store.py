@@ -375,3 +375,91 @@ class TestAggregateRows:
             "persistent_aggregate_stored",
         ):
             assert counter in stats
+
+
+class TestBusyHandling:
+    """Multi-process write contention: typed errors, bounded retries
+    (ISSUE 8 — two workers sharing one --cache-dir must never surface a
+    raw `sqlite3.OperationalError: database is locked`)."""
+
+    def test_rejects_bad_tuning(self, tmp_path):
+        with pytest.raises(StoreError):
+            AnswerCacheStore(tmp_path / "a", busy_timeout_ms=-1)
+        with pytest.raises(StoreError):
+            AnswerCacheStore(tmp_path / "b", write_retries=0)
+
+    def test_busy_timeout_pragma_applied(self, tmp_path):
+        store = AnswerCacheStore(tmp_path / "cache", busy_timeout_ms=123)
+        row = store._conn.execute("PRAGMA busy_timeout").fetchone()
+        assert row[0] == 123
+        store.close()
+
+    def test_held_write_lock_raises_typed_error(self, tmp_path):
+        """A sibling holding the write lock past the whole retry budget
+        surfaces CacheBusyError (a StoreError), never the raw sqlite3
+        exception — and the blocked writer stays usable afterwards."""
+        import sqlite3
+
+        from repro.errors import CacheBusyError
+
+        store = AnswerCacheStore(
+            tmp_path / "cache", busy_timeout_ms=1, write_retries=2
+        )
+        sibling = sqlite3.connect(str(store.path))
+        sibling.execute("BEGIN IMMEDIATE")  # hold the write lock
+        try:
+            with pytest.raises(CacheBusyError) as excinfo:
+                store.put("doc", DOC, PLAN, answer(("v", Fraction(1, 2), 1)))
+            assert isinstance(excinfo.value, StoreError)
+            assert "locked" in str(excinfo.value.__cause__).lower()
+            assert store.busy_retries > 0
+            assert store.stats()["persistent_busy_retries"] > 0
+        finally:
+            sibling.rollback()
+            sibling.close()
+        # The lock is gone: the very same store commits cleanly now.
+        store.put("doc", DOC, PLAN, answer(("v", Fraction(1, 2), 1)))
+        got = store.get("doc", DOC, PLAN)
+        assert [(i.value, i.probability) for i in got] == [("v", Fraction(1, 2))]
+        store.close()
+
+    def test_retry_succeeds_once_lock_clears(self, tmp_path):
+        """A transient hold shorter than the retry budget is absorbed
+        silently: the put lands, no exception, retries counted."""
+        import sqlite3
+        import threading
+
+        store = AnswerCacheStore(
+            tmp_path / "cache", busy_timeout_ms=5, write_retries=10
+        )
+        sibling = sqlite3.connect(str(store.path), check_same_thread=False)
+        sibling.execute("BEGIN IMMEDIATE")
+        release = threading.Timer(0.05, lambda: (sibling.rollback()))
+        release.start()
+        try:
+            store.put("doc", DOC, PLAN, answer(("v", Fraction(1, 3), 2)))
+        finally:
+            release.join()
+            sibling.close()
+        got = store.get("doc", DOC, PLAN)
+        assert [(i.value, i.probability) for i in got] == [("v", Fraction(1, 3))]
+        store.close()
+
+    def test_two_instances_interleaved_writes(self, tmp_path):
+        """Two connections to one file (the in-process stand-in for two
+        worker processes): interleaved puts and invalidations all land,
+        reads on either side decode identical Fractions."""
+        first = AnswerCacheStore(tmp_path / "cache")
+        second = AnswerCacheStore(tmp_path / "cache")
+        stored = answer(("x", Fraction(2, 7), 1), ("y", Fraction(1, 7), 2))
+        first.put("doc", DOC, PLAN, stored)
+        via_second = second.get("doc", DOC, PLAN)
+        assert [(i.value, i.probability) for i in via_second] == [
+            ("x", Fraction(2, 7)), ("y", Fraction(1, 7))
+        ]
+        dropped = second.invalidate_document("doc")
+        assert dropped == 1
+        assert first.get("doc", DOC, PLAN) is None
+        assert first.version("doc") == second.version("doc") == 1
+        first.close()
+        second.close()

@@ -1,0 +1,522 @@
+"""Tests for the pre-fork multi-worker serving tier (ISSUE 8).
+
+Three layers:
+
+* pure-logic tests of :class:`ConsistentHashRing` and the router's
+  affinity extraction (no processes, no sockets);
+* live-tier tests over :class:`MultiProcServer` — N real worker
+  subprocesses behind the router — including the N-worker soak asserting
+  Fraction-identical answers vs an in-process serial replay, and
+  shard-routing stability under document add/delete;
+* graceful-drain tests (in-flight requests complete, new connections
+  refused) against a deterministic slow upstream.
+
+Soak sizes are env-tunable (``MULTIPROC_WORKERS``,
+``MULTIPROC_SOAK_THREADS``, ``MULTIPROC_SOAK_REQUESTS``) so CI can run a
+reduced matrix.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.dbms.service import DataspaceService
+from repro.errors import ImpreciseError
+from repro.server.app import route_label
+from repro.server.client import DataspaceClient, DataspaceClientPool, ServerError
+from repro.server.http import BackgroundServer, HTTPRequest, json_response
+from repro.server.multiproc import (
+    ConsistentHashRing,
+    MultiProcServer,
+    RouterApp,
+    _Upstream,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+N_WORKERS = int(os.environ.get("MULTIPROC_WORKERS", "4"))
+SOAK_THREADS = int(os.environ.get("MULTIPROC_SOAK_THREADS", "4"))
+SOAK_REQUESTS = int(os.environ.get("MULTIPROC_SOAK_REQUESTS", "6"))
+
+XML_DOCS = {
+    f"src{i}": f"<r><x>{i}</x><x>{i + 1}</x><y>{i % 3}</y></r>"
+    for i in range(8)
+}
+QUERIES = ["//x", "//y", '//x[. = "3"]']
+
+
+def request_for(method, path, body=b"", target=None):
+    return HTTPRequest(
+        method=method,
+        target=target or path,
+        path=path,
+        query={},
+        headers={},
+        body=body,
+    )
+
+
+class TestConsistentHashRing:
+    def test_deterministic_across_instances(self):
+        members = [f"worker-{i}" for i in range(4)]
+        first, second = ConsistentHashRing(members), ConsistentHashRing(members)
+        for key in XML_DOCS:
+            assert first.member_for(key) == second.member_for(key)
+
+    def test_every_key_maps_to_a_member(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for i in range(200):
+            assert ring.member_for(f"doc{i}") in ("a", "b", "c")
+
+    def test_distribution_is_roughly_even(self):
+        ring = ConsistentHashRing([f"worker-{i}" for i in range(4)])
+        counts = {}
+        for i in range(2000):
+            owner = ring.member_for(f"doc{i}")
+            counts[owner] = counts.get(owner, 0) + 1
+        # 2000 keys over 4 members: each should own a real share, not a
+        # sliver (consistent hashing with 64 replicas is ±few percent).
+        assert all(count > 200 for count in counts.values()), counts
+
+    def test_key_churn_never_moves_other_keys(self):
+        """Adding/deleting *documents* is invisible to the ring: the
+        owner is a pure function of (members, key)."""
+        ring = ConsistentHashRing(["worker-0", "worker-1"])
+        before = {key: ring.member_for(key) for key in XML_DOCS}
+        ring.member_for("a-brand-new-document")  # "add"
+        after = {key: ring.member_for(key) for key in XML_DOCS}
+        assert before == after
+
+    def test_membership_growth_moves_a_bounded_fraction(self):
+        """Going from N to N+1 workers re-homes ~1/(N+1) of the keys —
+        consistent hashing's whole point (modulo hashing would move
+        nearly all of them)."""
+        keys = [f"doc{i}" for i in range(1000)]
+        small = ConsistentHashRing([f"worker-{i}" for i in range(4)])
+        grown = ConsistentHashRing([f"worker-{i}" for i in range(5)])
+        moved = sum(
+            1 for key in keys if small.member_for(key) != grown.member_for(key)
+        )
+        # Expected ~200/1000; fail only on modulo-like wholesale movement.
+        assert moved < 450, moved
+        # Every moved key must have moved TO the new member.
+        for key in keys:
+            if small.member_for(key) != grown.member_for(key):
+                assert grown.member_for(key) == "worker-4"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"], replicas=0)
+
+
+class TestRouterAffinity:
+    def router(self, n=3):
+        upstreams = [_Upstream(f"worker-{i}", "127.0.0.1", 1 + i) for i in range(n)]
+        return RouterApp(upstreams)
+
+    def test_document_endpoints_route_by_name(self):
+        router = self.router()
+        body = json.dumps({"document": "movies", "xpath": "//x"}).encode()
+        for path in ("/query", "/batch", "/aggregate", "/feedback"):
+            assert router._affinity(request_for("POST", path, body)) == "movies"
+        assert (
+            router._affinity(request_for("PUT", "/documents/movies"))
+            == "movies"
+        )
+        assert (
+            router._affinity(request_for("DELETE", "/documents/movies"))
+            == "movies"
+        )
+        assert (
+            router._affinity(request_for("GET", "/documents/movies/stats"))
+            == "movies"
+        )
+
+    def test_integrate_routes_by_output(self):
+        router = self.router()
+        body = json.dumps({"a": "x", "b": "y", "output": "xy"}).encode()
+        assert router._affinity(request_for("POST", "/integrate", body)) == "xy"
+
+    def test_no_affinity_round_robins(self):
+        router = self.router(n=3)
+        seen = [
+            router.worker_for(request_for("GET", "/healthz")).key
+            for _ in range(6)
+        ]
+        assert seen == [
+            "worker-0", "worker-1", "worker-2",
+            "worker-0", "worker-1", "worker-2",
+        ]
+
+    def test_same_name_same_worker_every_time(self):
+        router = self.router()
+        body = json.dumps({"document": "movies", "xpath": "//x"}).encode()
+        owners = {
+            router.worker_for(request_for("POST", "/query", body)).key
+            for _ in range(10)
+        }
+        assert len(owners) == 1
+
+    def test_garbage_body_still_routes(self):
+        router = self.router()
+        worker = router.worker_for(request_for("POST", "/query", b"{not json"))
+        assert worker.key in {u.key for u in router.upstreams}
+
+    def test_label_collapses_names(self):
+        assert route_label("PUT", "/documents/any-name") == "PUT /documents/{name}"
+        assert (
+            route_label("GET", "/documents/x/stats")
+            == "GET /documents/{name}/stats"
+        )
+        assert route_label("POST", "/query/") == "POST /query"
+
+
+@pytest.fixture(scope="module")
+def tier(tmp_path_factory):
+    """One live N-worker tier shared by the module's E2E tests (worker
+    spawn is the expensive part; each test uses distinct documents)."""
+    tmp = tmp_path_factory.mktemp("tier")
+    store, cache = tmp / "store", tmp / "cache"
+    store.mkdir()
+    cache.mkdir()
+    server = MultiProcServer(store, workers=N_WORKERS, cache_dir=cache)
+    host, port = server.start()
+    seeder = DataspaceClient(host, port)
+    for name, xml in XML_DOCS.items():
+        seeder.load(name, xml)
+    seeder.close()
+    yield server
+    server.stop()
+
+
+class TestLiveTier:
+    def test_answers_match_in_process_service(self, tier, tmp_path):
+        """Every query through the router is Fraction-identical to the
+        same corpus served by one in-process service."""
+        reference = DataspaceService(directory=tmp_path / "ref")
+        for name, xml in XML_DOCS.items():
+            reference.load(name, xml)
+        client = DataspaceClient(tier.host, tier.port)
+        try:
+            for name in XML_DOCS:
+                for query in QUERIES:
+                    over_http = client.query(name, query)
+                    in_process = reference.query(name, query)
+                    assert [
+                        (i.value, i.probability, i.occurrences)
+                        for i in over_http
+                    ] == [
+                        (i.value, i.probability, i.occurrences)
+                        for i in in_process
+                    ]
+            fused_http = client.search("//x", glob="src*")
+            fused_ref = reference.query_all("//x", glob="src*")
+            assert fused_http.values() == fused_ref.values()
+            assert [i.score for i in fused_http.items] == [
+                i.score for i in fused_ref.items
+            ]
+        finally:
+            client.close()
+            reference.close()
+
+    def test_stats_aggregates_the_whole_tier(self, tier):
+        client = DataspaceClient(tier.host, tier.port)
+        try:
+            client.query("src0", "//x")
+            stats = client.stats()
+        finally:
+            client.close()
+        assert sorted(stats.keys()) == ["ring", "router", "workers"]
+        assert stats["ring"]["workers"] == [
+            f"worker-{i}" for i in range(N_WORKERS)
+        ]
+        assert len(stats["workers"]) == N_WORKERS
+        assert "POST /query" in stats["router"]["endpoints"]
+        for entry in stats["workers"]:
+            assert "http" in entry["stats"]  # each worker's own metrics
+
+    def test_shard_routing_is_stable_under_document_churn(self, tier):
+        """Queries of one name land on exactly one worker — the one the
+        ring predicts — and keep landing there while other documents
+        are added and deleted."""
+        client = DataspaceClient(tier.host, tier.port)
+        ring = ConsistentHashRing([f"worker-{i}" for i in range(N_WORKERS)])
+        target = "src1"
+        owner = ring.member_for(target)
+
+        def owner_count():
+            stats = client.stats()
+            for entry in stats["workers"]:
+                if entry["worker"] == owner:
+                    return (
+                        entry["stats"]["http"]["endpoints"]
+                        .get("POST /query", {})
+                        .get("count", 0)
+                    )
+            raise AssertionError(f"{owner} missing from stats")
+
+        try:
+            before = owner_count()
+            for _ in range(3):
+                client.query(target, "//x")
+            assert owner_count() == before + 3
+            # Document churn: add and delete unrelated names.
+            client.load("churn-a", "<r><x>1</x></r>")
+            client.load("churn-b", "<r><x>2</x></r>")
+            client.delete("churn-a")
+            client.delete("churn-b")
+            for _ in range(2):
+                client.query(target, "//x")
+            assert owner_count() == before + 5
+        finally:
+            client.close()
+
+    def test_write_then_read_through_different_paths(self, tier):
+        """An /integrate (routed by output) is immediately visible to
+        /search fan-outs that round-robin through *other* workers — the
+        shared store plus the cross-process fence at work."""
+        client = DataspaceClient(tier.host, tier.port)
+        try:
+            client.integrate("src0", "src1", "combined")
+            values = set()
+            # Hit every worker at least once via round-robin /search.
+            for _ in range(N_WORKERS):
+                fused = client.search("//x", documents=["combined"])
+                values.add(tuple(fused.values()))
+            assert len(values) == 1  # every worker serves the same answer
+            client.delete("combined")
+        finally:
+            client.close()
+
+    def test_pooled_client_drives_the_tier(self, tier):
+        pool = DataspaceClientPool(tier.host, tier.port, max_idle=2)
+        results = []
+
+        def worker(index):
+            with pool.client() as client:
+                results.append(client.query("src2", "//x").values())
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool.close()
+        assert len(results) == 4
+        assert all(result == results[0] for result in results)
+
+    def test_missing_document_is_a_clean_404(self, tier):
+        client = DataspaceClient(tier.host, tier.port)
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                client.query("no-such-doc", "//x")
+            assert excinfo.value.status == 404
+        finally:
+            client.close()
+
+
+class TestSoakVsSerialReplay:
+    def schedules(self):
+        """Deterministic per-thread op schedules over the shared corpus:
+        reads only (the soak threads interleave arbitrarily, so writes
+        would make the serial replay ambiguous); every thread mixes
+        query/aggregate/search across shard-distributed documents."""
+        names = sorted(XML_DOCS)
+        schedules = []
+        for thread in range(SOAK_THREADS):
+            ops = []
+            for index in range(SOAK_REQUESTS):
+                name = names[(thread + index) % len(names)]
+                kind = index % 3
+                if kind == 0:
+                    ops.append(("query", name, QUERIES[index % len(QUERIES)]))
+                elif kind == 1:
+                    ops.append(("aggregate", name, "count", "x"))
+                else:
+                    ops.append(("search", "//x"))
+            schedules.append(ops)
+        return schedules
+
+    def run_op(self, executor, op):
+        if op[0] == "query":
+            return [
+                (i.value, str(i.probability), i.occurrences)
+                for i in executor.query(op[1], op[2])
+            ]
+        if op[0] == "aggregate":
+            distribution = executor.aggregate(op[1], op[2], op[3])
+            return sorted((str(k), str(v)) for k, v in distribution.items())
+        fused = executor.search(op[1], glob="src*") if hasattr(
+            executor, "search"
+        ) else executor.query_all(op[1], glob="src*")
+        return [(i.value, str(i.score)) for i in fused.items]
+
+    def test_n_worker_soak_fraction_identical_to_serial(self, tier, tmp_path):
+        """The acceptance soak: SOAK_THREADS concurrent clients against
+        the N-worker tier; every decoded Fraction must equal the serial
+        in-process replay of the same schedule."""
+        schedules = self.schedules()
+
+        reference = DataspaceService(directory=tmp_path / "ref")
+        for name, xml in XML_DOCS.items():
+            reference.load(name, xml)
+        expected = [
+            [self.run_op(reference, op) for op in ops] for ops in schedules
+        ]
+        reference.close()
+
+        def run_thread(ops):
+            client = DataspaceClient(tier.host, tier.port)
+            try:
+                return [self.run_op(client, op) for op in ops]
+            finally:
+                client.close()
+
+        with ThreadPoolExecutor(max_workers=SOAK_THREADS) as pool:
+            futures = [pool.submit(run_thread, ops) for ops in schedules]
+            actual = [future.result(timeout=300) for future in futures]
+        assert actual == expected
+
+
+class TestGracefulDrain:
+    """Router drain semantics against a deterministic slow upstream:
+    the in-flight proxied request completes; new connections are
+    refused once the drain begins."""
+
+    def test_in_flight_completes_new_connections_refused(self):
+        async def slow_handler(request):
+            await asyncio.sleep(0.8)
+            return json_response({"done": True})
+
+        with BackgroundServer(slow_handler) as upstream_server:
+            upstream = _Upstream(
+                "worker-0",
+                upstream_server.server.host,
+                upstream_server.server.port,
+            )
+            router = BackgroundServer(RouterApp([upstream]))
+            host, port = router.start()
+
+            result = {}
+
+            def slow_request():
+                client = DataspaceClient(host, port, timeout=30)
+                try:
+                    result["response"] = client.healthz()
+                except Exception as error:  # noqa: BLE001 - asserted below
+                    result["error"] = error
+                finally:
+                    client.close()
+
+            requester = threading.Thread(target=slow_request)
+            requester.start()
+            time.sleep(0.25)  # the request is in flight inside the worker
+
+            stopper = threading.Thread(
+                target=lambda: router.stop(grace=10)
+            )
+            stopper.start()
+            time.sleep(0.2)  # the drain has closed the accept socket
+
+            with pytest.raises(OSError):
+                probe = socket.create_connection((host, port), timeout=2)
+                # Acceptance may race the socket close: if the connect
+                # sneaks in, the request must still go unanswered.
+                probe.sendall(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+                probe.settimeout(2)
+                if probe.recv(1) == b"":
+                    probe.close()
+                    raise ConnectionError("closed without a response")
+                probe.close()
+
+            requester.join(timeout=30)
+            stopper.join(timeout=30)
+            assert result.get("response") == {"done": True}, result
+
+    def test_dead_worker_becomes_502_not_hang(self):
+        upstream = _Upstream("worker-0", "127.0.0.1", _free_port())
+        with BackgroundServer(RouterApp([upstream])) as router_server:
+            host = router_server.server.host
+            port = router_server.server.port
+            client = DataspaceClient(host, port)
+            try:
+                with pytest.raises(ServerError) as excinfo:
+                    client.healthz()
+                assert excinfo.value.status == 502
+                assert excinfo.value.error_type == "bad_gateway"
+            finally:
+                client.close()
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestCLI:
+    def spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        store = tmp_path / "store"
+        store.mkdir(exist_ok=True)
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(store),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--http", "127.0.0.1:0", *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def test_workers_flag_serves_and_drains_on_sigterm(self, tmp_path):
+        proc = self.spawn(tmp_path, "--workers", "2")
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), banner
+            port = int(banner.rsplit(":", 1)[1])
+            assert proc.stdout.readline().strip() == "workers: 2"
+            client = DataspaceClient("127.0.0.1", port)
+            client.load("doc", "<r><x>7</x></r>")
+            assert client.query("doc", "//x").values() == ["7"]
+            stats = client.stats()
+            assert len(stats["workers"]) == 2
+            client.close()
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+
+    def test_workers_requires_http(self, tmp_path):
+        from repro.cli import main
+
+        (tmp_path / "store").mkdir()
+        status = main(["serve", str(tmp_path / "store"), "--workers", "2"])
+        assert status == 1
+
+    def test_workers_rejects_nonpositive(self, tmp_path):
+        from repro.cli import main
+
+        (tmp_path / "store").mkdir()
+        status = main(
+            ["serve", str(tmp_path / "store"),
+             "--http", "127.0.0.1:0", "--workers", "0"]
+        )
+        assert status == 1

@@ -460,3 +460,210 @@ class TestMixedSoak:
 
         assert elapsed < SOAK_TIMEOUT
         assert actual == expected
+
+
+class TestCrossProcessFence:
+    """Two service instances sharing one store directory and one cache
+    file — the in-process stand-in for two `serve --http` workers.  The
+    per-name cache version is the fence: a mutation through one instance
+    must be observed by the other instead of served from its stale
+    materialization (ISSUE 8 tentpole)."""
+
+    def two_services(self, tmp_path):
+        first = DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        )
+        second = DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        )
+        return first, second
+
+    def test_sibling_mutation_is_observed(self, tmp_path):
+        first, second = self.two_services(tmp_path)
+        try:
+            first.load("d", "<r><x>old</x></r>")
+            assert first.query("d", "//x").values() == ["old"]
+            # Warm the *second* instance's in-memory state on the old
+            # content: materialization, digest memo, engine.
+            assert second.query("d", "//x").values() == ["old"]
+            # Mutate through the first instance only.
+            first.load("d", "<r><x>new</x></r>")
+            assert first.query("d", "//x").values() == ["new"]
+            # Without the fence the second instance would re-serve "old"
+            # from its stale materialized document and digest.
+            assert second.query("d", "//x").values() == ["new"]
+        finally:
+            first.close()
+            second.close()
+
+    def test_sibling_feedback_is_observed(self, tmp_path):
+        first, second = self.two_services(tmp_path)
+        try:
+            book_a, book_b = addressbook_documents()
+            first.load_document("a", book_a)
+            first.load_document("b", book_b)
+            first.integrate("a", "b", "ab", rules=RULES, dtd=ADDRESSBOOK_DTD)
+            warm_before = second.query("ab", "//person/tel")
+            first.feedback("ab", "//person/tel", "1111")
+            after_first = second.query("ab", "//person/tel")
+            assert shape(after_first) == shape(first.query("ab", "//person/tel"))
+            assert shape(after_first) != shape(warm_before)
+        finally:
+            first.close()
+            second.close()
+
+    def test_aggregates_cross_the_fence(self, tmp_path):
+        first, second = self.two_services(tmp_path)
+        try:
+            first.load("d", "<r><p>1</p><p>2</p></r>")
+            assert second.aggregate("d", "count", "p") == {2: Fraction(1)}
+            first.load("d", "<r><p>1</p><p>2</p><p>3</p></r>")
+            assert second.aggregate("d", "count", "p") == {3: Fraction(1)}
+        finally:
+            first.close()
+            second.close()
+
+    def test_own_mutations_do_not_refresh(self, tmp_path):
+        """The fence must not tax the single-process fast path: a
+        service observing only its own mutations never drops its
+        materialization (refresh would force a reparse per query)."""
+        service = DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        )
+        try:
+            service.load("d", "<r><x>1</x></r>")
+            service.query("d", "//x")
+            materialized = service.store.get("d")
+            service.query("d", "//x")
+            assert service.store.get("d") is materialized
+        finally:
+            service.close()
+
+    def test_fence_noop_without_cache(self, tmp_path):
+        service = DataspaceService(directory=tmp_path / "store")
+        try:
+            service.load("d", "<r><x>1</x></r>")
+            assert service.query("d", "//x").values() == ["1"]
+        finally:
+            service.close()
+
+
+class TestFanoutErrorContainment:
+    """query_all/aggregate_all on a failing corpus: the first error (in
+    pinned name order) surfaces, stragglers are cancelled or awaited —
+    never left running unobserved (ISSUE 8 satellite)."""
+
+    def corpus(self, tmp_path, workers=4):
+        service = DataspaceService(
+            directory=tmp_path / "store", fanout_workers=workers
+        )
+        for name in ("a", "b", "c", "d"):
+            service.load(name, f"<r><x>{name}</x></r>")
+        return service
+
+    def test_missing_document_mid_corpus(self, tmp_path):
+        """A document that vanishes between membership resolution and
+        pricing (deleted by a sibling) fails its future; the fan-out
+        surfaces that MissingDocumentError."""
+        from repro.errors import MissingDocumentError
+
+        service = self.corpus(tmp_path)
+        try:
+            original = DataspaceService.query
+            def flaky(self_, name, plan):
+                if name == "b":
+                    raise MissingDocumentError("no document named 'b'")
+                return original(self_, name, plan)
+            service.query = flaky.__get__(service)
+            with pytest.raises(MissingDocumentError):
+                service.query_all("//x")
+        finally:
+            service.close()
+
+    def test_stragglers_are_awaited_not_leaked(self, tmp_path):
+        """When the error lands, futures already running are awaited to
+        completion before it propagates — no work outlives the call."""
+        from repro.errors import MissingDocumentError
+
+        service = self.corpus(tmp_path, workers=4)
+        finished = threading.Event()
+        try:
+            original = DataspaceService.query
+            def flaky(self_, name, plan):
+                if name == "a":
+                    time.sleep(0.05)
+                    raise MissingDocumentError("no document named 'a'")
+                if name == "d":
+                    time.sleep(0.3)  # straggler, still running at failure
+                    finished.set()
+                return original(self_, name, plan)
+            service.query = flaky.__get__(service)
+            with pytest.raises(MissingDocumentError):
+                service.query_all("//x")
+            assert finished.is_set(), "straggler leaked past the fan-out"
+        finally:
+            service.close()
+
+    def test_first_error_in_name_order_wins(self, tmp_path):
+        """Two failures: the surfaced error is deterministically the
+        first failing *name*, not whichever future crashed first."""
+        from repro.errors import MissingDocumentError, QueryError
+
+        service = self.corpus(tmp_path, workers=4)
+        try:
+            original = DataspaceService.query
+            def flaky(self_, name, plan):
+                if name == "b":
+                    time.sleep(0.2)  # fails *later* in wall-clock time
+                    raise MissingDocumentError("no document named 'b'")
+                if name == "c":
+                    raise QueryError("c exploded first")
+                return original(self_, name, plan)
+            service.query = flaky.__get__(service)
+            with pytest.raises(MissingDocumentError):
+                service.query_all("//x")
+        finally:
+            service.close()
+
+    def test_aggregate_all_contains_errors_too(self, tmp_path):
+        from repro.errors import QueryError
+
+        service = self.corpus(tmp_path)
+        try:
+            original = DataspaceService.aggregate
+            def flaky(self_, name, spec, target=None, *, text=None):
+                if name == "c":
+                    raise QueryError("boom")
+                return original(self_, name, spec, target, text=text)
+            service.aggregate = flaky.__get__(service)
+            with pytest.raises(QueryError):
+                service.aggregate_all("count", "x")
+        finally:
+            service.close()
+
+
+class TestCloseLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        service = DataspaceService(
+            directory=tmp_path / "store", cache_dir=tmp_path / "cache"
+        )
+        service.load("d", "<r><x>1</x></r>")
+        service.query_all("//x")  # create the fan-out pool
+        service.close()
+        service.close()  # second close: no error, no double-shutdown
+
+    def test_fanout_after_close_raises(self, tmp_path):
+        service = DataspaceService(directory=tmp_path / "store")
+        service.load("d", "<r><x>1</x></r>")
+        service.close()
+        with pytest.raises(StoreError, match="closed"):
+            service.query_all("//x")
+        with pytest.raises(StoreError, match="closed"):
+            service.aggregate_all("count", "x")
+
+    def test_close_before_any_fanout(self, tmp_path):
+        service = DataspaceService(directory=tmp_path / "store")
+        service.load("d", "<r><x>1</x></r>")
+        service.close()  # pool never created; nothing to shut down
+        with pytest.raises(StoreError, match="closed"):
+            service.query_all("//x")

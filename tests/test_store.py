@@ -246,3 +246,41 @@ class TestConcurrency:
             digests = list(pool.map(write, range(16)))
         assert len(store.list()) == 16
         assert len(set(digests)) == 1  # identical content, identical digest
+
+
+class TestRefresh:
+    """`refresh()` — the store half of the cross-process invalidation
+    fence: forget in-memory state so the next read hits the disk that a
+    sibling process rewrote."""
+
+    def test_refresh_drops_materialization_and_digest(self, tmp_path):
+        from repro.xmlkit.parser import parse_document as parse
+
+        writer = DocumentStore(tmp_path)
+        reader = DocumentStore(tmp_path)
+        writer.put("doc", parse("<r><x>old</x></r>"))
+        stale = reader.get("doc")
+        stale_digest = reader.digest("doc")
+        # A sibling rewrites the file; the reader's memos are now stale.
+        writer.put("doc", parse("<r><x>new</x></r>"))
+        assert reader.get("doc") is stale          # served from memory
+        assert reader.digest("doc") == stale_digest
+        reader.refresh("doc")
+        assert reader.get("doc") is not stale
+        # The re-read digest now matches the rewritten disk content.
+        assert reader.digest("doc") == writer.digest("doc")
+        assert reader.digest("doc") != stale_digest
+
+    def test_refresh_does_not_bump_version(self, tmp_path, plain_doc):
+        store = DocumentStore(tmp_path)
+        store.put("doc", plain_doc)
+        before = store.version("doc")
+        store.refresh("doc")
+        assert store.version("doc") == before
+
+    def test_refresh_unknown_name_is_noop(self, tmp_path):
+        DocumentStore(tmp_path).refresh("never-stored")
+
+    def test_refresh_rejects_bad_names(self, tmp_path):
+        with pytest.raises(StoreError):
+            DocumentStore(tmp_path).refresh("../escape")
