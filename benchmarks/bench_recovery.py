@@ -1,0 +1,147 @@
+"""Self-healing tier benchmark: recovery time after a worker kill.
+
+The supervision loop's promise (ISSUE 9): when a worker
+dies mid-serving, the tier (a) keeps answering immediately — the router
+reroutes the dead shard's documents to a surviving worker — and (b)
+returns to full capacity once the supervisor respawns the child and the
+health probe re-admits it.  This benchmark kills a worker under a warm
+workload and measures both distances:
+
+``reroute_seconds``
+    Kill → every document in the corpus answers again (through reroute;
+    502s are retried until the blip clears).
+``readmission_seconds``
+    Kill → supervisor reports the restart *and* the routing ring is back
+    to full strength.
+
+Acceptance: ``readmission_seconds`` ≤ the ceiling —
+``BENCH_RECOVERY_MAX_SECONDS`` when set (CI matches its runner), else
+15 s locally, generous against the 0.2 s probe interval used here so
+only a genuinely wedged supervisor fails the build.
+
+Correctness rides along: every post-recovery answer must be
+Fraction-identical to its pre-kill twin.  The measured trajectory lands
+in ``BENCH_recovery.json``.
+"""
+
+import os
+import time
+
+from repro.server.client import DataspaceClient, ServerError
+from repro.server.multiproc import MultiProcServer
+
+from .conftest import format_table, write_bench_json, write_result
+
+WORKERS = int(os.environ.get("BENCH_RECOVERY_WORKERS", "2"))
+DOC_COUNT = int(os.environ.get("BENCH_RECOVERY_DOCS", "8"))
+MAX_SECONDS = float(os.environ.get("BENCH_RECOVERY_MAX_SECONDS", "15"))
+PROBE_INTERVAL = 0.2
+QUERIES = ["//x", "//y"]
+
+
+def _shape(answer):
+    return [(item.value, item.probability, item.occurrences) for item in answer]
+
+
+def test_recovery_after_worker_kill(tmp_path):
+    store, cache = tmp_path / "store", tmp_path / "cache"
+    store.mkdir()
+    cache.mkdir()
+    tier = MultiProcServer(
+        store, workers=WORKERS, cache_dir=cache,
+        probe_interval=PROBE_INTERVAL, backoff_initial=0.05,
+    )
+    host, port = tier.start()
+    client = DataspaceClient(host, port, timeout=30)
+    try:
+        for index in range(DOC_COUNT):
+            client.load(
+                f"src{index}",
+                f"<r><x>{index % 4}</x><x>1</x><y>{index}</y></r>",
+            )
+        expected = {}
+        for index in range(DOC_COUNT):
+            for query in QUERIES:
+                expected[(index, query)] = _shape(
+                    client.query(f"src{index}", query)
+                )
+
+        victim = tier.workers[0]
+        victim.proc.kill()
+        victim.proc.wait(10)
+        killed_at = time.perf_counter()
+
+        # Distance (a): every document answers again, Fraction-identical,
+        # rerouted around the dead shard while the respawn is in flight.
+        for index in range(DOC_COUNT):
+            for query in QUERIES:
+                while True:
+                    try:
+                        shape = _shape(client.query(f"src{index}", query))
+                        break
+                    except ServerError as error:
+                        assert error.status == 502, error
+                        assert (
+                            time.perf_counter() - killed_at < MAX_SECONDS
+                        ), f"src{index} still failing after {MAX_SECONDS:g}s"
+                        time.sleep(0.02)
+                assert shape == expected[(index, query)]
+        reroute_seconds = time.perf_counter() - killed_at
+
+        # Distance (b): respawned, probed healthy, ring at full strength.
+        while True:
+            stats = client.stats()
+            if (
+                stats["supervisor"]["restarts"] >= 1
+                and len(stats["ring"]["available"]) == WORKERS
+            ):
+                break
+            assert (
+                time.perf_counter() - killed_at < MAX_SECONDS
+            ), f"worker not re-admitted after {MAX_SECONDS:g}s"
+            time.sleep(0.05)
+        readmission_seconds = time.perf_counter() - killed_at
+
+        for index in range(DOC_COUNT):
+            for query in QUERIES:
+                assert (
+                    _shape(client.query(f"src{index}", query))
+                    == expected[(index, query)]
+                )
+    finally:
+        client.close()
+        tier.stop()
+
+    write_result(
+        "recovery",
+        f"Self-healing tier — recovery after a worker kill"
+        f" ({WORKERS} workers, {DOC_COUNT} documents,"
+        f" probe every {PROBE_INTERVAL:g}s,"
+        f" ceiling {MAX_SECONDS:g}s, {os.cpu_count()} cores)\n"
+        + format_table(
+            ["distance", "seconds"],
+            [
+                ["kill -> all documents re-serve (reroute)",
+                 f"{reroute_seconds:7.3f}"],
+                ["kill -> respawned worker re-admitted",
+                 f"{readmission_seconds:7.3f}"],
+            ],
+        ),
+    )
+    write_bench_json(
+        "recovery",
+        {
+            "workers": WORKERS,
+            "documents": DOC_COUNT,
+            "probe_interval": PROBE_INTERVAL,
+            "cores": os.cpu_count(),
+            "reroute_seconds": round(reroute_seconds, 3),
+            "readmission_seconds": round(readmission_seconds, 3),
+            "max_seconds": MAX_SECONDS,
+        },
+    )
+
+    assert readmission_seconds <= MAX_SECONDS, (
+        f"worker re-admission took {readmission_seconds:.2f}s,"
+        f" above the {MAX_SECONDS:g}s acceptance ceiling"
+    )

@@ -123,10 +123,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ImpreciseError("--text requires --aggregate")
     if args.all and args.glob is not None:
         raise ImpreciseError("pass either --all or --glob PATTERN, not both")
+    if args.allow_partial and args.deadline_ms is None:
+        raise ImpreciseError("--allow-partial requires --deadline-ms")
     if args.all or args.glob is not None:
         return _run_search(args, queries)
     if args.fusion is not None or args.rrf_k is not None:
         raise ImpreciseError("--fusion/--rrf-k require --all or --glob")
+    if args.deadline_ms is not None:
+        raise ImpreciseError("--deadline-ms requires --all or --glob")
     document = _load_pxml(args.document)
     if args.aggregate:
         if args.batch:
@@ -177,10 +181,23 @@ def _run_search(args: argparse.Namespace, queries: Sequence[str]) -> int:
             "--aggregate fan-outs always fuse by exact probability"
             " mixture; --fusion only applies to ranked queries"
         )
+    if args.aggregate and args.allow_partial:
+        raise ImpreciseError(
+            "--allow-partial only applies to ranked fan-outs: a partial"
+            " aggregate would renormalize into the wrong distribution"
+        )
+    from .deadline import Deadline
     from .query.aggregates import format_distribution
 
     with DataspaceService(directory=directory) as service:
         for query_text in queries:
+            # Each query gets its own fresh budget: the flag bounds one
+            # fan-out, not the whole workload.
+            deadline = (
+                Deadline.from_ms(args.deadline_ms)
+                if args.deadline_ms is not None
+                else None
+            )
             if len(queries) > 1 or args.aggregate:
                 label = f"== {query_text}"
                 if args.aggregate:
@@ -190,7 +207,8 @@ def _run_search(args: argparse.Namespace, queries: Sequence[str]) -> int:
                 print(label)
             if args.aggregate:
                 distribution = service.aggregate_all(
-                    args.aggregate, query_text, text=args.text, glob=args.glob
+                    args.aggregate, query_text, text=args.text,
+                    glob=args.glob, deadline=deadline,
                 )
                 print(format_distribution(distribution))
             else:
@@ -199,6 +217,8 @@ def _run_search(args: argparse.Namespace, queries: Sequence[str]) -> int:
                     glob=args.glob,
                     strategy=strategy,
                     rrf_k=rrf_k,
+                    deadline=deadline,
+                    allow_partial=args.allow_partial,
                 )
                 print(fused.as_table())
         if args.cache_stats:
@@ -602,6 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--rrf-k", default=None, type=int, metavar="K",
                          help="reciprocal-rank-fusion dampening constant"
                               f" (default {DEFAULT_RRF_K})")
+    p_query.add_argument("--deadline-ms", default=None, type=int, metavar="MS",
+                         help="with --all/--glob: bound each fan-out to"
+                              " this wall-clock budget (error when blown"
+                              " unless --allow-partial)")
+    p_query.add_argument("--allow-partial", action="store_true",
+                         help="with --deadline-ms: print whatever"
+                              " finished, marking omitted documents,"
+                              " instead of erroring on a blown budget")
     p_query.add_argument("--batch", action="store_true",
                          help="evaluate all queries as one batch (shared"
                               " event-probability cache, bulk pricing)")

@@ -62,12 +62,29 @@ deployment) is safe by construction:
   current one, and :meth:`~AnswerCacheStore.version` lets a service
   observe another process's invalidation and drop its own in-memory
   state (see ``DataspaceService``'s fence check).
+
+**Corruption is quarantined, never fatal.**  The cache is derived data —
+every row can be recomputed from the document store — so a corrupted
+file (truncated, garbled, torn WAL) costs warmth, never correctness or
+availability.  When an open, read or write classifies as corruption
+(:meth:`~AnswerCacheStore._is_corruption`; transient ``busy``/``locked``
+contention is explicitly *not* corruption), the store moves the file
+aside to the first free ``answers.sqlite.corrupt-N`` slot (sidecar
+``-wal``/``-shm`` journals included, kept for post-mortems), rebuilds an
+empty cache at the original path, and carries on — reads return misses,
+writes land in the fresh file, and the ``persistent_recoveries`` counter
+ticks.  Siblings sharing the file follow the swap by inode: every public
+operation stats the path first and reconnects when the inode changed, so
+a fleet member holding a descriptor to the quarantined inode joins the
+healthy replacement instead of quarantining it.  A raw ``sqlite3``
+exception never escapes this module for a corrupt file.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import sqlite3
 import threading
@@ -346,6 +363,9 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         self.invalidations = 0
         self.evictions = 0
         self.busy_retries = 0
+        self.recoveries = 0
+        self._recovering = False
+        self._inode: Optional[int] = None
         #: Pending recency updates, (name, doc_digest, plan_digest) ->
         #: stamp.  Bounded stores buffer hit recency here instead of
         #: writing per hit (the hit path must stay read-only: no UPDATE,
@@ -353,11 +373,23 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         #: also when eviction decisions are made.  A crash loses pending
         #: recency only — eviction *order*, never correctness.
         self._touches: dict[tuple[str, str, str], int] = {}
+        self._clock: int = 0
         with self._lock:
-            self._init_schema()
-            self._clock: int = self._conn.execute(
-                "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
-            ).fetchone()[0]
+            try:
+                self._init_schema()
+                self._clock = int(
+                    self._conn.execute(
+                        "SELECT COALESCE(MAX(last_hit), 0) FROM answers"
+                    ).fetchone()[0]
+                )
+                self._record_inode_locked()
+            except sqlite3.DatabaseError as error:
+                # A corrupt file on open is quarantined and rebuilt —
+                # opening a cache must never fail because a previous
+                # process died mid-write.
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
 
     # -- write transactions -------------------------------------------------
 
@@ -365,6 +397,138 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
     def _is_busy(error: sqlite3.OperationalError) -> bool:
         text = str(error).lower()
         return "locked" in text or "busy" in text
+
+    #: ``sqlite3.OperationalError`` messages that mean the file itself is
+    #: damaged (vs. transient contention): torn pages, a non-SQLite file
+    #: at the path, a schema wiped by truncation.
+    _CORRUPTION_MARKERS: tuple[str, ...] = (
+        "malformed",
+        "not a database",
+        "corrupt",
+        "no such table",
+        "disk image",
+        "file is encrypted",
+    )
+
+    @classmethod
+    def _is_corruption(cls, error: sqlite3.DatabaseError) -> bool:
+        """Classify a ``sqlite3.DatabaseError`` as file corruption.
+
+        ``OperationalError`` is a *subclass* of ``DatabaseError`` and
+        covers both transient contention (``database is locked``) and
+        genuine damage (``database disk image is malformed``), so the
+        operational case classifies by message — busy/locked is never
+        corruption.  ``ProgrammingError`` (API misuse, closed handles)
+        is never corruption either.  ``IntegrityError``/``DatabaseError``
+        proper are corruption outright: this cache defines no constraints
+        its own writes could violate."""
+        if isinstance(error, sqlite3.ProgrammingError):
+            return False
+        if isinstance(error, sqlite3.OperationalError):
+            if cls._is_busy(error):
+                return False
+            text = str(error).lower()
+            return any(marker in text for marker in cls._CORRUPTION_MARKERS)
+        return True
+
+    # -- corruption quarantine ----------------------------------------------
+
+    def _record_inode_locked(self) -> None:
+        """Remember which inode currently backs ``self.path`` (the swap
+        detector for sibling-process recoveries)."""
+        try:
+            self._inode = os.stat(self.path).st_ino
+        except OSError:
+            self._inode = None
+
+    def _quarantine_locked(self) -> Optional[Path]:
+        """Move the (presumed corrupt) cache file aside to the first free
+        ``<name>.corrupt-N`` slot, sidecar journals included.
+
+        Returns the quarantine path, or ``None`` when the file is already
+        gone — e.g. a sibling process quarantined it first."""
+        sidecars = ("-wal", "-shm")
+        if not self.path.exists():
+            for suffix in sidecars:
+                Path(str(self.path) + suffix).unlink(missing_ok=True)
+            return None
+        number = 1
+        while Path(f"{self.path}.corrupt-{number}").exists():
+            number += 1
+        target = Path(f"{self.path}.corrupt-{number}")
+        try:
+            self.path.rename(target)
+        except OSError:
+            return None  # raced a sibling's quarantine; theirs won
+        for suffix in sidecars:
+            sidecar = Path(str(self.path) + suffix)
+            try:
+                sidecar.rename(Path(str(target) + suffix))
+            except OSError:
+                pass  # no journal to preserve
+        return target
+
+    def _recover_locked(self, cause: sqlite3.DatabaseError) -> None:
+        """Quarantine the corrupt cache file and rebuild an empty one
+        (caller holds the instance lock).
+
+        The cache is derived data: every row can be recomputed from the
+        document store, so corruption costs warmth, never correctness.
+        The damaged file is moved aside (``*.corrupt-N``) rather than
+        deleted, for post-mortems.  Corruption striking *again* while
+        rebuilding (a wrecked filesystem, not a wrecked file) aborts
+        with :class:`~repro.errors.StoreError` instead of looping."""
+        if self._recovering:
+            raise StoreError(
+                f"answer cache at {self.path} failed again while rebuilding"
+                f" after corruption: {cause}"
+            ) from cause
+        self._recovering = True
+        try:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass  # the handle is already wrecked; quarantine regardless
+            self._quarantine_locked()
+            self._conn = sqlite3.connect(
+                str(self.path), check_same_thread=False, isolation_level=None
+            )
+            self._init_schema()
+            self._touches.clear()
+            self._clock = 0
+            self._record_inode_locked()
+            self.recoveries += 1
+        finally:
+            self._recovering = False
+
+    def _ensure_current_locked(self) -> None:
+        """Follow a sibling process's quarantine swap (caller holds the
+        instance lock).
+
+        Recovery renames the corrupt file and creates a fresh one at the
+        same path; a sibling still holds a descriptor to the *renamed*
+        (corrupt) inode.  Every public operation therefore stats the
+        path first and reconnects when the backing inode changed or
+        vanished — the sibling never quarantines the healthy
+        replacement, it simply joins it (counted as a recovery)."""
+        try:
+            inode: Optional[int] = os.stat(self.path).st_ino
+        except OSError:
+            inode = None
+        if inode is not None and inode == self._inode:
+            return
+        try:
+            self._conn.close()
+        except sqlite3.Error:
+            pass  # stale handle to the quarantined inode
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None
+        )
+        self._init_schema()
+        self._touches.clear()
+        self._clock = 0
+        self._record_inode_locked()
+        self.recoveries += 1
 
     def _write_txn_locked(self, apply: Callable[[], None]) -> None:
         """Run ``apply`` as one ``BEGIN IMMEDIATE`` write transaction
@@ -377,9 +541,12 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         bounded retry loop on top covers writer convoys across N serving
         processes, and exhaustion raises the typed
         :class:`~repro.errors.CacheBusyError` (callers must never see a
-        raw ``database is locked``).
+        raw ``database is locked``).  An attempt that classifies as file
+        *corruption* quarantines and rebuilds the cache
+        (:meth:`_recover_locked`) and retries against the fresh file —
+        the raw driver exception never escapes for a damaged file either.
         """
-        last: Optional[sqlite3.OperationalError] = None
+        last: Optional[sqlite3.DatabaseError] = None
         for attempt in range(self.write_retries):
             if attempt:
                 self.busy_retries += 1
@@ -390,8 +557,13 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 time.sleep(min(0.1, 0.005 * (1 << attempt)))
             try:
                 self._conn.execute("BEGIN IMMEDIATE")
-            except sqlite3.OperationalError as error:
-                if self._is_busy(error):
+            except sqlite3.DatabaseError as error:
+                if isinstance(error, sqlite3.OperationalError) and \
+                        self._is_busy(error):
+                    last = error
+                    continue
+                if self._is_corruption(error):
+                    self._recover_locked(error)
                     last = error
                     continue
                 raise
@@ -399,12 +571,17 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 apply()
                 self._conn.execute("COMMIT")
                 return
-            except sqlite3.OperationalError as error:
+            except sqlite3.DatabaseError as error:
                 try:
                     self._conn.execute("ROLLBACK")
-                except sqlite3.OperationalError:
+                except sqlite3.Error:
                     pass  # the transaction never started or already died
-                if self._is_busy(error):
+                if isinstance(error, sqlite3.OperationalError) and \
+                        self._is_busy(error):
+                    last = error
+                    continue
+                if self._is_corruption(error):
+                    self._recover_locked(error)
                     last = error
                     continue
                 raise
@@ -510,10 +687,17 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         re-compiling the expression (exact string match only; distinct
         spellings converge once compiled and remembered)."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT plan_digest FROM plans WHERE expression = ?",
-                (expression,),
-            ).fetchone()
+            try:
+                self._ensure_current_locked()
+                row = self._conn.execute(
+                    "SELECT plan_digest FROM plans WHERE expression = ?",
+                    (expression,),
+                ).fetchone()
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                row = None
         if row is None:
             return None
         digest: str = row[0]
@@ -528,6 +712,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             )
 
         with self._lock:
+            self._ensure_current_locked()
             self._write_txn_locked(apply)
 
     # -- answers ------------------------------------------------------------
@@ -547,13 +732,20 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         under-lock re-probe) that would otherwise count one logical miss
         twice."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT payload, doc_version FROM answers"
-                " WHERE doc_name = ? AND doc_digest = ? AND plan_digest = ?",
-                (doc_name, doc_digest, plan_digest),
-            ).fetchone()
-            if row is not None and row[1] != self._version_locked(doc_name):
-                row = None  # written before an invalidation; ignore
+            try:
+                self._ensure_current_locked()
+                row = self._conn.execute(
+                    "SELECT payload, doc_version FROM answers"
+                    " WHERE doc_name = ? AND doc_digest = ? AND plan_digest = ?",
+                    (doc_name, doc_digest, plan_digest),
+                ).fetchone()
+                if row is not None and row[1] != self._version_locked(doc_name):
+                    row = None  # written before an invalidation; ignore
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                row = None  # the rebuilt cache is empty: a plain miss
             if row is not None and self.max_rows is not None:
                 # Bounded stores maintain recency — buffered in memory,
                 # so the hit path stays free of writes and fsyncs.
@@ -615,6 +807,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             evicted = self._evict_locked()
 
         with self._lock:
+            self._ensure_current_locked()
             self._write_txn_locked(apply)
             self._touches.clear()
             self.evictions += evicted
@@ -636,13 +829,20 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
         rows' plan digest.  ``record=False`` skips the hit/miss counters
         (double-checked lookups, as in :meth:`get`)."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT payload, doc_version FROM aggregates"
-                " WHERE doc_name = ? AND doc_digest = ? AND agg_digest = ?",
-                (doc_name, doc_digest, agg_digest),
-            ).fetchone()
-            if row is not None and row[1] != self._version_locked(doc_name):
-                row = None  # written before an invalidation; ignore
+            try:
+                self._ensure_current_locked()
+                row = self._conn.execute(
+                    "SELECT payload, doc_version FROM aggregates"
+                    " WHERE doc_name = ? AND doc_digest = ? AND agg_digest = ?",
+                    (doc_name, doc_digest, agg_digest),
+                ).fetchone()
+                if row is not None and row[1] != self._version_locked(doc_name):
+                    row = None  # written before an invalidation; ignore
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                row = None  # the rebuilt cache is empty: a plain miss
             if record:
                 if row is None:
                     self.aggregate_misses += 1
@@ -684,6 +884,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             )
 
         with self._lock:
+            self._ensure_current_locked()
             self._write_txn_locked(apply)
             self.aggregate_stored += 1
 
@@ -763,7 +964,14 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
     def version(self, doc_name: str) -> int:
         """Monotonic invalidation counter of a document name (0 initially)."""
         with self._lock:
-            return self._version_locked(doc_name)
+            try:
+                self._ensure_current_locked()
+                return self._version_locked(doc_name)
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                return 0  # the rebuilt cache has no version rows yet
 
     def invalidate_document(self, doc_name: str) -> int:
         """Drop every persisted answer of ``doc_name`` and bump its version.
@@ -791,6 +999,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             )
 
         with self._lock:
+            self._ensure_current_locked()
             for key in [k for k in self._touches if k[0] == doc_name]:
                 del self._touches[key]  # never resurrect recency on re-put
             self._write_txn_locked(apply)
@@ -806,6 +1015,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             self._conn.execute("DELETE FROM plans")
 
         with self._lock:
+            self._ensure_current_locked()
             self._touches.clear()
             self._write_txn_locked(apply)
 
@@ -813,22 +1023,38 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
 
     def __len__(self) -> int:
         with self._lock:
-            row = self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()
+            try:
+                self._ensure_current_locked()
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM answers"
+                ).fetchone()
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                row = (0,)
         count: int = row[0]
         return count
 
     def stats(self) -> dict[str, int]:
         """Process-local counters plus on-disk row counts."""
         with self._lock:
-            answers: int = self._conn.execute(
-                "SELECT COUNT(*) FROM answers"
-            ).fetchone()[0]
-            aggregates: int = self._conn.execute(
-                "SELECT COUNT(*) FROM aggregates"
-            ).fetchone()[0]
-            plans: int = self._conn.execute(
-                "SELECT COUNT(*) FROM plans"
-            ).fetchone()[0]
+            try:
+                self._ensure_current_locked()
+                answers: int = self._conn.execute(
+                    "SELECT COUNT(*) FROM answers"
+                ).fetchone()[0]
+                aggregates: int = self._conn.execute(
+                    "SELECT COUNT(*) FROM aggregates"
+                ).fetchone()[0]
+                plans: int = self._conn.execute(
+                    "SELECT COUNT(*) FROM plans"
+                ).fetchone()[0]
+            except sqlite3.DatabaseError as error:
+                if not self._is_corruption(error):
+                    raise
+                self._recover_locked(error)
+                answers = aggregates = plans = 0
         return {
             "persistent_answers": answers,
             "persistent_aggregates": aggregates,
@@ -842,6 +1068,7 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
             "persistent_invalidations": self.invalidations,
             "persistent_evictions": self.evictions,
             "persistent_busy_retries": self.busy_retries,
+            "persistent_recoveries": self.recoveries,
         }
 
     def close(self) -> None:
@@ -854,8 +1081,9 @@ class AnswerCacheStore:  # impreciselint: guarded-by=_lock
                 if self._touches:
                     self._write_txn_locked(self._flush_touches_locked)
                     self._touches.clear()
-            except sqlite3.ProgrammingError:
-                pass  # already closed
+            except sqlite3.DatabaseError:
+                pass  # already closed, or corrupt: stamps are hygiene only
+            # impreciselint: disable=no-swallow -- close() is best-effort by contract; recency stamps are expendable
             except CacheBusyError:
                 pass  # recency stamps are expendable; close regardless
             self._conn.close()

@@ -49,14 +49,22 @@ import threading
 import zlib
 from collections import OrderedDict
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from fractions import Fraction
 from pathlib import Path
-from typing import Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from ..core.engine import IntegrationReport
 from ..core.oracle import Oracle
 from ..core.rules import Rule
-from ..errors import MissingDocumentError, QueryError, StoreError
+from ..deadline import Deadline, active
+from ..errors import (
+    CacheBusyError,
+    DeadlineExceededError,
+    MissingDocumentError,
+    QueryError,
+    StoreError,
+)
 from ..feedback.conditioning import FeedbackStep
 from ..pxml.build import certain_document
 from ..pxml.model import PXDocument
@@ -163,6 +171,10 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         self._fanout_workers = fanout_workers
         self._pool: Optional[ThreadPoolExecutor] = None  # lazy; see _fanout_pool
         self._closed = False
+        #: Persistent-cache writes absorbed under pathological write-lock
+        #: contention (see :meth:`_cache_put_guarded`): each one cost
+        #: warmth (the answer was served uncached), never the request.
+        self.cache_write_failures = 0
         #: name -> persistent cache version last observed by this
         #: instance — the cross-process invalidation fence (see
         #: :meth:`_fence_check`).
@@ -198,6 +210,24 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                     self._engines.popitem(last=False)
         return engine
 
+    def _cache_put_guarded(self, write: Callable[[], None]) -> None:
+        """Run one persistent-cache write, absorbing
+        :class:`~repro.errors.CacheBusyError`.
+
+        By the time a write runs, the answer is already computed; a
+        cache row is warmth, never correctness — so pathological
+        write-lock contention (N sibling processes in a writer convoy)
+        must cost the row, not the request that did the work.  Absorbed
+        writes tick ``cache_write_failures`` (surfaced by
+        :meth:`cache_stats`).  This is the *only* sanctioned absorb
+        point: reads and mutations let the typed error propagate."""
+        try:
+            write()
+        # impreciselint: disable=no-swallow -- the sanctioned absorb point this rule exists to make unique; counted, documented above
+        except CacheBusyError:
+            with self._mu:
+                self.cache_write_failures += 1
+
     def _plan_and_digest(
         self, expression: QueryLike
     ) -> tuple[Optional[QueryPlan], str]:
@@ -212,7 +242,11 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                 return None, known
         plan = compile_plan(expression)
         if self.cache is not None and isinstance(expression, str):
-            self.cache.remember_plan(expression, plan.fingerprint_digest)
+            self._cache_put_guarded(
+                lambda: self.cache.remember_plan(
+                    expression, plan.fingerprint_digest
+                )
+            )
         return plan, plan.fingerprint_digest
 
     def _fanout_pool(self) -> ThreadPoolExecutor:
@@ -262,12 +296,72 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                 results[name] = future.result()
             except CancelledError:
                 continue
+            # impreciselint: disable=no-swallow -- captured into first_error and re-raised after the drain loop
             except Exception as error:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = error
         if first_error is not None:
             raise first_error
         return results
+
+    @staticmethod
+    def _collect_fanout_bounded(
+        futures: Sequence[tuple[str, "Future"]],
+        deadline: Deadline,
+        allow_partial: bool,
+        *,
+        what: str,
+    ) -> tuple[dict, tuple]:
+        """Drain a fan-out against a deadline.
+
+        Like :meth:`_collect_fanout` but each wait is capped at the
+        budget's remainder.  Once the budget expires, not-yet-started
+        futures are cancelled and running stragglers are *abandoned*,
+        not awaited — they carry the same deadline on their own threads,
+        so their engine checkpoints terminate them promptly; blocking on
+        them here would turn a bounded request into an unbounded one.
+        Documents that finished in budget are kept either way; without
+        ``allow_partial`` any omission raises the typed error.
+        """
+        results: dict = {}
+        omitted: list = []
+        expired = deadline.expired()
+        for name, future in futures:
+            if expired and not future.done():
+                future.cancel()
+                omitted.append(name)
+                continue
+            try:
+                results[name] = future.result(
+                    timeout=max(deadline.remaining_seconds(), 0.0)
+                )
+            except CancelledError:
+                omitted.append(name)
+            except FuturesTimeout:
+                future.cancel()  # a running straggler self-terminates
+                omitted.append(name)
+                expired = True
+            # impreciselint: disable=no-swallow -- converted to the collective typed raise below (omitted bookkeeping)
+            except DeadlineExceededError:
+                omitted.append(name)
+                expired = True
+            except Exception:
+                # A real (non-timing) failure outranks partial results:
+                # stop the rest and surface it, as _collect_fanout does.
+                for _, pending in futures:
+                    pending.cancel()
+                raise
+        if omitted and not allow_partial:
+            raise DeadlineExceededError(
+                f"{what}: deadline of {deadline.budget_ms}ms exceeded with"
+                f" {len(omitted)} of {len(futures)} documents unfinished"
+            )
+        if omitted and not results:
+            raise DeadlineExceededError(
+                f"{what}: deadline of {deadline.budget_ms}ms exceeded before"
+                f" any of {len(futures)} documents finished"
+            )
+        return results, tuple(omitted)
 
     def _select_names(
         self,
@@ -386,12 +480,31 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
 
     # -- querying -----------------------------------------------------------
 
-    def query(self, name: str, expression: QueryLike) -> RankedAnswer:
+    def query(
+        self,
+        name: str,
+        expression: QueryLike,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> RankedAnswer:
         """Ranked probabilistic answer of an XPath query over ``name``.
 
         Served from the persistent cache when the (content, plan) pair
         has been priced before — by this process or any earlier one.
+
+        ``deadline=`` bounds wall-clock, never precision: it is
+        activated on this thread for the duration of the call, the
+        engine's evaluation loops poll it, and expiry raises the typed
+        :class:`DeadlineExceededError` — the answer is exact or absent,
+        never approximate.
         """
+        if deadline is None:
+            return self._query_unbounded(name, expression)
+        with active(deadline):
+            deadline.check()
+            return self._query_unbounded(name, expression)
+
+    def _query_unbounded(self, name: str, expression: QueryLike) -> RankedAnswer:
         self._fence_check(name)
         plan, plan_digest = self._plan_and_digest(expression)
         if self.cache is not None:
@@ -415,28 +528,44 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
             engine = self._engine(name, digest)
             answer = engine.run(plan if plan is not None else expression)
             if self.cache is not None:
-                self.cache.put(
-                    name,
-                    digest,
-                    plan_digest,
-                    answer,
-                    expression=expression
-                    if isinstance(expression, str)
-                    else None,
-                    version=observed,
+                self._cache_put_guarded(
+                    lambda: self.cache.put(
+                        name,
+                        digest,
+                        plan_digest,
+                        answer,
+                        expression=expression
+                        if isinstance(expression, str)
+                        else None,
+                        version=observed,
+                    )
                 )
         return answer
 
     def run_batch(
-        self, name: str, expressions: Sequence[QueryLike]
+        self,
+        name: str,
+        expressions: Sequence[QueryLike],
+        *,
+        deadline: Optional[Deadline] = None,
     ) -> list[RankedAnswer]:
         """Evaluate a workload over ``name``; answers align with inputs.
 
         Persistent hits are deserialized; the misses go through
         :meth:`QueryEngine.run_batch` in one bulk pricing pass, then land
         in the persistent cache.  Fraction-identical to serial
-        :meth:`query` calls.
+        :meth:`query` calls.  ``deadline=`` behaves as in :meth:`query`
+        — the batch either completes exactly or raises typed.
         """
+        if deadline is not None:
+            with active(deadline):
+                deadline.check()
+                return self._run_batch_unbounded(name, expressions)
+        return self._run_batch_unbounded(name, expressions)
+
+    def _run_batch_unbounded(
+        self, name: str, expressions: Sequence[QueryLike]
+    ) -> list[RankedAnswer]:
         self._fence_check(name)
         resolved: list[tuple[QueryLike, Optional[QueryPlan], str]] = []
         answers: list[Optional[RankedAnswer]] = [None] * len(expressions)
@@ -470,15 +599,20 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                     answers[index] = answer
                     if self.cache is not None:
                         expression = resolved[index][0]
-                        self.cache.put(
-                            name,
-                            digest,
-                            resolved[index][2],
-                            answer,
-                            expression=expression
-                            if isinstance(expression, str)
-                            else None,
-                            version=observed,
+                        plan_digest = resolved[index][2]
+                        self._cache_put_guarded(
+                            lambda answer=answer,
+                            expression=expression,
+                            plan_digest=plan_digest: self.cache.put(
+                                name,
+                                digest,
+                                plan_digest,
+                                answer,
+                                expression=expression
+                                if isinstance(expression, str)
+                                else None,
+                                version=observed,
+                            )
                         )
         return answers  # type: ignore[return-value]
 
@@ -491,10 +625,21 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         strategy: str = "prob",
         weights: Optional[Mapping[str, WeightLike]] = None,
         rrf_k: Union[int, str, Fraction] = DEFAULT_RRF_K,
+        deadline: Optional[Deadline] = None,
+        allow_partial: bool = False,
     ) -> FusedAnswer:
         """Fan one query across many documents and fuse the per-document
         answers into a single ranked result (ROADMAP item 2: querying
         the dataspace *as a whole*).
+
+        ``deadline=`` bounds the whole fan-out end-to-end: per-document
+        workers carry the same budget (their engine checkpoints stop
+        stragglers), and when it expires the call either raises the
+        typed :class:`DeadlineExceededError` or — with
+        ``allow_partial=True`` — returns the fusion of the documents
+        that finished, with the unfinished names recorded in the
+        answer's ``omitted`` marker (``FusedAnswer.partial`` is then
+        true).  Every per-document answer that *is* fused remains exact.
 
         The membership is the whole store by default, or ``names=``
         (explicit list) / ``glob=`` (shell-style pattern, see
@@ -517,17 +662,46 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         Fraction-identical to fusing serial :meth:`query` calls.
         """
         selected = self._select_names(names, glob, what="query_all")
+        if deadline is not None:
+            deadline.check()
         plan, _ = self._plan_and_digest(expression)
         if plan is None:
             # Persistent plan-memo hit: the digest is known but the
             # fan-out still wants one shared compiled plan object.
             plan = compile_plan(expression)
         pool = self._fanout_pool()
-        futures = [(name, pool.submit(self.query, name, plan)) for name in selected]
-        answers = self._collect_fanout(futures)
-        return fuse_answers(
+        # Keep the unbounded call shape kwarg-free so test doubles (and
+        # subclasses) that shim ``query(name, plan)`` stay compatible.
+        futures = [
+            (
+                name,
+                pool.submit(self.query, name, plan)
+                if deadline is None
+                else pool.submit(self.query, name, plan, deadline=deadline),
+            )
+            for name in selected
+        ]
+        if deadline is None:
+            answers = self._collect_fanout(futures)
+            omitted: tuple = ()
+        else:
+            answers, omitted = self._collect_fanout_bounded(
+                futures, deadline, allow_partial, what="query_all"
+            )
+            if omitted and weights is not None:
+                # The prior renormalizes over the documents that
+                # finished; a weight naming an omitted document would
+                # otherwise be rejected as unknown to the fusion.
+                weights = {
+                    name: value
+                    for name, value in weights.items()
+                    if name in answers
+                }
+        fused = fuse_answers(
             answers, strategy=strategy, weights=weights, rrf_k=rrf_k
         )
+        fused.omitted = omitted
+        return fused
 
     def aggregate_all(
         self,
@@ -538,6 +712,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         names: Optional[Sequence[str]] = None,
         glob: Optional[str] = None,
         weights: Optional[Mapping[str, WeightLike]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> AggregateDistribution:
         """Fan one aggregate across many documents and return the exact
         mixture distribution under the per-document prior (see
@@ -545,7 +720,11 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
 
         The spec is compiled once; each document goes through
         :meth:`aggregate`'s serving discipline (persistent aggregate
-        rows hit lock-free) on the fan-out pool.
+        rows hit lock-free) on the fan-out pool.  ``deadline=`` bounds
+        the fan-out; expiry raises the typed error — there is no partial
+        mode here, because a mixture silently renormalized over a subset
+        of documents would *misrepresent* the distribution rather than
+        degrade it visibly.
 
         >>> service = DataspaceService()
         >>> service.load("a", "<r><p>1</p></r>")
@@ -554,6 +733,8 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         {1: Fraction(1, 2), 2: Fraction(1, 2)}
         """
         selected = self._select_names(names, glob, what="aggregate_all")
+        if deadline is not None:
+            deadline.check()
         if isinstance(kind, AggregateSpec):
             if target is not None or text is not None:
                 raise QueryError(
@@ -565,9 +746,22 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
             spec = compile_aggregate(kind, target, text=text)
         pool = self._fanout_pool()
         futures = [
-            (name, pool.submit(self.aggregate, name, spec)) for name in selected
+            (
+                name,
+                pool.submit(self.aggregate, name, spec)
+                if deadline is None
+                else pool.submit(
+                    self.aggregate, name, spec, deadline=deadline
+                ),
+            )
+            for name in selected
         ]
-        distributions = self._collect_fanout(futures)
+        if deadline is None:
+            distributions = self._collect_fanout(futures)
+        else:
+            distributions, _ = self._collect_fanout_bounded(
+                futures, deadline, allow_partial=False, what="aggregate_all"
+            )
         return fuse_aggregates(distributions, weights=weights)
 
     def aggregate(
@@ -577,6 +771,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         target: Optional[str] = None,
         *,
         text: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> AggregateDistribution:
         """Exact aggregate distribution (``count``/``sum``/``min``/
         ``max``/``exists`` — see :mod:`repro.query.aggregates`) over
@@ -584,13 +779,28 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
         persistent hits deserialize lock-free from the aggregate rows,
         misses convolve under the name's shard lock (through the shared
         engine's document, so the in-memory memo side table is shared
-        with queries) and persist the distribution.
+        with queries) and persist the distribution.  ``deadline=``
+        behaves as in :meth:`query`.
 
         >>> service = DataspaceService()
         >>> service.load("a", "<r><p>3</p><p>4</p></r>")
         >>> service.aggregate("a", "sum", "p")
         {7: Fraction(1, 1)}
         """
+        if deadline is not None:
+            with active(deadline):
+                deadline.check()
+                return self._aggregate_unbounded(name, kind, target, text=text)
+        return self._aggregate_unbounded(name, kind, target, text=text)
+
+    def _aggregate_unbounded(
+        self,
+        name: str,
+        kind: Union[str, AggregateSpec],
+        target: Optional[str] = None,
+        *,
+        text: Optional[str] = None,
+    ) -> AggregateDistribution:
         if isinstance(kind, AggregateSpec):
             if target is not None or text is not None:
                 # Mirror aggregate_distribution's guard: silently
@@ -624,13 +834,15 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                 engine.document, spec, cache=engine.cache
             )
             if self.cache is not None:
-                self.cache.put_aggregate(
-                    name,
-                    digest,
-                    spec.digest,
-                    distribution,
-                    spec=spec.describe(),
-                    version=observed,
+                self._cache_put_guarded(
+                    lambda: self.cache.put_aggregate(
+                        name,
+                        digest,
+                        spec.digest,
+                        distribution,
+                        spec=spec.describe(),
+                        version=observed,
+                    )
                 )
         return distribution
 
@@ -705,6 +917,7 @@ class DataspaceService:  # impreciselint: guarded-by=_mu
                 "memory_hits": memory_hits,
                 "memory_misses": memory_misses,
                 "memory_evictions": memory_evictions,
+                "cache_write_failures": self.cache_write_failures,
             }
         )
         return stats

@@ -120,6 +120,20 @@ class CacheBusyError(StoreError):
     that lost the race will simply be recomputed or re-stored."""
 
 
+class DeadlineExceededError(ImpreciseError):
+    """Raised when a request's end-to-end ``deadline_ms`` budget expires
+    before evaluation finishes.
+
+    A distinct type so every layer can classify without string matching:
+    the engine raises it from its evaluation checkpoints, the service
+    fan-out raises it when stragglers outlive the budget (unless the
+    caller opted into a partial fused answer), the HTTP front maps it to
+    504 Gateway Timeout, and :class:`~repro.server.client.DataspaceClient`
+    re-raises the 504 as this same type.  Deadline expiry is a property
+    of the *request*, never of the data — retrying with a larger budget
+    is always safe and always exact."""
+
+
 class WireFormatError(ImpreciseError):
     """Raised when a serialized payload (persistent-cache row, HTTP
     request/response body) does not decode to the exact-Fraction wire

@@ -46,6 +46,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from ..deadline import checkpoint
 from ..errors import QueryError
 from ..pxml.events import (
     Event,
@@ -182,6 +183,7 @@ class ProbQueryEngine:
         treat it as shared and read-only.
         """
         plan = self.compile(expression)
+        checkpoint()
         if self.cache is not None:
             cached = self.cache.answer_events(self.document, plan.fingerprint)
             if cached is not None:
@@ -230,6 +232,7 @@ class ProbQueryEngine:
         contributions: dict[str, list[Event]] = {}
         counts: dict[str, int] = {}
         for context in results:
+            checkpoint()
             for value, event in self._value_alternatives(context):
                 if not value:
                     continue
@@ -349,6 +352,7 @@ class ProbQueryEngine:
         matches = step_plan.matches
         results: list[PContext] = []
         for context in contexts:
+            checkpoint()
             for candidate in self._axis(context, step_plan.axis):
                 if not matches(candidate.node):
                     continue
@@ -639,7 +643,10 @@ class QueryEngine(ProbQueryEngine):
         priced in one bulk :meth:`EventProbabilityCache.probabilities_of`
         call that factors shared sub-events.
         """
-        batch = [self.answer_events(expression) for expression in expressions]
+        batch = []
+        for expression in expressions:
+            checkpoint()
+            batch.append(self.answer_events(expression))
         flat_events: list[Event] = []
         for contributions in batch:
             for event, _ in contributions.values():

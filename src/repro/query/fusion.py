@@ -106,6 +106,14 @@ class FusedAnswer:
     ranks were computed under; ``weights`` the normalized per-document
     prior (sums to exactly 1); ``rrf_k`` the dampening constant used
     (``None`` unless the strategy is ``rrf``).
+
+    ``omitted`` is the graceful-degradation marker: document names the
+    fan-out selected but did not fuse because a deadline expired before
+    they finished (``allow_partial`` mode — see
+    :meth:`repro.dbms.service.DataspaceService.query_all`).  A partial
+    answer is *explicitly* partial, never silently smaller: every fused
+    item is still exact, and ``partial`` is how callers must check
+    before treating the result as the whole dataspace's answer.
     """
 
     strategy: str
@@ -113,6 +121,12 @@ class FusedAnswer:
     documents: tuple[str, ...] = ()
     weights: dict[str, Fraction] = field(default_factory=dict)
     rrf_k: Optional[Fraction] = None
+    omitted: tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """Whether any selected document was cut off by the deadline."""
+        return bool(self.omitted)
 
     def __iter__(self) -> Iterator[FusedItem]:
         return iter(self.items)
@@ -146,6 +160,8 @@ class FusedAnswer:
         provenance.  ``prob`` scores are probabilities and render as the
         paper's percentages; ``rrf`` scores render as exact fractions."""
         if not self.items:
+            if self.partial:
+                return f"(empty answer; omitted: {', '.join(self.omitted)})"
             return "(empty answer)"
         lines = []
         for item in self.items:
@@ -155,6 +171,10 @@ class FusedAnswer:
                 score = str(item.score)
             origin = ", ".join(str(source) for source in item.sources)
             lines.append(f"{score:>4} {item.value}  [{origin}]")
+        if self.partial:
+            lines.append(
+                f"(partial: deadline omitted {', '.join(self.omitted)})"
+            )
         return "\n".join(lines)
 
 

@@ -70,7 +70,13 @@ from functools import partial
 from typing import Callable, Optional
 
 from ..dbms.service import DataspaceService
-from ..errors import ImpreciseError, MissingDocumentError, WireFormatError
+from ..deadline import Deadline
+from ..errors import (
+    DeadlineExceededError,
+    ImpreciseError,
+    MissingDocumentError,
+    WireFormatError,
+)
 from ..experiments import standard_rules
 from ..pxml.serialize import parse_pxml
 from ..query.fusion import DEFAULT_RRF_K
@@ -259,12 +265,18 @@ class ServerApp:
             # clean retryable signal while probes and diagnostics
             # (exempt above) keep answering under overload.
             self.metrics.shed += 1
-            return _error_response(
+            response = _error_response(
                 503,
                 "overloaded",
                 f"{self._in_flight} requests already in flight"
                 f" (max_pending {self.max_pending}); retry later",
             )
+            # Overload clears on the scale of in-flight service calls;
+            # one second is the honest coarse hint, and it gives
+            # Retry-After-honoring clients (DataspaceClient retry_503)
+            # a pause bound they can trust.
+            response.headers["retry-after"] = "1"
+            return response
         self._in_flight += 1
         start = time.monotonic()
         try:
@@ -289,6 +301,11 @@ class ServerApp:
             # other library error — invalid names, bad XPath/XML, bad
             # wire payloads — is a bad or unservable request: 400.
             return _error_response(404, type(error).__name__, str(error))
+        except DeadlineExceededError as error:
+            # Before the generic ImpreciseError branch: expiry is a
+            # property of the request's budget, not of the request —
+            # 504, and retrying with a larger budget is always safe.
+            return _error_response(504, "deadline_exceeded", str(error))
         except (WireFormatError, ValueError, ImpreciseError) as error:
             return _error_response(400, type(error).__name__, str(error))
 
@@ -324,6 +341,19 @@ class ServerApp:
                 return await self._document_stats(parts[1])
             raise _HTTPError(405, "method_not_allowed", f"{method} {path}")
         raise _HTTPError(404, "not_found", f"no route for {method} {path}")
+
+    @staticmethod
+    def _deadline_of(body: dict) -> Optional[Deadline]:
+        """The request's ``deadline_ms`` budget as a live
+        :class:`Deadline` (started *here*, when the handler picks the
+        request up), or ``None`` when the caller set no budget."""
+        raw = body.get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            return Deadline.from_ms(raw)
+        except ValueError as error:
+            raise _HTTPError(400, "bad_request", str(error)) from None
 
     @staticmethod
     def _body(request: HTTPRequest) -> dict:
@@ -362,7 +392,10 @@ class ServerApp:
         body = self._body(request)
         name = _field(body, "document")
         xpath = _field(body, "xpath")
-        answer = await self._call(self.service.query, name, xpath)
+        deadline = self._deadline_of(body)
+        answer = await self._call(
+            self.service.query, name, xpath, deadline=deadline
+        )
         return json_response(
             {
                 "document": name,
@@ -422,6 +455,12 @@ class ServerApp:
                         "bad_request",
                         "'weights' values must be integers or 'num/den' strings",
                     )
+        deadline = self._deadline_of(body)
+        allow_partial = body.get("allow_partial", False)
+        if not isinstance(allow_partial, bool):
+            raise _HTTPError(
+                400, "bad_request", "'allow_partial' must be a boolean"
+            )
         fused = await self._call(
             self.service.query_all,
             xpath,
@@ -430,6 +469,8 @@ class ServerApp:
             strategy=strategy,
             weights=weights,
             rrf_k=k,
+            deadline=deadline,
+            allow_partial=allow_partial,
         )
         return json_response(
             {"xpath": xpath, "result": wire.encode_fused_answer(fused)}
@@ -443,8 +484,10 @@ class ServerApp:
         text = body.get("text")
         if text is not None and not isinstance(text, str):
             raise _HTTPError(400, "bad_request", "'text' must be a string")
+        deadline = self._deadline_of(body)
         distribution = await self._call(
-            self.service.aggregate, name, kind, target, text=text
+            self.service.aggregate, name, kind, target, text=text,
+            deadline=deadline,
         )
         return json_response(
             {
@@ -461,7 +504,10 @@ class ServerApp:
         xpaths = _field(body, "xpaths", list)
         if not all(isinstance(xpath, str) for xpath in xpaths):
             raise _HTTPError(400, "bad_request", "'xpaths' must be strings")
-        answers = await self._call(self.service.run_batch, name, xpaths)
+        deadline = self._deadline_of(body)
+        answers = await self._call(
+            self.service.run_batch, name, xpaths, deadline=deadline
+        )
         return json_response(
             {
                 "document": name,

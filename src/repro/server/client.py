@@ -11,20 +11,28 @@ Not a connection pool: one instance drives one connection serially, so
 share nothing and give each thread its own client (they are cheap).  A
 server restart surfaces as a transparent single reconnect; structured
 server errors raise :class:`ServerError` carrying the HTTP status and
-the server-side error type.
+the server-side error type, except two that get typed treatment:
+
+- **504** (``deadline_exceeded``) raises
+  :class:`~repro.errors.DeadlineExceededError` so callers handle a
+  blown ``deadline_ms`` budget the same way in-process callers do.
+- **503** (overload shedding) is replayed up to ``retry_503`` times —
+  opt-in, idempotent requests only — sleeping the server's
+  ``Retry-After`` hint (capped at :data:`RETRY_AFTER_CAP` seconds).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from contextlib import contextmanager
 from http.client import HTTPConnection, HTTPException
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 from fractions import Fraction
 
-from ..errors import ImpreciseError, WireFormatError
+from ..errors import DeadlineExceededError, ImpreciseError, WireFormatError
 from ..query.fusion import FusedAnswer
 from ..query.ranking import RankedAnswer
 from .wire import (
@@ -35,7 +43,23 @@ from .wire import (
     encode_fraction,
 )
 
-__all__ = ["DataspaceClient", "DataspaceClientPool", "ServerError"]
+__all__ = [
+    "DataspaceClient",
+    "DataspaceClientPool",
+    "RETRY_AFTER_CAP",
+    "ServerError",
+]
+
+#: Ceiling on how long a single ``Retry-After`` hint can stall a
+#: retried request — a misconfigured (or adversarial) server must not
+#: be able to park the client for minutes.
+RETRY_AFTER_CAP = 5.0
+
+# Methods safe to replay after the request already went out: the
+# server may have processed a lost-response request, so only requests
+# whose double application is a no-op qualify (matches the reconnect
+# rule in ``_exchange`` and the 503 retry gate).
+_IDEMPOTENT = frozenset({"GET", "PUT", "DELETE"})
 
 
 class ServerError(ImpreciseError):
@@ -56,10 +80,20 @@ class DataspaceClient:
     Context-manager friendly; :meth:`close` drops the connection.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        retry_503: int = 0,
+    ):
+        if retry_503 < 0:
+            raise ValueError(f"retry_503 must be >= 0, got {retry_503}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_503 = retry_503
         self._conn: Optional[HTTPConnection] = None
 
     # -- transport ----------------------------------------------------------
@@ -68,6 +102,49 @@ class DataspaceClient:
         if self._conn is None:
             self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         return self._conn
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: dict,
+    ) -> Tuple[int, Optional[str], str]:
+        """One request/response round trip with a single transparent
+        reconnect; returns ``(status, retry_after_header, text)``."""
+        for attempt in (1, 2):
+            conn = self._connection()
+            sent = False
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                sent = True
+                response = conn.getresponse()
+                text = response.read().decode("utf-8")
+                return response.status, response.getheader("Retry-After"), text
+            except (ConnectionError, HTTPException, OSError):
+                # A dead keep-alive connection (server restarted, idle
+                # timeout): reconnect once — but only when re-sending
+                # cannot double-apply a write.  A failure during send
+                # means the server processed nothing; after the request
+                # went out, only idempotent methods are safe to replay
+                # (POST /feedback applied twice is a different posterior).
+                self.close()
+                if attempt == 2 or (sent and method not in _IDEMPOTENT):
+                    raise
+        raise AssertionError("unreachable: both exchange attempts returned")
+
+    @staticmethod
+    def _retry_delay(retry_after: Optional[str]) -> float:
+        """Seconds to sleep before replaying a shed request: the
+        server's ``Retry-After`` hint, clamped to
+        ``[0, RETRY_AFTER_CAP]`` (0.1s when absent or malformed)."""
+        if retry_after is None:
+            return 0.1
+        try:
+            delay = float(retry_after)
+        except ValueError:
+            return 0.1
+        return max(0.0, min(delay, RETRY_AFTER_CAP))
 
     def _request(
         self,
@@ -82,40 +159,31 @@ class DataspaceClient:
         if payload is not None:
             body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
             headers["Content-Type"] = "application/json; charset=utf-8"
-        for attempt in (1, 2):
-            conn = self._connection()
-            sent = False
-            try:
-                conn.request(method, path, body=body, headers=headers)
-                sent = True
-                response = conn.getresponse()
-                text = response.read().decode("utf-8")
-                break
-            except (ConnectionError, HTTPException, OSError):
-                # A dead keep-alive connection (server restarted, idle
-                # timeout): reconnect once — but only when re-sending
-                # cannot double-apply a write.  A failure during send
-                # means the server processed nothing; after the request
-                # went out, only idempotent methods are safe to replay
-                # (POST /feedback applied twice is a different posterior).
-                self.close()
-                if attempt == 2 or (
-                    sent and method not in ("GET", "PUT", "DELETE")
-                ):
-                    raise
+        retries = self.retry_503 if method in _IDEMPOTENT else 0
+        while True:
+            status, retry_after, text = self._exchange(
+                method, path, body, headers
+            )
+            if status == 503 and retries > 0:
+                retries -= 1
+                time.sleep(self._retry_delay(retry_after))
+                continue
+            break
         try:
             document = json.loads(text) if text else {}
         except ValueError as error:
             raise WireFormatError(
-                f"non-JSON response from server ({response.status}): {error}"
+                f"non-JSON response from server ({status}): {error}"
             ) from None
-        if response.status >= 400:
+        if status >= 400:
             error = document.get("error", {}) if isinstance(document, dict) else {}
-            raise ServerError(
-                response.status,
-                error.get("type", "unknown"),
-                error.get("message", text.strip()),
-            )
+            message = error.get("message", text.strip())
+            if status == 504:
+                # The server's deadline budget blew mid-request; give
+                # remote callers the same typed signal in-process
+                # callers get from the service layer.
+                raise DeadlineExceededError(message)
+            raise ServerError(status, error.get("type", "unknown"), message)
         if not isinstance(document, dict):
             raise WireFormatError("response body must be a JSON object")
         return document
@@ -165,15 +233,28 @@ class DataspaceClient:
         """Uncertainty census of one document (integer counters)."""
         return self._request("GET", f"/documents/{name}/stats")["stats"]
 
-    def query(self, name: str, xpath: str) -> RankedAnswer:
-        """Ranked probabilistic answer — exact Fractions, decoded."""
-        document = self._request(
-            "POST", "/query", {"document": name, "xpath": xpath}
-        )
+    def query(
+        self, name: str, xpath: str, *, deadline_ms: Optional[int] = None
+    ) -> RankedAnswer:
+        """Ranked probabilistic answer — exact Fractions, decoded.
+
+        ``deadline_ms`` bounds the server-side evaluation; a blown
+        budget raises :class:`~repro.errors.DeadlineExceededError`.
+        """
+        payload: dict = {"document": name, "xpath": xpath}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        document = self._request("POST", "/query", payload)
         return decode_answer(document["answer"]["items"])
 
     def aggregate(
-        self, name: str, kind: str, target: str, *, text: Optional[str] = None
+        self,
+        name: str,
+        kind: str,
+        target: str,
+        *,
+        text: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> dict:
         """Exact aggregate distribution (``count``/``sum``/``min``/
         ``max``/``exists`` over ``//target``), decoded back to
@@ -182,6 +263,8 @@ class DataspaceClient:
         payload = {"document": name, "kind": kind, "target": target}
         if text is not None:
             payload["text"] = text
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         document = self._request("POST", "/aggregate", payload)
         return decode_aggregate_distribution(document["distribution"])
 
@@ -194,6 +277,8 @@ class DataspaceClient:
         strategy: str = "prob",
         k: Optional[object] = None,
         weights: Optional[dict] = None,
+        deadline_ms: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> FusedAnswer:
         """Dataspace-wide fan-out with rank fusion (``POST /search``) —
         the whole store by default, or ``documents=`` / ``glob=``.
@@ -204,8 +289,18 @@ class DataspaceClient:
         ``k`` is the ``rrf`` dampening constant (int or exact rational);
         ``weights`` maps document names to relative prior weights (int,
         ``Fraction``, or ``"num/den"`` string).
+
+        ``deadline_ms`` bounds the whole fan-out; with
+        ``allow_partial=True`` a blown budget returns whatever finished
+        (the answer's ``partial``/``omitted`` fields say what was cut),
+        otherwise it raises
+        :class:`~repro.errors.DeadlineExceededError`.
         """
         payload: dict = {"xpath": xpath, "strategy": strategy}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if allow_partial:
+            payload["allow_partial"] = True
         if documents is not None:
             payload["documents"] = list(documents)
         if glob is not None:
@@ -222,11 +317,18 @@ class DataspaceClient:
         document = self._request("POST", "/search", payload)
         return decode_fused_answer(document["result"])
 
-    def batch(self, name: str, xpaths: Sequence[str]) -> list:
+    def batch(
+        self,
+        name: str,
+        xpaths: Sequence[str],
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> list:
         """One bulk-priced workload; answers align with ``xpaths``."""
-        document = self._request(
-            "POST", "/batch", {"document": name, "xpaths": list(xpaths)}
-        )
+        payload: dict = {"document": name, "xpaths": list(xpaths)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        document = self._request("POST", "/batch", payload)
         return [decode_answer(entry["items"]) for entry in document["answers"]]
 
     def integrate(
@@ -301,8 +403,9 @@ class DataspaceClientPool:
 
         A client whose request raised a transport-level error is closed
         instead of returned, so a dead keep-alive connection is never
-        handed to the next thread (:class:`ServerError` is a healthy
-        HTTP exchange and keeps the connection pooled).
+        handed to the next thread (:class:`ServerError` and
+        :class:`~repro.errors.DeadlineExceededError` are healthy HTTP
+        exchanges and keep the connection pooled).
         """
         with self._mu:
             if self._closed:
@@ -314,7 +417,7 @@ class DataspaceClientPool:
                 self.created += 1
         try:
             yield client
-        except (ServerError, WireFormatError):
+        except (DeadlineExceededError, ServerError, WireFormatError):
             self._release(client)
             raise
         except Exception:

@@ -61,6 +61,7 @@ REASONS = {
     501: "Not Implemented",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 MAX_HEADER_BYTES = 64 * 1024
@@ -407,6 +408,19 @@ class BackgroundServer:
             self._loop.run_forever()
         finally:
             self._loop.close()
+
+    def call_soon(self, callback: Callable[[], None]) -> bool:
+        """Schedule ``callback()`` on the server's event loop from any
+        thread; returns ``False`` when the loop is not running (during
+        startup/shutdown races) instead of raising."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return False
+        try:
+            loop.call_soon_threadsafe(callback)
+        except RuntimeError:
+            return False  # loop closed between the check and the call
+        return True
 
     def stop(self, grace: float = 5.0, timeout: float = 10.0) -> None:
         if self._loop is None or self._thread is None:

@@ -27,9 +27,19 @@ front into a small production tier:
   which runs its own graceful shutdown).
 
 ``GET /stats`` on the router returns ``{"router": …, "ring": …,
-"workers": [each worker's full /stats dict]}`` — the router's own
-per-endpoint counters/latency histograms plus every worker's, so one
-scrape sees the whole tier (``docs/http_api.md``).
+"supervisor": …, "workers": [each worker's full /stats dict]}`` — the
+router's own per-endpoint counters/latency histograms plus every
+worker's, so one scrape sees the whole tier (``docs/http_api.md``).
+
+**The tier is self-healing.**  A :class:`WorkerSupervisor` daemon thread
+watches the children: a dead child is ejected from routing at once (its
+:class:`CircuitBreaker` is forced open) and respawned with bounded
+exponential backoff; consecutive proxy failures to a live-but-wedged
+child trip the same breaker.  While a breaker is open the worker's shard
+reroutes deterministically to the healthy members, and the supervisor
+probes the child's ``/healthz`` until a pass re-admits it.  A crashed
+worker therefore costs a brief blip for its shard, never permanent 502s
+and never the router's life.
 
 Sharding is an *affinity* optimization, never a correctness requirement:
 any worker can serve any document (shared store, shared cache, version
@@ -43,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+import http.client
 import json
 import os
 import signal
@@ -52,7 +63,7 @@ import threading
 import time
 from collections import deque
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..errors import ImpreciseError
 from .app import HTTPMetrics, route_label
@@ -65,10 +76,12 @@ from .http import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "ConsistentHashRing",
     "MultiProcServer",
     "RouterApp",
     "WorkerProcess",
+    "WorkerSupervisor",
     "run_multiproc",
 ]
 
@@ -79,6 +92,10 @@ RING_REPLICAS = 64
 
 #: Idle proxied connections the router retains per worker.
 POOL_MAX_IDLE = 8
+
+#: Consecutive proxy failures that eject a worker from routing (its
+#: circuit breaker opens) until a ``/healthz`` probe re-admits it.
+BREAKER_THRESHOLD = 3
 
 #: Endpoints that read a document name out of the JSON body, and the
 #: field that carries it.  ``/integrate`` routes by its *output* — that
@@ -145,6 +162,76 @@ class ConsistentHashRing:
         )
 
 
+class CircuitBreaker:  # impreciselint: guarded-by=_lock
+    """Per-worker routing eligibility, shared between two threads.
+
+    The router's event loop records proxy outcomes
+    (:meth:`record_failure` / :meth:`record_success`); the supervisor
+    thread ejects dead children (:meth:`force_open`) and re-admits them
+    after a passing health probe (:meth:`readmit`).  ``open`` means the
+    worker receives no routed traffic — its shard reroutes to healthy
+    members — until re-admission.  All transitions are counted, and
+    :meth:`state` is what ``GET /stats`` exposes per worker.
+    """
+
+    def __init__(self, *, threshold: int = BREAKER_THRESHOLD):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._open = False
+        self._failures = 0
+        self.trips = 0
+        self.readmissions = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the worker is currently eligible for routing."""
+        with self._lock:
+            return not self._open
+
+    def record_success(self) -> None:
+        """A proxied request completed; the failure streak resets."""
+        with self._lock:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """A proxied request failed at the transport level; ``threshold``
+        consecutive failures trip the breaker open."""
+        with self._lock:
+            self._failures += 1
+            if not self._open and self._failures >= self.threshold:
+                self._open = True
+                self.trips += 1
+
+    def force_open(self) -> None:
+        """Eject immediately — the supervisor saw the process die, no
+        point burning ``threshold`` requests to learn it."""
+        with self._lock:
+            if not self._open:
+                self._open = True
+                self.trips += 1
+
+    def readmit(self) -> None:
+        """Close the breaker after a passing health probe."""
+        with self._lock:
+            if self._open:
+                self._open = False
+                self.readmissions += 1
+            self._failures = 0
+
+    def state(self) -> dict:
+        """The breaker as ``/stats`` reports it."""
+        with self._lock:
+            return {
+                "state": "open" if self._open else "closed",
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "trips": self.trips,
+                "readmissions": self.readmissions,
+            }
+
+
 class _UpstreamConnection:
     """One keep-alive proxied connection to a worker (router-internal)."""
 
@@ -174,15 +261,28 @@ class _UpstreamConnection:
 
 
 class _Upstream:
-    """A worker as the router sees it: an address plus a small pool of
-    idle keep-alive connections.  Only touched from the router's event
-    loop thread, so the pool list needs no locking."""
+    """A worker as the router sees it: an address, a circuit breaker,
+    and a small pool of idle keep-alive connections.  The pool is only
+    touched from the router's event loop thread, so it needs no locking;
+    the breaker carries its own lock, and the supervisor updates
+    ``host``/``port`` after a respawn (plain attribute swaps, with the
+    stale pool closed on the event loop via
+    :meth:`~repro.server.http.BackgroundServer.call_soon`)."""
 
-    def __init__(self, key: str, host: str, port: int, *, max_idle: int = POOL_MAX_IDLE):
+    def __init__(
+        self,
+        key: str,
+        host: str,
+        port: int,
+        *,
+        max_idle: int = POOL_MAX_IDLE,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+    ):
         self.key = key
         self.host = host
         self.port = port
         self.max_idle = max_idle
+        self.breaker = CircuitBreaker(threshold=breaker_threshold)
         self._idle: list = []
         self.connects = 0  # diagnostics: fresh TCP connections dialed
 
@@ -232,6 +332,13 @@ class RouterApp:
         self.metrics = HTTPMetrics(slow_ms=slow_ms)
         self._in_flight = 0
         self._round_robin = 0
+        #: Cached reroute rings, one per healthy-member subset — tiny
+        #: (subsets of a handful of workers) and rebuilt only on a
+        #: membership-health change.
+        self._reroute_rings: dict = {}
+        #: Set by :class:`MultiProcServer` when supervision is on; the
+        #: snapshot lands in the ``supervisor`` section of ``/stats``.
+        self.supervisor_stats: Optional[Callable[[], dict]] = None
 
     # -- routing ------------------------------------------------------------
 
@@ -255,12 +362,34 @@ class RouterApp:
         return None
 
     def worker_for(self, request: HTTPRequest) -> _Upstream:
+        available = [u for u in self.upstreams if u.breaker.available]
         name = self._affinity(request)
         if name is not None:
-            return self._by_key[self.ring.member_for(name)]
-        upstream = self.upstreams[self._round_robin % len(self.upstreams)]
+            owner = self._by_key[self.ring.member_for(name)]
+            if owner.breaker.available or not available:
+                return owner
+            # The shard's owner is ejected: reroute via a ring over the
+            # currently healthy members, so every request for the same
+            # document lands on the same stand-in (its in-memory layers
+            # warm up for the orphaned shard instead of scattering)
+            # until the owner is re-admitted.
+            keys = tuple(u.key for u in available)
+            ring = self._reroute_rings.get(keys)
+            if ring is None:
+                ring = ConsistentHashRing(keys)
+                self._reroute_rings[keys] = ring
+            return self._by_key[ring.member_for(name)]
+        if not available:
+            # Every breaker open: fail forward to the ejected workers —
+            # a 502 with a cause beats refusing to even try.
+            available = self.upstreams
+        upstream = available[self._round_robin % len(available)]
         self._round_robin += 1
         return upstream
+
+    def upstream_for(self, key: str) -> _Upstream:
+        """The upstream registered under ``key`` (supervisor hook)."""
+        return self._by_key[key]
 
     # -- handling -----------------------------------------------------------
 
@@ -325,11 +454,13 @@ class RouterApp:
                     continue
                 break
             upstream.release(conn)
+            upstream.breaker.record_success()
             response = HTTPResponse(status=status, body=response_body)
             worker_type = response_headers.get("content-type")
             if worker_type:
                 response.content_type = worker_type
             return response
+        upstream.breaker.record_failure()
         return json_response(
             {
                 "error": {
@@ -363,19 +494,24 @@ class RouterApp:
                     "worker": upstream.key,
                     "address": f"{upstream.host}:{upstream.port}",
                     "pool_connects": upstream.connects,
+                    "breaker": upstream.breaker.state(),
                     "stats": payload,
                 }
             )
-        return json_response(
-            {
-                "router": self.metrics.snapshot(in_flight=self._in_flight - 1),
-                "ring": {
-                    "workers": list(self.ring.members),
-                    "replicas": self.ring.replicas,
-                },
-                "workers": workers,
-            }
-        )
+        payload = {
+            "router": self.metrics.snapshot(in_flight=self._in_flight - 1),
+            "ring": {
+                "workers": list(self.ring.members),
+                "replicas": self.ring.replicas,
+                "available": [
+                    u.key for u in self.upstreams if u.breaker.available
+                ],
+            },
+            "workers": workers,
+        }
+        if self.supervisor_stats is not None:
+            payload["supervisor"] = self.supervisor_stats()
+        return json_response(payload)
 
     def close_idle(self) -> None:
         for upstream in self.upstreams:
@@ -463,6 +599,161 @@ class WorkerProcess:
         return f"WorkerProcess({self.key}, {self.host}:{self.port})"
 
 
+class WorkerSupervisor:  # impreciselint: guarded-by=_lock
+    """Daemon thread that keeps the tier's children alive and routed.
+
+    Two duties, one loop:
+
+    * **respawn** — a child whose process exited is ejected from routing
+      at once (breaker forced open) and replaced with a fresh process,
+      under bounded exponential backoff per slot so a crash-looping
+      child cannot busy-spin the tier (the backoff resets when the slot
+      passes a health probe);
+    * **re-admission** — every ``probe_interval`` seconds each ejected
+      worker whose process is alive gets a blocking ``GET /healthz``
+      (plain :mod:`http.client`, this is not the router's event loop);
+      a 200 closes its breaker and traffic returns.
+
+    The counters (``restarts``/``restart_failures``/``probes``/
+    ``readmissions``) feed the ``supervisor`` section of the router's
+    ``GET /stats``.
+    """
+
+    def __init__(
+        self,
+        tier: "MultiProcServer",
+        *,
+        poll_interval: float = 0.1,
+        probe_interval: float = 0.25,
+        backoff_initial: float = 0.2,
+        backoff_max: float = 5.0,
+        probe_timeout: float = 2.0,
+    ):
+        self.tier = tier
+        self.poll_interval = poll_interval
+        self.probe_interval = probe_interval
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.probe_timeout = probe_timeout
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.restarts = 0
+        self.restart_failures = 0
+        self.probes = 0
+        self.readmissions = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the supervision thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            thread = threading.Thread(
+                target=self._run, name="worker-supervisor", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop supervising — must run *before* the tier reaps its
+        children, or a planned shutdown looks like a crash to respawn."""
+        self._stop.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    def stats_snapshot(self) -> dict:
+        """The ``supervisor`` section of the router's ``/stats``."""
+        with self._lock:
+            return {
+                "restarts": self.restarts,
+                "restart_failures": self.restart_failures,
+                "probes": self.probes,
+                "readmissions": self.readmissions,
+                "probe_interval_s": self.probe_interval,
+                "backoff_max_s": self.backoff_max,
+            }
+
+    # -- the loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        # Backoff state lives on the loop's own stack: slot -> current
+        # delay, and slot -> the monotonic instant gating its next spawn.
+        delays: dict = {}
+        retry_at: dict = {}
+        next_probe = 0.0
+        while not self._stop.is_set():
+            if self._stop.wait(self.poll_interval):
+                return
+            now = time.monotonic()
+            for slot, worker in enumerate(list(self.tier.workers)):
+                if worker.proc.poll() is None:
+                    continue
+                router = self.tier.router
+                if router is not None:
+                    router.upstream_for(worker.key).breaker.force_open()
+                if now < retry_at.get(slot, 0.0):
+                    continue
+                delay = delays.get(slot, self.backoff_initial)
+                retry_at[slot] = now + delay
+                delays[slot] = min(delay * 2.0, self.backoff_max)
+                tail = "\n".join(worker.output_tail()[-5:])
+                self._log(
+                    f"{worker.key} exited"
+                    f" (status {worker.proc.returncode}); respawning:\n{tail}"
+                )
+                try:
+                    self.tier.respawn_worker(slot)
+                except (ImpreciseError, OSError) as error:
+                    with self._lock:
+                        self.restart_failures += 1
+                    self._log(f"{worker.key} respawn failed: {error}")
+                    continue
+                with self._lock:
+                    self.restarts += 1
+            if now >= next_probe:
+                next_probe = now + self.probe_interval
+                self._probe_round(delays)
+
+    def _probe_round(self, delays: dict) -> None:
+        for slot, worker in enumerate(list(self.tier.workers)):
+            router = self.tier.router
+            if router is None or worker.proc.poll() is not None:
+                continue  # a dead child belongs to the respawn path
+            upstream = router.upstream_for(worker.key)
+            if upstream.breaker.available:
+                continue
+            with self._lock:
+                self.probes += 1
+            if self._healthy(upstream.host, upstream.port):
+                upstream.breaker.readmit()
+                delays.pop(slot, None)  # stable again: backoff resets
+                with self._lock:
+                    self.readmissions += 1
+                self._log(f"{worker.key} passed /healthz; re-admitted")
+
+    def _healthy(self, host: str, port: int) -> bool:
+        try:
+            conn = http.client.HTTPConnection(
+                host, port, timeout=self.probe_timeout
+            )
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                return response.status == 200
+            finally:
+                conn.close()
+        except (OSError, http.client.HTTPException):
+            return False
+
+    def _log(self, message: str) -> None:
+        print(f"supervisor: {message}", file=sys.stderr, flush=True)
+
+
 def _worker_argv(
     store_dir,
     *,
@@ -501,9 +792,15 @@ class MultiProcServer:
         ...                             # drive it with DataspaceClient
         tier.stop()
 
-    ``stop()`` drains the router first (in-flight proxied requests
-    finish, new connections are refused), then SIGTERMs the children and
-    waits for their own graceful exits.  Context-manager friendly.
+    ``stop()`` halts supervision first (so a planned shutdown is not
+    mistaken for a crash to respawn), drains the router (in-flight
+    proxied requests finish, new connections are refused), then SIGTERMs
+    the children and waits for their own graceful exits.
+    Context-manager friendly.
+
+    ``supervise=False`` runs the PR-8 static tier — no respawns, no
+    breakers opening from the supervisor side (proxy failures can still
+    trip them) — which some tests use to observe raw 502 behavior.
     """
 
     def __init__(
@@ -517,6 +814,11 @@ class MultiProcServer:
         worker_args: Sequence[str] = (),
         slow_ms: int = 500,
         startup_timeout: float = 30.0,
+        supervise: bool = True,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        probe_interval: float = 0.25,
+        backoff_initial: float = 0.2,
+        backoff_max: float = 5.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -528,8 +830,14 @@ class MultiProcServer:
         self.worker_args = tuple(worker_args)
         self.slow_ms = slow_ms
         self.startup_timeout = startup_timeout
+        self.supervise = supervise
+        self.breaker_threshold = breaker_threshold
+        self.probe_interval = probe_interval
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
         self.workers: list = []
         self.router: Optional[RouterApp] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
         self._background: Optional[BackgroundServer] = None
 
     def start(self) -> tuple:
@@ -553,7 +861,13 @@ class MultiProcServer:
             self._stop_workers()
             raise
         self.router = RouterApp(
-            [_Upstream(w.key, w.host, w.port) for w in self.workers],
+            [
+                _Upstream(
+                    w.key, w.host, w.port,
+                    breaker_threshold=self.breaker_threshold,
+                )
+                for w in self.workers
+            ],
             slow_ms=self.slow_ms,
         )
         self._background = BackgroundServer(self.router, self.host, self.port)
@@ -563,7 +877,42 @@ class MultiProcServer:
             self._stop_workers()
             raise
         self.host, self.port = bound
+        if self.supervise:
+            self.supervisor = WorkerSupervisor(
+                self,
+                probe_interval=self.probe_interval,
+                backoff_initial=self.backoff_initial,
+                backoff_max=self.backoff_max,
+            )
+            self.router.supervisor_stats = self.supervisor.stats_snapshot
+            self.supervisor.start()
         return bound
+
+    def respawn_worker(self, slot: int) -> WorkerProcess:
+        """Replace the dead child in ``slot`` with a fresh process and
+        repoint its upstream (same ring key, new address; the stale
+        connection pool is closed on the router's event loop).  The
+        supervisor calls this; raises :class:`ImpreciseError` when the
+        spawn itself fails."""
+        old = self.workers[slot]
+        old.stop(timeout=5.0)  # reap the zombie (already exited)
+        argv = _worker_argv(
+            self.store_dir,
+            cache_dir=self.cache_dir,
+            worker_args=self.worker_args,
+        )
+        worker = WorkerProcess(
+            old.index, argv, env=_worker_env(),
+            startup_timeout=self.startup_timeout,
+        )
+        self.workers[slot] = worker
+        if self.router is not None:
+            upstream = self.router.upstream_for(worker.key)
+            upstream.host = worker.host
+            upstream.port = worker.port
+            if self._background is not None:
+                self._background.call_soon(upstream.close_idle)
+        return worker
 
     def _stop_workers(self) -> None:
         workers, self.workers = self.workers, []
@@ -571,7 +920,11 @@ class MultiProcServer:
             worker.stop()
 
     def stop(self, grace: float = 5.0) -> None:
-        """Drain the router, then the children.  Idempotent."""
+        """Halt supervision, drain the router, then stop the children.
+        Idempotent."""
+        if self.supervisor is not None:
+            supervisor, self.supervisor = self.supervisor, None
+            supervisor.stop()
         if self._background is not None:
             background, self._background = self._background, None
             background.stop(grace=grace)
@@ -626,20 +979,12 @@ def run_multiproc(
         display = f"[{bound_host}]" if ":" in bound_host else bound_host
         print(f"serving on http://{display}:{bound_port}", flush=True)
         print(f"workers: {workers}", flush=True)
+        # Crashed children are the supervisor's problem now: it ejects
+        # them from routing, respawns them with backoff, and re-admits
+        # them after a passing /healthz — the router never exits for a
+        # child's death.
         while not stop.is_set():
             stop.wait(0.5)
-            # A crashed child turns into 502s for its shard; better to
-            # exit loudly and let the supervisor restart the tier.
-            for worker in tier.workers:
-                if worker.proc.poll() is not None:
-                    tail = "\n".join(worker.output_tail()[-5:])
-                    print(
-                        f"{worker.key} exited"
-                        f" (status {worker.proc.returncode}):\n{tail}",
-                        file=sys.stderr,
-                        flush=True,
-                    )
-                    return 1
         return 0
     except KeyboardInterrupt:
         return 0

@@ -84,7 +84,7 @@ __all__ = [
 #: any field addition/removal in the encoders below, and refresh the
 #: surface pin — ``impreciselint`` blocks codec edits until both happen
 #: together (see docs/development.md).
-WIRE_VERSION = 2  # impreciselint: schema-surface=78981f2fca3d
+WIRE_VERSION = 3  # impreciselint: schema-surface=b50b41c9f584
 
 
 def _require_int(value: object, what: str) -> int:
@@ -106,7 +106,10 @@ def encode_fused_answer(fused: FusedAnswer) -> dict[str, object]:
     constant when the strategy used one, and the fused items — each with
     its exact ``"num/den"`` score and its provenance as ``[document,
     rank, "num/den"]`` source triples (local rank 1-based, local
-    probability exact)."""
+    probability exact).  A partial answer (deadline expired under
+    ``allow_partial``) additionally carries ``omitted`` — the selected
+    document names that did not finish — so partiality survives the
+    wire explicitly; the field is absent on complete answers."""
     payload: dict[str, object] = {
         "strategy": fused.strategy,
         "documents": list(fused.documents),
@@ -132,6 +135,8 @@ def encode_fused_answer(fused: FusedAnswer) -> dict[str, object]:
     }
     if fused.rrf_k is not None:
         payload["k"] = encode_fraction(fused.rrf_k)
+    if fused.omitted:
+        payload["omitted"] = list(fused.omitted)
     return payload
 
 
@@ -193,12 +198,23 @@ def decode_fused_answer(payload: object) -> FusedAnswer:
             )
         items.append(FusedItem(value, score, tuple(sources)))
     rrf_k = decode_fraction(payload["k"]) if "k" in payload else None
+    omitted: tuple[str, ...] = ()
+    if "omitted" in payload:
+        raw_omitted = payload["omitted"]
+        if not isinstance(raw_omitted, list):
+            raise WireFormatError(
+                f"omitted must be a list, got {raw_omitted!r}"
+            )
+        omitted = tuple(
+            _require_str(name, "omitted document") for name in raw_omitted
+        )
     return FusedAnswer(
         strategy=strategy,
         items=items,
         documents=documents,
         weights=weights,
         rrf_k=rrf_k,
+        omitted=omitted,
     )
 
 

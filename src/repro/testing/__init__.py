@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the serving tier's chaos tests.
+
+Everything here exists so that ``tests/test_chaos.py`` can make the
+self-healing claims *checkable*: faults fire from a seeded plan (same
+seed, same faults, same order), every firing is logged, and the injected
+failures are byte-for-byte the ones production code paths classify —
+real SQLite corruption on disk, real ``CacheBusyError`` from the write
+path, real dead worker processes.  See :mod:`repro.testing.faults`.
+"""
+
+from .faults import (
+    FaultPlan,
+    corrupt_sqlite_file,
+    delayed_method,
+    failing_cache_writes,
+)
+
+__all__ = [
+    "FaultPlan",
+    "corrupt_sqlite_file",
+    "delayed_method",
+    "failing_cache_writes",
+]

@@ -1,0 +1,201 @@
+"""Seeded, replayable fault injection (the chaos-test harness).
+
+The serving tier claims to be self-healing: workers die and respawn,
+cache files corrupt and quarantine, writes contend and get absorbed —
+and through all of it answers stay Fraction-identical to a fault-free
+run.  Claims like that rot unless a test can *drive* the faults, so this
+module provides the injectors, built on three principles:
+
+**Determinism.**  Every decision flows from one :class:`FaultPlan`
+seeded :class:`random.Random`; the same seed replays the same faults in
+the same order.  A chaos test that fails is a chaos test you can rerun.
+
+**Observability.**  Each firing lands in :attr:`FaultPlan.fired`, so a
+test can assert its faults actually happened — a chaos suite whose
+faults silently never fire is green for the wrong reason.
+
+**Realism.**  The injected failures are the ones the production
+classifiers see, not lookalikes:
+
+* :func:`corrupt_sqlite_file` produces *observable* SQLite corruption —
+  it removes the ``-wal``/``-shm`` sidecars and replaces the main file
+  under a fresh inode, because an in-place garble is masked by the page
+  cache and a leftover WAL lets SQLite quietly self-heal;
+* :func:`failing_cache_writes` raises the typed
+  :class:`~repro.errors.CacheBusyError` from the store's own write
+  transaction entry point, exactly where real writer-convoy exhaustion
+  surfaces;
+* worker kills in the chaos tests go through ``proc.kill()`` on the real
+  child process — nothing here fakes a death.
+
+Stdlib only; nothing in this module imports test frameworks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+from ..errors import CacheBusyError
+from ..dbms.cache_store import AnswerCacheStore
+
+__all__ = [
+    "FaultPlan",
+    "corrupt_sqlite_file",
+    "delayed_method",
+    "failing_cache_writes",
+]
+
+#: Deterministic junk written in place of a corrupted SQLite file: long
+#: enough to overrun the 100-byte header SQLite validates, and visibly
+#: not a database to anyone inspecting a quarantined ``*.corrupt-N``.
+_JUNK = b"impreciselint-chaos: this is deliberately not a sqlite file\x00" * 32
+
+
+class FaultPlan:
+    """One seeded source of every fault decision in a chaos run.
+
+    >>> plan = FaultPlan(seed=7)
+    >>> plan.should("cache-write-busy", 1.0)
+    True
+    >>> plan.fired
+    [('cache-write-busy',)]
+
+    ``should(name, probability)`` draws from the plan's private
+    :class:`random.Random`; a draw below ``probability`` fires the fault
+    and logs it.  ``choice`` picks a victim (which worker to kill, which
+    document to corrupt) from the same stream.  Two plans with the same
+    seed make identical decisions in the same call order — replaying a
+    failing chaos test is just reusing its seed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._random = random.Random(seed)
+        self.seed = seed
+        #: Chronological log of fired faults, one tuple per firing; a
+        #: test asserts on this to prove its faults actually happened.
+        self.fired: list = []
+
+    def should(self, name: str, probability: float = 1.0) -> bool:
+        """Decide (and log) whether the fault ``name`` fires this time."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability must be within [0, 1], got {probability!r}"
+            )
+        # Draw unconditionally so the stream position advances the same
+        # way whether or not the fault fires — determinism would break
+        # if a probability tweak shifted every later decision.
+        fire = self._random.random() < probability
+        if fire:
+            self.fired.append((name,))
+        return fire
+
+    def choice(self, name: str, options: list) -> object:
+        """Pick (and log) one victim from ``options``."""
+        if not options:
+            raise ValueError(f"fault {name!r} has no options to pick from")
+        picked = self._random.choice(list(options))
+        self.fired.append((name, picked))
+        return picked
+
+    def count(self, name: str) -> int:
+        """How many times the fault ``name`` has fired so far."""
+        return sum(1 for entry in self.fired if entry[0] == name)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, fired={len(self.fired)})"
+
+
+def corrupt_sqlite_file(path: Union[str, Path]) -> Path:
+    """Corrupt the SQLite file at ``path`` so the *next* open or
+    statement observably fails classification as corruption.
+
+    Three steps, each load-bearing:
+
+    1. the ``-wal``/``-shm`` sidecars are deleted — a surviving WAL lets
+       SQLite roll the damage back and self-heal silently;
+    2. the main file is unlinked, not truncated — an in-place overwrite
+       can be masked by the OS page cache and open file descriptors;
+    3. a fresh file of non-SQLite junk is created at the same path (a
+       new inode), so an open sees ``file is not a database``.
+
+    Returns the path, for chaining into assertions.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no cache file to corrupt at {path}")
+    for suffix in ("-wal", "-shm"):
+        Path(str(path) + suffix).unlink(missing_ok=True)
+    path.unlink()
+    path.write_bytes(_JUNK)
+    return path
+
+
+@contextmanager
+def failing_cache_writes(
+    store: AnswerCacheStore,
+    plan: FaultPlan,
+    *,
+    probability: float = 1.0,
+) -> Iterator[AnswerCacheStore]:
+    """Make ``store``'s write transactions raise the typed
+    :class:`~repro.errors.CacheBusyError` per ``plan``.
+
+    The hook wraps :meth:`AnswerCacheStore._write_txn_locked` — the one
+    funnel every persistent write passes through — so an injected
+    failure surfaces exactly where real busy-budget exhaustion does.
+    Reads are untouched: a busy writer never costs a warm hit.  The
+    original method is restored on exit, even on error.
+    """
+    original = store._write_txn_locked
+
+    def inject(apply) -> None:
+        if plan.should("cache-write-busy", probability):
+            raise CacheBusyError(
+                f"injected by FaultPlan(seed={plan.seed}): cache write on"
+                f" {store.path} busy"
+            )
+        original(apply)
+
+    store._write_txn_locked = inject  # type: ignore[method-assign]
+    try:
+        yield store
+    finally:
+        store._write_txn_locked = original  # type: ignore[method-assign]
+
+
+@contextmanager
+def delayed_method(
+    target: object,
+    method_name: str,
+    plan: FaultPlan,
+    *,
+    seconds: float,
+    probability: float = 1.0,
+) -> Iterator[object]:
+    """Stall calls of ``target.method_name`` by ``seconds`` per ``plan``.
+
+    The stall happens *before* the original method runs, which is how a
+    response delay looks to a caller holding a deadline: the budget
+    drains while the work has not started.  Used by the chaos suite to
+    force ``deadline_ms`` expiries at a controlled point instead of
+    relying on real documents being slow.  Restores the original method
+    on exit, even on error.
+    """
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    original = getattr(target, method_name)
+
+    def stall(*args, **kwargs):
+        if plan.should(f"delay:{method_name}", probability):
+            time.sleep(seconds)
+        return original(*args, **kwargs)
+
+    setattr(target, method_name, stall)
+    try:
+        yield target
+    finally:
+        setattr(target, method_name, original)

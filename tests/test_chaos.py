@@ -1,0 +1,343 @@
+"""Deterministic chaos tests: seeded faults, Fraction-identical answers.
+
+The self-healing claims of the serving tier, made checkable.  Every
+scenario drives real production failure paths through the seeded
+:mod:`repro.testing.faults` harness — injected ``CacheBusyError`` from
+the cache's own write funnel, genuine on-disk SQLite corruption,
+killed worker processes, drained ``deadline_ms`` budgets — and then
+asserts the one invariant the whole tier is built around: answers are
+**Fraction-identical** to a fault-free serial replay, or absent with a
+typed error; never approximate, never a raw ``sqlite3`` exception,
+never a hang.
+
+Scenario sizes are deliberately small (this file doubles as the CI
+``chaos-smoke`` job); seeds are pinned so a failure replays exactly,
+and ``CHAOS_SEED`` re-rolls every scenario at once.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.dbms.service import DataspaceService
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceededError
+from repro.server.client import DataspaceClient, ServerError
+from repro.server.multiproc import MultiProcServer
+from repro.server.wire import encode_fused_answer
+from repro.testing import (
+    FaultPlan,
+    corrupt_sqlite_file,
+    delayed_method,
+    failing_cache_writes,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "20260808"))
+
+DOCS = {
+    f"doc{i}": f"<r><x>{i}</x><x>{(i * 7) % 5}</x><y>{i % 3}</y></r>"
+    for i in range(6)
+}
+QUERIES = ["//x", "//y", '//x[. = "3"]']
+
+
+def snapshot(answer) -> list:
+    """The full exact shape of a ranked answer — value, Fraction
+    probability, and occurrence count — so equality means
+    Fraction-identical, not merely same ordering."""
+    return [
+        (item.value, item.probability, item.occurrences) for item in answer
+    ]
+
+
+def build_service(tmp_path: Path, label: str, **kwargs) -> DataspaceService:
+    service = DataspaceService(
+        directory=tmp_path / f"{label}-store",
+        cache_dir=tmp_path / f"{label}-cache",
+        **kwargs,
+    )
+    for name, xml in DOCS.items():
+        service.load(name, xml)
+    return service
+
+
+def serial_replay(tmp_path: Path) -> dict:
+    """The fault-free oracle: a fresh cacheless service, queried
+    serially — nothing shared with the chaotic run but the corpus."""
+    service = DataspaceService(directory=tmp_path / "oracle-store")
+    try:
+        for name, xml in DOCS.items():
+            service.load(name, xml)
+        return {
+            (name, query): snapshot(service.query(name, query))
+            for name in DOCS
+            for query in QUERIES
+        }
+    finally:
+        service.close()
+
+
+class TestCacheWriteFaults:
+    def test_injected_busy_writes_cost_warmth_never_answers(self, tmp_path):
+        """With the cache's write funnel raising CacheBusyError half the
+        time, every answer is still served, Fraction-identical to the
+        fault-free replay, and each absorbed write is counted."""
+        expected = serial_replay(tmp_path)
+        plan = FaultPlan(seed=CHAOS_SEED)
+        service = build_service(tmp_path, "busy")
+        try:
+            with failing_cache_writes(service.cache, plan, probability=0.5):
+                for (name, query), exact in expected.items():
+                    assert snapshot(service.query(name, query)) == exact
+            assert plan.count("cache-write-busy") > 0, plan.fired
+            stats = service.cache_stats()
+            assert stats["cache_write_failures"] == plan.count(
+                "cache-write-busy"
+            )
+            # Post-fault runs heal: writes land again, answers unchanged.
+            for (name, query), exact in expected.items():
+                assert snapshot(service.query(name, query)) == exact
+        finally:
+            service.close()
+
+    def test_total_write_outage_still_serves_every_answer(self, tmp_path):
+        expected = serial_replay(tmp_path)
+        plan = FaultPlan(seed=CHAOS_SEED + 1)
+        service = build_service(tmp_path, "outage")
+        try:
+            with failing_cache_writes(service.cache, plan, probability=1.0):
+                for (name, query), exact in expected.items():
+                    assert snapshot(service.query(name, query)) == exact
+            assert service.cache_stats()["cache_write_failures"] > 0
+        finally:
+            service.close()
+
+
+class TestCacheCorruption:
+    def test_live_service_quarantines_and_keeps_answering(self, tmp_path):
+        """Corrupting the cache file under a live service costs warmth
+        only: the next access quarantines, rebuilds, and re-serves
+        Fraction-identical answers — no sqlite3 error ever escapes."""
+        expected = serial_replay(tmp_path)
+        service = build_service(tmp_path, "corrupt")
+        try:
+            for (name, query), exact in expected.items():
+                assert snapshot(service.query(name, query)) == exact
+            corrupt_sqlite_file(service.cache.path)
+            for (name, query), exact in expected.items():
+                assert snapshot(service.query(name, query)) == exact
+            stats = service.cache_stats()
+            assert stats["persistent_recoveries"] > 0
+            quarantined = list(service.cache.path.parent.glob("*.corrupt-*"))
+            assert quarantined, "corrupt file was not preserved for autopsy"
+        finally:
+            service.close()
+
+    def test_two_process_fleet_follows_the_quarantine_swap(self, tmp_path):
+        """Corruption with two live processes on one cache file: the
+        process that trips it quarantines and rebuilds; the sibling
+        holding a descriptor to the quarantined inode follows the swap.
+        Both report ``persistent_recoveries > 0``; answers everywhere
+        stay Fraction-identical to the clean replay."""
+        expected = serial_replay(tmp_path)
+        service = build_service(tmp_path, "fleet")
+        cache_dir = tmp_path / "fleet-cache"
+        store_dir = tmp_path / "fleet-store"
+        try:
+            for (name, query), exact in expected.items():
+                assert snapshot(service.query(name, query)) == exact
+
+            corrupt_sqlite_file(service.cache.path)
+
+            # Process 2 (a genuinely fresh interpreter) opens the now-
+            # corrupt file first: it quarantines and rebuilds.
+            script = (
+                "import json, sys\n"
+                "from repro.dbms.service import DataspaceService\n"
+                "store, cache = sys.argv[1], sys.argv[2]\n"
+                "docs = json.loads(sys.argv[3])\n"
+                "queries = json.loads(sys.argv[4])\n"
+                "service = DataspaceService(directory=store, cache_dir=cache)\n"
+                "try:\n"
+                "    answers = {\n"
+                "        f'{name}||{q}': [\n"
+                "            [i.value, i.probability.numerator,\n"
+                "             i.probability.denominator, i.occurrences]\n"
+                "            for i in service.query(name, q)\n"
+                "        ]\n"
+                "        for name in docs for q in queries\n"
+                "    }\n"
+                "    stats = service.cache_stats()\n"
+                "finally:\n"
+                "    service.close()\n"
+                "print(json.dumps({'answers': answers,\n"
+                "                  'recoveries': stats['persistent_recoveries']}))\n"
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script, str(store_dir),
+                 str(cache_dir), json.dumps(sorted(DOCS)),
+                 json.dumps(QUERIES)],
+                capture_output=True, text=True, timeout=120,
+                env={**os.environ, "PYTHONPATH": SRC},
+            )
+            assert result.returncode == 0, result.stderr
+            sibling = json.loads(result.stdout)
+            assert sibling["recoveries"] > 0
+            for (name, query), exact in expected.items():
+                got = [
+                    (value, Fraction(numerator, denominator), occurrences)
+                    for value, numerator, denominator, occurrences
+                    in sibling["answers"][f"{name}||{query}"]
+                ]
+                assert got == exact
+
+            # Process 1 still holds the *quarantined* inode: its next
+            # operation follows the swap instead of quarantining the
+            # healthy replacement, and keeps serving identically.
+            for (name, query), exact in expected.items():
+                assert snapshot(service.query(name, query)) == exact
+            assert service.cache_stats()["persistent_recoveries"] > 0
+        finally:
+            service.close()
+
+
+class TestDeadlineChaos:
+    def test_generous_deadline_is_invisible(self, tmp_path):
+        service = build_service(tmp_path, "generous")
+        try:
+            unbounded = service.query_all("//x")
+            bounded = service.query_all(
+                "//x", deadline=Deadline.from_ms(60_000)
+            )
+            assert encode_fused_answer(bounded) == encode_fused_answer(
+                unbounded
+            )
+            assert not bounded.partial
+        finally:
+            service.close()
+
+    def test_blown_budget_raises_typed_and_never_hangs(self, tmp_path):
+        plan = FaultPlan(seed=CHAOS_SEED)
+        service = build_service(tmp_path, "blown")
+        try:
+            with delayed_method(
+                service, "query", plan, seconds=0.5, probability=1.0
+            ):
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    service.query_all("//x", deadline=Deadline.from_ms(50))
+                elapsed = time.monotonic() - started
+            assert elapsed < 10, f"deadline request hung for {elapsed:.1f}s"
+            assert plan.count("delay:query") > 0
+        finally:
+            service.close()
+
+    def test_allow_partial_returns_the_finished_subset(self, tmp_path):
+        service = build_service(tmp_path, "partial")
+        try:
+            original = service.query
+
+            def one_slow_document(name, plan, **kwargs):
+                if name == "doc0":
+                    time.sleep(1.0)
+                return original(name, plan, **kwargs)
+
+            service.query = one_slow_document
+            try:
+                fused = service.query_all(
+                    "//x",
+                    deadline=Deadline.from_ms(400),
+                    allow_partial=True,
+                )
+            finally:
+                service.query = original
+            assert fused.partial
+            assert "doc0" in fused.omitted
+            finished = sorted(set(DOCS) - set(fused.omitted))
+            assert finished, "partial answer finished nothing"
+            clean = service.query_all("//x", names=finished)
+            assert [
+                (item.value, item.score) for item in fused.items
+            ] == [(item.value, item.score) for item in clean.items]
+        finally:
+            service.close()
+
+    def test_single_document_deadline_is_typed_at_the_engine(self, tmp_path):
+        service = build_service(tmp_path, "single")
+        try:
+            budget = Deadline.from_ms(1)
+            time.sleep(0.01)  # drain it before the call
+            with pytest.raises(DeadlineExceededError):
+                service.query("doc0", "//x", deadline=budget)
+        finally:
+            service.close()
+
+
+class TestWorkerKillChaos:
+    def test_seeded_kill_round_keeps_answers_identical(self, tmp_path):
+        """A plan-chosen worker dies mid-serving; the supervisor respawns
+        and re-admits it, and every post-recovery answer is
+        Fraction-identical to its pre-kill twin."""
+        plan = FaultPlan(seed=CHAOS_SEED)
+        store, cache = tmp_path / "store", tmp_path / "cache"
+        store.mkdir()
+        cache.mkdir()
+        tier = MultiProcServer(
+            store, workers=2, cache_dir=cache,
+            probe_interval=0.1, backoff_initial=0.05,
+        )
+        host, port = tier.start()
+        client = DataspaceClient(host, port, timeout=30)
+        try:
+            for name, xml in DOCS.items():
+                client.load(name, xml)
+            expected = {
+                name: snapshot(client.query(name, "//x")) for name in DOCS
+            }
+
+            slot = plan.choice("kill-worker", list(range(len(tier.workers))))
+            victim = tier.workers[slot]
+            victim_pid = victim.proc.pid
+            victim.proc.kill()
+            victim.proc.wait(10)
+            assert plan.fired == [("kill-worker", slot)]
+
+            # Through the blip: tolerate only 502s, never wrong answers.
+            deadline = time.time() + 60
+            for name in DOCS:
+                while True:
+                    try:
+                        assert (
+                            snapshot(client.query(name, "//x"))
+                            == expected[name]
+                        )
+                        break
+                    except ServerError as error:
+                        assert error.status == 502, error
+                        assert time.time() < deadline, "never recovered"
+                        time.sleep(0.05)
+
+            while time.time() < deadline:
+                stats = client.stats()
+                if (
+                    stats["supervisor"]["restarts"] >= 1
+                    and len(stats["ring"]["available"]) == 2
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("no recovery before deadline")
+            assert tier.workers[slot].proc.pid != victim_pid
+            for name in DOCS:
+                assert snapshot(client.query(name, "//x")) == expected[name]
+        finally:
+            client.close()
+            tier.stop()

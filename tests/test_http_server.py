@@ -15,12 +15,14 @@ Three layers, increasingly end-to-end:
   asserted entirely over HTTP.
 """
 
+import http.server
 import json
 import os
 import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from fractions import Fraction
@@ -386,6 +388,157 @@ class TestErrors:
             client.query("ghost", "//x")
         # Same client, same keep-alive connection, next request fine.
         assert shape(client.query("ab", "//person/nm"))
+
+
+class TestDeadlines:
+    def test_generous_deadline_is_invisible(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        plain = shape(client.query("ab", "//person/tel"))
+        bounded = shape(
+            client.query("ab", "//person/tel", deadline_ms=60_000)
+        )
+        assert bounded == plain
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon", 1.5, True])
+    def test_bad_deadline_ms_is_400(self, live, bad):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client._request(
+                "POST",
+                "/query",
+                {"document": "ab", "xpath": "//person/tel",
+                 "deadline_ms": bad},
+            )
+        assert excinfo.value.status == 400
+
+    def test_allow_partial_must_be_boolean(self, live):
+        client, _, _ = live
+        load_addressbook(client)
+        with pytest.raises(ServerError) as excinfo:
+            client._request(
+                "POST",
+                "/search",
+                {"xpath": "//person/tel", "allow_partial": "yes"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_blown_deadline_is_typed_504(self, live):
+        from repro.errors import DeadlineExceededError
+
+        client, service, _ = live
+        load_addressbook(client)
+        original = service.query
+
+        def slow_query(name, plan, **kwargs):
+            time.sleep(0.2)
+            return original(name, plan, **kwargs)
+
+        service.query = slow_query
+        try:
+            with pytest.raises(DeadlineExceededError):
+                client.query("ab", "//person/tel", deadline_ms=50)
+        finally:
+            service.query = original
+        # The 504 was a healthy HTTP exchange: the same keep-alive
+        # connection keeps serving.
+        assert shape(client.query("ab", "//person/tel"))
+
+
+class _FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Stdlib upstream answering 503 (with Retry-After) until its
+    budget runs out, then 200 — exercising the client's replay gate
+    without needing to race a real server into overload."""
+
+    failures_left = 0
+    attempts = []
+
+    def _respond(self):
+        type(self).attempts.append(self.command)
+        if type(self).failures_left > 0:
+            type(self).failures_left -= 1
+            body = b'{"error": {"type": "overloaded", "message": "shed"}}'
+            self.send_response(503)
+            self.send_header("Retry-After", "0")
+        else:
+            body = b'{"status": "ok", "documents": 0}'
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def flaky_upstream():
+    _FlakyHandler.failures_left = 0
+    _FlakyHandler.attempts = []
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd.server_address
+    finally:
+        httpd.shutdown()
+        thread.join()
+
+
+class TestClient503Replay:
+    def test_retry_503_replays_idempotent_requests(self, flaky_upstream):
+        host, port = flaky_upstream
+        _FlakyHandler.failures_left = 2
+        with DataspaceClient(host, port, retry_503=2) as client:
+            assert client.healthz()["status"] == "ok"
+        assert _FlakyHandler.attempts == ["GET", "GET", "GET"]
+
+    def test_retry_budget_exhausted_surfaces_the_503(self, flaky_upstream):
+        host, port = flaky_upstream
+        _FlakyHandler.failures_left = 5
+        with DataspaceClient(host, port, retry_503=2) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.healthz()
+        assert excinfo.value.status == 503
+        assert _FlakyHandler.attempts == ["GET", "GET", "GET"]
+
+    def test_post_is_never_replayed(self, flaky_upstream):
+        host, port = flaky_upstream
+        _FlakyHandler.failures_left = 5
+        with DataspaceClient(host, port, retry_503=3) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.query("a", "//x")
+        assert excinfo.value.status == 503
+        assert _FlakyHandler.attempts == ["POST"]
+
+    def test_retry_disabled_by_default(self, flaky_upstream):
+        host, port = flaky_upstream
+        _FlakyHandler.failures_left = 1
+        with DataspaceClient(host, port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.healthz()
+        assert excinfo.value.status == 503
+        assert _FlakyHandler.attempts == ["GET"]
+
+    def test_retry_delay_honors_and_caps_the_hint(self):
+        from repro.server.client import RETRY_AFTER_CAP
+
+        delay = DataspaceClient._retry_delay
+        assert delay("2") == 2.0
+        assert delay("0") == 0.0
+        assert delay("9999") == RETRY_AFTER_CAP
+        assert delay(None) == 0.1
+        assert delay("soon") == 0.1
+        assert delay("-3") == 0.0
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DataspaceClient("127.0.0.1", 1, retry_503=-1)
 
 
 class TestProtocol:

@@ -319,6 +319,147 @@ class TestNoRecursion:
         assert findings == []
 
 
+# -- no-swallow ---------------------------------------------------------------
+
+
+class TestNoSwallow:
+    def test_flags_bare_umbrella_and_explicit_swallows(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/server/multiproc.py",
+            """\
+            def supervise(step):
+                try:
+                    step()
+                except:
+                    pass
+
+            def probe(step):
+                try:
+                    step()
+                except Exception:
+                    return None
+
+            def absorb(step):
+                try:
+                    step()
+                except (OSError, CacheBusyError):
+                    return None
+
+            def expire(step):
+                try:
+                    step()
+                except DeadlineExceededError:
+                    return None
+            """,
+        )
+        findings, _ = lint(tmp_path, rules=["no-swallow"])
+        details = sorted(f.detail for f in findings)
+        assert details == [
+            "swallow:CacheBusyError",
+            "swallow:DeadlineExceededError",
+            "swallow:Exception",
+            "swallow:bare",
+        ]
+        assert all(f.rule == "no-swallow" for f in findings)
+
+    def test_reraise_and_unrelated_types_are_clean(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/dbms/service.py",
+            """\
+            def contained(step):
+                try:
+                    step()
+                except Exception:
+                    cleanup()
+                    raise
+
+            def typed_raise(step):
+                try:
+                    step()
+                except CacheBusyError as error:
+                    raise StoreError("busy") from error
+
+            def benign(step):
+                try:
+                    step()
+                except (OSError, ValueError):
+                    return None
+            """,
+        )
+        findings, _ = lint(tmp_path, rules=["no-swallow"])
+        assert findings == []
+
+    def test_nested_callable_raise_does_not_count(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/dbms/cache_store.py",
+            """\
+            def hook(step):
+                try:
+                    step()
+                except DeadlineExceededError:
+                    def later():
+                        raise RuntimeError("too late")
+                    return later
+            """,
+        )
+        findings, _ = lint(tmp_path, rules=["no-swallow"])
+        assert [f.detail for f in findings] == [
+            "swallow:DeadlineExceededError"
+        ]
+
+    def test_attribute_qualified_names_are_seen(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/testing/faults.py",
+            """\
+            import repro.errors as errors
+
+            def hook(step):
+                try:
+                    step()
+                except errors.CacheBusyError:
+                    return None
+            """,
+        )
+        findings, _ = lint(tmp_path, rules=["no-swallow"])
+        assert [f.detail for f in findings] == ["swallow:CacheBusyError"]
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/server/app.py",  # the HTTP front maps, not swallows
+            """\
+            def handle(step):
+                try:
+                    step()
+                except Exception:
+                    return None
+            """,
+        )
+        findings, _ = lint(tmp_path, rules=["no-swallow"])
+        assert findings == []
+
+    def test_disable_pragma_marks_the_sanctioned_absorb_point(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "repro/dbms/service.py",
+            """\
+            def guarded_put(write):
+                try:
+                    write()
+                # impreciselint: disable=no-swallow -- fixture absorb point
+                except CacheBusyError:
+                    count()
+            """,
+        )
+        findings, suppressed = lint(tmp_path, rules=["no-swallow"])
+        assert findings == []
+        assert suppressed == 1
+
+
 # -- contract-drift -----------------------------------------------------------
 
 

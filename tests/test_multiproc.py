@@ -36,6 +36,7 @@ from repro.server.app import route_label
 from repro.server.client import DataspaceClient, DataspaceClientPool, ServerError
 from repro.server.http import BackgroundServer, HTTPRequest, json_response
 from repro.server.multiproc import (
+    CircuitBreaker,
     ConsistentHashRing,
     MultiProcServer,
     RouterApp,
@@ -185,6 +186,86 @@ class TestRouterAffinity:
         assert route_label("POST", "/query/") == "POST /query"
 
 
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_readmits(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.available
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.available  # below threshold
+        breaker.record_failure()
+        assert not breaker.available
+        state = breaker.state()
+        assert state["state"] == "open"
+        assert state["trips"] == 1
+        breaker.readmit()
+        assert breaker.available
+        assert breaker.state()["readmissions"] == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.available
+
+    def test_force_open_counts_one_trip(self):
+        breaker = CircuitBreaker()
+        breaker.force_open()
+        breaker.force_open()  # idempotent
+        assert not breaker.available
+        assert breaker.state()["trips"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestBreakerRouting:
+    def router(self, n=3):
+        upstreams = [
+            _Upstream(f"worker-{i}", "127.0.0.1", 1 + i) for i in range(n)
+        ]
+        return RouterApp(upstreams)
+
+    def test_ejected_owner_reroutes_to_one_stand_in(self):
+        router = self.router()
+        body = json.dumps({"document": "movies", "xpath": "//x"}).encode()
+        owner = router.worker_for(request_for("POST", "/query", body))
+        owner.breaker.force_open()
+        stand_ins = {
+            router.worker_for(request_for("POST", "/query", body)).key
+            for _ in range(10)
+        }
+        # Deterministic: the orphaned shard lands on exactly one healthy
+        # stand-in, never back on the ejected owner.
+        assert len(stand_ins) == 1
+        assert stand_ins != {owner.key}
+        owner.breaker.readmit()
+        assert (
+            router.worker_for(request_for("POST", "/query", body)).key
+            == owner.key
+        )
+
+    def test_round_robin_skips_open_breakers(self):
+        router = self.router(n=3)
+        router.upstreams[1].breaker.force_open()
+        seen = [
+            router.worker_for(request_for("GET", "/healthz")).key
+            for _ in range(4)
+        ]
+        assert "worker-1" not in seen
+
+    def test_all_breakers_open_fails_forward(self):
+        """With every worker ejected the router still picks one — the
+        caller gets a causal 502, not a refusal to try."""
+        router = self.router(n=2)
+        for upstream in router.upstreams:
+            upstream.breaker.force_open()
+        picked = router.worker_for(request_for("GET", "/healthz"))
+        assert picked.key in ("worker-0", "worker-1")
+
+
 @pytest.fixture(scope="module")
 def tier(tmp_path_factory):
     """One live N-worker tier shared by the module's E2E tests (worker
@@ -240,14 +321,19 @@ class TestLiveTier:
             stats = client.stats()
         finally:
             client.close()
-        assert sorted(stats.keys()) == ["ring", "router", "workers"]
+        assert sorted(stats.keys()) == [
+            "ring", "router", "supervisor", "workers"
+        ]
         assert stats["ring"]["workers"] == [
             f"worker-{i}" for i in range(N_WORKERS)
         ]
+        assert stats["ring"]["available"] == stats["ring"]["workers"]
         assert len(stats["workers"]) == N_WORKERS
         assert "POST /query" in stats["router"]["endpoints"]
+        assert stats["supervisor"]["restarts"] == 0
         for entry in stats["workers"]:
             assert "http" in entry["stats"]  # each worker's own metrics
+            assert entry["breaker"]["state"] == "closed"
 
     def test_shard_routing_is_stable_under_document_churn(self, tier):
         """Queries of one name land on exactly one worker — the one the
@@ -390,6 +476,92 @@ class TestSoakVsSerialReplay:
             futures = [pool.submit(run_thread, ops) for ops in schedules]
             actual = [future.result(timeout=300) for future in futures]
         assert actual == expected
+
+
+class TestSupervision:
+    """The ISSUE-9 regression: a crashed child must not make the router
+    exit or 502 forever — the supervisor respawns it and a passing
+    ``/healthz`` probe re-admits it."""
+
+    def test_killed_worker_respawns_and_readmits_mid_soak(self, tmp_path):
+        store, cache = tmp_path / "store", tmp_path / "cache"
+        store.mkdir()
+        cache.mkdir()
+        tier = MultiProcServer(
+            store, workers=2, cache_dir=cache,
+            probe_interval=0.1, backoff_initial=0.05,
+        )
+        host, port = tier.start()
+        client = DataspaceClient(host, port, timeout=30)
+        try:
+            for name, xml in XML_DOCS.items():
+                client.load(name, xml)
+            expected = {
+                name: client.query(name, "//x").values() for name in XML_DOCS
+            }
+
+            victim = tier.workers[0]
+            victim_pid = victim.proc.pid
+            victim.proc.kill()
+            victim.proc.wait(10)
+
+            # Service continues: every document keeps answering through
+            # the blip (a request may catch the sub-poll-interval window
+            # before ejection and see one 502 — retry, never give up).
+            deadline = time.time() + 60
+            for name in XML_DOCS:
+                while True:
+                    try:
+                        assert client.query(name, "//x").values() == (
+                            expected[name]
+                        )
+                        break
+                    except ServerError as error:
+                        assert error.status == 502, error
+                        assert time.time() < deadline, "tier never recovered"
+                        time.sleep(0.05)
+
+            # Eventually: respawned (restart counted, fresh pid) and
+            # re-admitted (both breakers closed, both workers available).
+            stats = None
+            while time.time() < deadline:
+                stats = client.stats()
+                if (
+                    stats["supervisor"]["restarts"] >= 1
+                    and len(stats["ring"]["available"]) == 2
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError(f"no recovery before deadline: {stats}")
+            assert tier.workers[0].proc.pid != victim_pid
+            assert tier.workers[0].proc.poll() is None
+            breakers = {
+                entry["worker"]: entry["breaker"]["state"]
+                for entry in stats["workers"]
+            }
+            assert breakers == {"worker-0": "closed", "worker-1": "closed"}
+            assert stats["supervisor"]["readmissions"] >= 1
+
+            # Post-recovery answers are identical to pre-kill answers.
+            for name in XML_DOCS:
+                assert client.query(name, "//x").values() == expected[name]
+        finally:
+            client.close()
+            tier.stop()
+
+    def test_unsupervised_tier_has_no_supervisor_section(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        tier = MultiProcServer(store, workers=1, supervise=False)
+        tier.start()
+        client = DataspaceClient(tier.host, tier.port)
+        try:
+            stats = client.stats()
+            assert "supervisor" not in stats
+        finally:
+            client.close()
+            tier.stop()
 
 
 class TestGracefulDrain:

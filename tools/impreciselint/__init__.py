@@ -16,6 +16,12 @@ from the AST, with no third-party dependencies.  Rule families (see
     class outside a ``with <lock>:`` block.
 ``no-recursion``
     Direct or mutual recursion in the worklist-contract modules.
+``no-swallow``
+    ``except`` handlers in the supervisor/fault-hook modules that could
+    catch ``CacheBusyError`` or ``DeadlineExceededError`` (bare, the
+    umbrella ``Exception``/``BaseException``, or the types themselves)
+    without re-raising — the self-healing tier must route those to
+    their sanctioned handling points, never drop them.
 ``contract-drift``
     Codec field changes without a schema/wire version acknowledgement,
     and public ``repro.*`` functions missing docstrings or return

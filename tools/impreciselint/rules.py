@@ -1,4 +1,4 @@
-"""The four impreciselint rule families.
+"""The five impreciselint rule families.
 
 Each checker is a function ``(SourceModule) -> list[Finding]``; the
 registry at the bottom (:data:`CHECKERS`) is what the runner iterates.
@@ -26,10 +26,12 @@ __all__ = [
     "FLOAT_TAINT_SCOPE",
     "FLOAT_TAINT_ALLOWLIST",
     "NO_RECURSION_SCOPE",
+    "NO_SWALLOW_SCOPE",
     "CONTRACT_CODEC_SCOPE",
     "check_float_taint",
     "check_lock_discipline",
     "check_no_recursion",
+    "check_no_swallow",
     "check_contract_drift",
     "codec_surface_digest",
 ]
@@ -491,6 +493,95 @@ def _cycles(edges: dict) -> list:
     return components
 
 
+# -- no-swallow ---------------------------------------------------------------
+
+#: Supervisor / fault-hook modules: the self-healing story depends on
+#: :class:`~repro.errors.CacheBusyError` and
+#: :class:`~repro.errors.DeadlineExceededError` reaching their sanctioned
+#: handling points (absorb-and-count, HTTP 504) — a handler here that
+#: could catch one and not re-raise hides a fault instead of healing it.
+NO_SWALLOW_SCOPE = (
+    "repro/server/multiproc.py",
+    "repro/dbms/service.py",
+    "repro/dbms/cache_store.py",
+    "repro/testing/faults.py",
+)
+
+#: The two critical exceptions, plus every umbrella type (and the bare
+#: ``except:``, handled separately) whose handler would catch them.
+_NO_SWALLOW_CRITICAL = frozenset(
+    {"CacheBusyError", "DeadlineExceededError", "Exception", "BaseException"}
+)
+
+
+def _handler_type_names(annotation: ast.AST) -> set:
+    """The exception class names an ``except <annotation>`` catches —
+    ``Name`` ids and ``Attribute`` tails, through tuples."""
+    names: set = set()
+    nodes = (
+        annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a ``raise`` of its own (nested
+    callables excluded — a closure raising later proves nothing about
+    this handler's control flow)."""
+    stack: list = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def check_no_swallow(module: SourceModule) -> list:
+    if not module.matches(NO_SWALLOW_SCOPE):
+        return []
+    findings: list = []
+    for node, qualname in _scoped_nodes(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            caught = "bare"
+        else:
+            hit = sorted(
+                _handler_type_names(node.type) & _NO_SWALLOW_CRITICAL
+            )
+            if not hit:
+                continue
+            caught = "+".join(hit)
+        if _handler_reraises(node):
+            continue
+        findings.append(
+            Finding(
+                rule="no-swallow",
+                path=module.rel,
+                line=node.lineno,
+                qualname=qualname,
+                detail=f"swallow:{caught}",
+                message=(
+                    f"except handler catching {caught} swallows"
+                    " CacheBusyError/DeadlineExceededError in a"
+                    " supervisor/fault-hook module — re-raise, or"
+                    " disable with a reason at a sanctioned absorb point"
+                ),
+            )
+        )
+    return findings
+
+
 # -- contract-drift -----------------------------------------------------------
 
 #: Codec modules and the version constant each must reference.
@@ -667,5 +758,6 @@ CHECKERS = {
     "float-taint": check_float_taint,
     "lock-discipline": check_lock_discipline,
     "no-recursion": check_no_recursion,
+    "no-swallow": check_no_swallow,
     "contract-drift": check_contract_drift,
 }
