@@ -40,10 +40,21 @@ from .events import (
     all_of,
     any_of,
     event_probability,
+    independent_components,
     interned_count,
     lit,
     none_of,
     pivot_variable,
+    product_of,
+    weighted_sum,
+)
+from .events_compile import (
+    CompiledEvent,
+    LiteralProbabilityTable,
+    compile_event,
+    compiled_probability,
+    iter_compiled,
+    shared_literal_table,
 )
 from .events_cache import (
     DEFAULT_MAX_ENTRIES,
@@ -84,8 +95,17 @@ __all__ = [
     "any_of",
     "none_of",
     "event_probability",
+    "independent_components",
     "interned_count",
     "pivot_variable",
+    "product_of",
+    "weighted_sum",
+    "CompiledEvent",
+    "LiteralProbabilityTable",
+    "compile_event",
+    "compiled_probability",
+    "iter_compiled",
+    "shared_literal_table",
     "DEFAULT_MAX_ENTRIES",
     "EventProbabilityCache",
     "cache_for",

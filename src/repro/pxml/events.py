@@ -59,7 +59,8 @@ from __future__ import annotations
 import weakref
 from fractions import Fraction
 from hashlib import blake2b
-from typing import Iterable, Optional
+from math import gcd
+from typing import Iterable, Optional, Sequence
 
 from ..errors import ProbabilityError
 from ..probability import ONE, ZERO
@@ -525,9 +526,15 @@ def pivot_variable(event: Event) -> tuple[int, ProbNode]:
     return uid, node
 
 
-def _independent_components(operands: tuple[Event, ...]) -> list[list[Event]]:
+def independent_components(
+    operands: Sequence[Event],
+) -> list[list[Event]]:
     """Partition operands into connected components by shared variables
-    (union-find over operand indices)."""
+    (union-find over operand indices).  Operands in different components
+    mention disjoint variable sets and are therefore independent; the
+    kernel uses this per expansion step, and
+    :mod:`repro.pxml.events_compile` uses it once, top-down, to emit a
+    factored pricing plan."""
     parent = list(range(len(operands)))
 
     def find(i: int) -> int:
@@ -552,6 +559,65 @@ def _independent_components(operands: tuple[Event, ...]) -> list[list[Event]]:
     return list(groups.values())
 
 
+# -- batched exact arithmetic ---------------------------------------------------
+
+def _balanced_int_product(values: list[int]) -> int:
+    """Product of ``values`` by pairwise tree reduction.  For the large
+    integers exact corpus pricing produces, multiplying similarly-sized
+    operands is far cheaper than a left fold that drags one huge
+    accumulator through every step."""
+    while len(values) > 1:
+        paired = [
+            values[i] * values[i + 1] for i in range(0, len(values) - 1, 2)
+        ]
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
+def product_of(factors: Sequence[Fraction]) -> Fraction:
+    """Exact product of ``factors`` in one batch: numerators and
+    denominators multiply separately as balanced integer trees, and the
+    single :class:`Fraction` construction at the end runs *one* gcd
+    normalization instead of one per multiplication.  Identical value to
+    the sequential fold; measurably faster on the independence-product
+    hot path (many components, large denominators)."""
+    if not factors:
+        return ONE
+    if len(factors) == 1:
+        return factors[0]
+    return Fraction(
+        _balanced_int_product([f.numerator for f in factors]),
+        _balanced_int_product([f.denominator for f in factors]),
+    )
+
+
+def weighted_sum(
+    weights: Sequence[Fraction], values: Sequence[Fraction]
+) -> Fraction:
+    """Exact ``Σ weights[i] · values[i]`` with a small-denominator fast
+    path: terms accumulate as one integer numerator over a running least
+    common denominator (``gcd`` is integer-exact), so the common Shannon
+    shape — branch weights sharing one small denominator — costs integer
+    adds instead of a Fraction normalization per term.  The single
+    :class:`Fraction` at the end normalizes once; the value is identical
+    to the sequential sum."""
+    num = 0
+    den = 1
+    for weight, value in zip(weights, values):
+        term_num = weight.numerator * value.numerator
+        term_den = weight.denominator * value.denominator
+        if term_den == den:
+            num += term_num
+        else:
+            common = gcd(den, term_den)
+            scale = term_den // common
+            num = num * scale + term_num * (den // common)
+            den = den * scale
+    return Fraction(num, den)
+
+
 #: plan kinds for the worklist evaluator
 _PROD, _COPROD, _NOT, _SHANNON = 0, 1, 2, 3
 
@@ -563,7 +629,7 @@ def _expand(event: Event) -> _Plan:
     """One decomposition step: how to compute P(event) from sub-events."""
     if isinstance(event, Not):
         return _NOT, (event.operand,), None
-    components = _independent_components(event.operands)
+    components = independent_components(event.operands)
     if len(components) > 1:
         if isinstance(event, And):
             return _PROD, tuple(all_of(group) for group in components), None
@@ -625,26 +691,25 @@ def event_probability(
             kind, children, weights = plan
             if kind == _SHANNON:
                 assert weights is not None  # _expand always pairs them
-                total = ZERO
+                live_weights: list[Fraction] = []
+                live_probs: list[Fraction] = []
                 for weight, child in zip(weights, children):
                     if child is FALSE_EVENT:
                         continue
-                    total += weight * (
+                    live_weights.append(weight)
+                    live_probs.append(
                         ONE if child is TRUE_EVENT else memo[child.digest]
                     )
+                total = weighted_sum(live_weights, live_probs)
             elif kind == _NOT:
                 child = children[0]
                 total = ONE - memo[child.digest]
-            else:
-                product = ONE
-                if kind == _PROD:
-                    for child in children:
-                        product *= memo[child.digest]
-                    total = product
-                else:  # _COPROD
-                    for child in children:
-                        product *= ONE - memo[child.digest]
-                    total = ONE - product
+            elif kind == _PROD:
+                total = product_of([memo[child.digest] for child in children])
+            else:  # _COPROD
+                total = ONE - product_of(
+                    [ONE - memo[child.digest] for child in children]
+                )
             memo[digest] = total
     return memo[event.digest]
 

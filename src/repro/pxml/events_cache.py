@@ -19,12 +19,28 @@ amortizes it:
   events overlap resolves from the cache without expanding at all.
   Digest keys also outlive the event objects themselves: an event can be
   garbage-collected and rebuilt later, and it still hits.
-* a bounded memo: the table holds at most ``max_entries`` probabilities
-  (default :data:`DEFAULT_MAX_ENTRIES`); beyond that the oldest entries
-  are evicted (insertion order — the earliest-priced sub-events) and the
-  ``evictions`` counter advances.  The bound is enforced *between*
-  evaluations, so a single expansion may briefly overshoot; correctness
-  never depends on residency — an evicted entry is simply re-expanded.
+* a bounded memo with **LRU** eviction: the table holds at most
+  ``max_entries`` probabilities (default :data:`DEFAULT_MAX_ENTRIES`);
+  beyond that the least-recently-*used* entries are evicted and the
+  ``evictions`` counter advances.  Every :meth:`~EventProbabilityCache.
+  probability` hit refreshes its row's recency, and the freshly-priced
+  root of a miss is always the youngest row — so a hot working set
+  survives a bound equal to its size, and the event a caller just asked
+  for can never be evicted by its own sub-expansion.  The bound is
+  enforced *between* evaluations, so a single expansion may briefly
+  overshoot; correctness never depends on residency — an evicted entry
+  is simply re-expanded.
+* compiled top-down pricing: a miss is compiled into a
+  component-factored plan (:func:`repro.pxml.events_compile.
+  compile_event`) and priced by :func:`~repro.pxml.events_compile.
+  compiled_probability` over the same digest-keyed memo, with literal
+  and small-conjunction rows resolved through the **cross-document**
+  :class:`~repro.pxml.events_compile.LiteralProbabilityTable` (the
+  process-shared table by default), so pricing one plan across a
+  dataspace of N documents reuses rows instead of re-deriving them.
+  The bottom-up kernel (``use_cache=False`` engines, or calling
+  :func:`~repro.pxml.events.event_probability` directly) remains the
+  differential reference; the two are Fraction-identical.
 * :meth:`EventProbabilityCache.probabilities_of` — the bulk entry point
   for query batches.  Events are processed smallest-variable-set first so
   shared sub-events are expanded exactly once and every larger event's
@@ -58,7 +74,13 @@ import weakref
 from fractions import Fraction
 from typing import Optional, Sequence
 
-from .events import Event, FALSE_EVENT, TRUE_EVENT, event_probability
+from .events import Event, FALSE_EVENT, TRUE_EVENT
+from .events_compile import (
+    LiteralProbabilityTable,
+    compile_event,
+    compiled_probability,
+    shared_literal_table,
+)
 from .model import PXDocument
 
 #: A compiled plan/spec fingerprint (see ``QueryPlan.fingerprint``).
@@ -72,9 +94,11 @@ _Distribution = dict[object, Fraction]
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "EventProbabilityCache",
+    "LiteralProbabilityTable",
     "cache_for",
     "invalidate",
     "registered_count",
+    "shared_literal_table",
 ]
 
 #: Default bound on memoized event probabilities per cache.  An entry is
@@ -91,10 +115,14 @@ class EventProbabilityCache:
     it — see the invalidation rules in the module docstring).  The table
     is also the batch evaluator: :meth:`probabilities_of` orders a batch
     so shared sub-events are factored out and computed once.  The memo is
-    bounded by ``max_entries`` (oldest-first eviction, counted in
+    bounded by ``max_entries`` (least-recently-used eviction, counted in
     ``evictions``); the answer/aggregate side tables are not — they hold
     one entry per distinct (plan, document) pair, which workloads bound
-    naturally.
+    naturally.  ``literal_table`` is the cross-document row store misses
+    price through (defaults to the process-shared
+    :func:`~repro.pxml.events_compile.shared_literal_table`; pass an
+    explicit :class:`~repro.pxml.events_compile.LiteralProbabilityTable`
+    to isolate or to share a custom one).
 
     >>> from repro.pxml.build import certain_document
     >>> from repro.xmlkit.parser import parse_document
@@ -112,9 +140,15 @@ class EventProbabilityCache:
         "misses",
         "evictions",
         "max_entries",
+        "literal_table",
     )
 
-    def __init__(self, *, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        *,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        literal_table: Optional[LiteralProbabilityTable] = None,
+    ) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive (or None)")
         #: canonical digest -> exact probability; shared with (and
@@ -128,21 +162,54 @@ class EventProbabilityCache:
         self.misses = 0
         self.evictions = 0
         self.max_entries = max_entries
+        #: The cross-document literal/product row store (see the module
+        #: docstring); plain attribute, reassignable by owners that
+        #: thread their own table through (the dataspace service does).
+        self.literal_table: LiteralProbabilityTable = (
+            literal_table if literal_table is not None
+            else shared_literal_table()
+        )
 
     # -- probabilities ------------------------------------------------------
 
     def probability(self, event: Event) -> Fraction:
-        """Exact probability of ``event``, memoized on its digest."""
+        """Exact probability of ``event``, memoized on its digest.
+
+        Hits refresh the row's recency (the memo evicts least-recently-
+        used); misses compile the event top-down
+        (:func:`~repro.pxml.events_compile.compile_event`) and price the
+        factored plan through the shared memo and the cross-document
+        ``literal_table``.  The freshly-priced row is moved to the young
+        end before the bound is enforced, so the event a caller just
+        asked for always survives its own enforcement pass — even at
+        ``max_entries=1``.
+        """
         if event is TRUE_EVENT:
             return Fraction(1)
         if event is FALSE_EVENT:
             return Fraction(0)
-        cached = self._memo.get(event.digest)
+        memo = self._memo
+        digest = event.digest
+        cached = memo.get(digest)
         if cached is not None:
             self.hits += 1
+            # LRU, not FIFO: a hit re-inserts the row at the young end
+            # (``move_to_end`` semantics on a plain dict), so eviction —
+            # which walks insertion order — takes the coldest row, not
+            # the earliest-seeded shared sub-event.
+            del memo[digest]
+            memo[digest] = cached
             return cached
         self.misses += 1
-        result = event_probability(event, _memo=self._memo)
+        result = compiled_probability(
+            compile_event(event), memo=memo, table=self.literal_table
+        )
+        # Guarantee the queried row is the youngest before enforcement:
+        # eviction removes ``len - max_entries`` rows from the old end,
+        # which can never reach the last row while the bound is >= 1.
+        if digest in memo:
+            del memo[digest]
+        memo[digest] = result
         self._enforce_bound()
         return result
 
@@ -166,9 +233,12 @@ class EventProbabilityCache:
         return results
 
     def _enforce_bound(self) -> None:
-        """Evict oldest memo entries beyond ``max_entries``.  Called
-        between evaluations only, so an in-flight expansion always sees
-        every sub-result it just computed."""
+        """Evict least-recently-used memo entries beyond ``max_entries``
+        (hits re-insert at the young end, so insertion order *is*
+        recency order).  Called between evaluations only, so an
+        in-flight expansion always sees every sub-result it just
+        computed, and always after the just-queried row is moved to the
+        young end, so it survives its own enforcement pass."""
         cap = self.max_entries
         if cap is None:
             return
@@ -287,9 +357,20 @@ def invalidate(document: PXDocument) -> None:
     Required after mutating the document's probability nodes in place
     (the library's own transformations are functional and never need
     it — see the module docstring).  Clears the cache object (so engines
-    already holding it recompute) and unregisters it.  A no-op when the
-    document has no cache yet.
+    already holding it recompute) and unregisters it, and drops the
+    document's literal rows from the cross-document tables — the
+    cache's own ``literal_table`` and the process-shared one — so no
+    other document's pricing is ever served a stale Fraction through a
+    shared row.  (Product rows are value-keyed pure arithmetic and
+    survive; a changed input simply produces a different key.)  Safe to
+    call when the document has no cache yet: the shared table is still
+    swept.
     """
     cache = _REGISTRY.pop(document, None)
+    tables = [shared_literal_table()]
     if cache is not None:
         cache.clear()
+        if cache.literal_table is not tables[0]:
+            tables.append(cache.literal_table)
+    for table in tables:
+        table.invalidate_document(document)

@@ -58,6 +58,7 @@ from typing import Callable, Optional, Union
 
 from ..errors import QueryError
 from ..probability import ONE, ZERO, format_percent
+from ..pxml.events import weighted_sum
 from ..pxml.events_cache import EventProbabilityCache, cache_for
 from ..pxml.model import PXDocument, PXElement, PXText, ProbNode
 from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
@@ -319,22 +320,46 @@ def _combine(
                 key = op(key_a, key_b)
                 result[key] = result.get(key, ZERO) + prob_a
             return result
-    result = {}
+    # General case: batch the per-key accumulation.  Each result key
+    # gathers its (prob_a, prob_b) term pairs and is summed in one
+    # integer-accumulating pass (one Fraction normalization per key
+    # instead of one per term — see
+    # :func:`repro.pxml.events.weighted_sum`).
+    terms: dict[AggregateKey, tuple[list[Fraction], list[Fraction]]] = {}
     for key_a, prob_a in a.items():
         for key_b, prob_b in b.items():
             key = op(key_a, key_b)
-            result[key] = result.get(key, ZERO) + prob_a * prob_b
-    return result
+            entry = terms.get(key)
+            if entry is None:
+                entry = ([], [])
+                terms[key] = entry
+            entry[0].append(prob_a)
+            entry[1].append(prob_b)
+    return {
+        key: weighted_sum(weights, values)
+        for key, (weights, values) in terms.items()
+    }
 
 
 def _mixture(
     parts: list[tuple[Fraction, AggregateDistribution]]
 ) -> AggregateDistribution:
-    result: AggregateDistribution = {}
+    # Mixture weights share the choice node's small common denominator;
+    # accumulating each key's Σ weight·prob as integers over a running
+    # lcm (weighted_sum) skips the per-term Fraction normalizations.
+    terms: dict[AggregateKey, tuple[list[Fraction], list[Fraction]]] = {}
     for weight, distribution in parts:
         for key, prob in distribution.items():
-            result[key] = result.get(key, ZERO) + weight * prob
-    return result
+            entry = terms.get(key)
+            if entry is None:
+                entry = ([], [])
+                terms[key] = entry
+            entry[0].append(weight)
+            entry[1].append(prob)
+    return {
+        key: weighted_sum(weights, probs)
+        for key, (weights, probs) in terms.items()
+    }
 
 
 def _add(a: AggregateKey, b: AggregateKey) -> AggregateKey:

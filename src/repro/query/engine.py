@@ -30,12 +30,21 @@ Two layers of amortization (both per document, both exact):
 * every event probability goes through the document's shared
   :class:`~repro.pxml.events_cache.EventProbabilityCache`, so sub-events
   common across queries (and across engines over the same document) are
-  expanded once and resolve by interned digest afterwards.
+  expanded once and resolve by interned digest afterwards.  Cache misses
+  are priced **top-down**: the answer event is compiled into a
+  component-factored plan (:mod:`repro.pxml.events_compile`) whose
+  products/coproducts mirror the independence structure the traversal
+  built — axis steps over disjoint subtrees never enter the same
+  Shannon expansion — and literal/small-conjunction rows resolve
+  through the cross-document
+  :class:`~repro.pxml.events_compile.LiteralProbabilityTable`, so
+  fan-out pricing of one plan across a dataspace reuses rows between
+  documents.
 
 Construct with ``use_cache=False`` for the uncached reference behaviour
 (``cache=None`` is the default and means "use the document's shared
-cache") — benchmarks compare the two and the test suite asserts they are
-Fraction-equal.
+cache") — the uncached path is the pure bottom-up kernel, benchmarks
+compare the two, and the test suite asserts they are Fraction-equal.
 
 ``query_enumeration`` provides the literal per-world semantics as the
 reference implementation (exponential; guarded by a world limit).
@@ -59,6 +68,7 @@ from ..pxml.events import (
     negate,
 )
 from ..pxml.events_cache import EventProbabilityCache, cache_for
+from ..pxml.events_compile import CompiledEvent, compile_event
 from ..pxml.model import PXDocument, PXElement, PXText
 from ..pxml.worlds import DEFAULT_WORLD_LIMIT, iter_worlds
 from ..xmlkit.nodes import XDocument, XElement, XText
@@ -192,6 +202,20 @@ class ProbQueryEngine:
         if self.cache is not None:
             self.cache.store_answer_events(self.document, plan.fingerprint, events)
         return events
+
+    def compiled_answer_events(
+        self, expression: QueryLike
+    ) -> dict[str, tuple[CompiledEvent, int]]:
+        """The answer events of ``expression``, compiled into
+        component-factored pricing plans
+        (:func:`repro.pxml.events_compile.compile_event`) — the shape
+        the cache prices misses through.  Exposed so tests and tools can
+        inspect the factoring the engine's traversal produced (e.g. the
+        variable-disjointness invariant of every product/coproduct)."""
+        return {
+            value: (compile_event(event), count)
+            for value, (event, count) in self.answer_events(expression).items()
+        }
 
     def answer_probability(self, expression: QueryLike, value: str) -> Fraction:
         """P(value ∈ answer)."""

@@ -62,6 +62,7 @@ FLOAT_TAINT_SCOPE = (
     "repro/probability.py",
     "repro/pxml/events.py",
     "repro/pxml/events_cache.py",
+    "repro/pxml/events_compile.py",
     "repro/feedback/conditioning.py",
     "repro/query/plan.py",
     "repro/query/aggregates.py",
@@ -378,6 +379,7 @@ def _check_method(
 #: deep documents cannot blow the interpreter stack.
 NO_RECURSION_SCOPE = (
     "repro/pxml/events.py",
+    "repro/pxml/events_compile.py",
     "repro/query/aggregates.py",
 )
 
